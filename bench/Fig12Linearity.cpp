@@ -1,0 +1,103 @@
+//===- bench/Fig12Linearity.cpp - Paper Fig. 12 -------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Fig. 12: run time as a function of input size for every
+/// engine and grammar — all seven implementations parse in time linear
+/// in input length. Prints one series per engine (ms per size) plus a
+/// least-squares linearity fit (R² of time vs size).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace flapbench;
+using namespace flap;
+
+namespace {
+
+double bestRunMs(const NamedEngine &E, std::string_view In) {
+  // Minimum of several runs: on shared/virtualized hardware the minimum
+  // is the robust estimator of algorithmic cost (noise only adds time).
+  double Best = 1e18;
+  for (int Rep = 0; Rep < 7; ++Rep) {
+    Stopwatch W;
+    E.Run(In);
+    Best = std::min(Best, W.seconds());
+  }
+  return Best * 1e3;
+}
+
+/// R² of a zero-intercept linear fit time = k·size.
+double linearR2(const std::vector<double> &Sizes,
+                const std::vector<double> &Times) {
+  double Sxy = 0, Sxx = 0;
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    Sxy += Sizes[I] * Times[I];
+    Sxx += Sizes[I] * Sizes[I];
+  }
+  double K = Sxy / Sxx;
+  double Mean = 0;
+  for (double T : Times)
+    Mean += T;
+  Mean /= Times.size();
+  double SsRes = 0, SsTot = 0;
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    double Resid = Times[I] - K * Sizes[I];
+    SsRes += Resid * Resid;
+    SsTot += (Times[I] - Mean) * (Times[I] - Mean);
+  }
+  return SsTot == 0 ? 1.0 : 1.0 - SsRes / SsTot;
+}
+
+} // namespace
+
+int main() {
+  const double Scale = benchScale();
+  std::vector<size_t> Sizes;
+  for (double S : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0})
+    Sizes.push_back(static_cast<size_t>(S * 1e6 * Scale));
+
+  std::printf("Fig. 12 — Linear-time parsing: run time (ms) per input "
+              "size (MB), all engines, all grammars\n\n");
+
+  for (const std::string &Gr : fig11Order()) {
+    std::shared_ptr<GrammarDef> Def;
+    for (auto &G : allBenchmarkGrammars())
+      if (G->Name == Gr)
+        Def = G;
+    EngineSet E = EngineSet::build(Def);
+
+    std::vector<Workload> Inputs;
+    for (size_t Bytes : Sizes)
+      Inputs.push_back(genWorkload(Gr, 2, Bytes));
+
+    std::printf("[%s]\n%-14s", Gr.c_str(), "size(MB)");
+    for (const Workload &W : Inputs)
+      std::printf("%9.2f", W.Input.size() / 1e6);
+    std::printf("%9s\n", "R^2");
+
+    for (NamedEngine &Eng : fig11Engines(E)) {
+      std::vector<double> Xs, Ts;
+      std::printf("%-14s", Eng.Name.c_str());
+      for (const Workload &W : Inputs) {
+        double Ms = bestRunMs(Eng, W.Input);
+        Xs.push_back(static_cast<double>(W.Input.size()));
+        Ts.push_back(Ms);
+        std::printf("%9.2f", Ms);
+      }
+      std::printf("%9.4f\n", linearR2(Xs, Ts));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

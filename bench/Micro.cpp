@@ -1,0 +1,109 @@
+//===- bench/Micro.cpp - google-benchmark micro benchmarks ---------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Micro-costs of the substrates: derivative computation, lexer DFA
+/// construction, DFA lexing throughput, staged-machine scan throughput,
+/// and pipeline compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Pipeline.h"
+#include "grammars/Grammars.h"
+#include "lexer/CompiledLexer.h"
+#include "regex/RegexParser.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace flap;
+
+namespace {
+
+void BM_RegexDerivativeCold(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    RegexArena A; // fresh arena: no memo hits
+    RegexId Re = mustParseRegex(
+        A, "-?(0|[1-9][0-9]*)(\\.[0-9]+)?([eE][+\\-]?[0-9]+)?");
+    State.ResumeTiming();
+    RegexId Cur = Re;
+    for (unsigned char C : std::string_view("-123.45e+6"))
+      Cur = A.derive(Cur, C);
+    benchmark::DoNotOptimize(Cur);
+  }
+}
+BENCHMARK(BM_RegexDerivativeCold);
+
+void BM_RegexDerivativeMemoized(benchmark::State &State) {
+  RegexArena A;
+  RegexId Re = mustParseRegex(
+      A, "-?(0|[1-9][0-9]*)(\\.[0-9]+)?([eE][+\\-]?[0-9]+)?");
+  for (auto _ : State) {
+    RegexId Cur = Re;
+    for (unsigned char C : std::string_view("-123.45e+6"))
+      Cur = A.derive(Cur, C);
+    benchmark::DoNotOptimize(Cur);
+  }
+}
+BENCHMARK(BM_RegexDerivativeMemoized);
+
+void BM_RegexEquivalence(benchmark::State &State) {
+  for (auto _ : State) {
+    RegexArena A;
+    RegexId R1 = mustParseRegex(A, "(a|b)*abb");
+    RegexId R2 = mustParseRegex(A, "(a|b)*abb&~()");
+    benchmark::DoNotOptimize(A.equivalent(R1, R2));
+  }
+}
+BENCHMARK(BM_RegexEquivalence);
+
+void BM_LexerDfaBuild(benchmark::State &State) {
+  for (auto _ : State) {
+    auto Def = makeJsonGrammar();
+    auto Canon = Def->Lexer->canonicalize();
+    CompiledLexer Lex(*Def->Re, *Canon);
+    benchmark::DoNotOptimize(Lex.numStates());
+  }
+}
+BENCHMARK(BM_LexerDfaBuild);
+
+void BM_LexerThroughput(benchmark::State &State) {
+  auto Def = makeJsonGrammar();
+  auto Canon = Def->Lexer->canonicalize();
+  CompiledLexer Lex(*Def->Re, *Canon);
+  Workload W = genWorkload("json", 4, 1 << 20);
+  for (auto _ : State) {
+    auto Toks = Lex.lexAll(W.Input);
+    benchmark::DoNotOptimize(Toks.ok());
+  }
+  State.SetBytesProcessed(State.iterations() * W.Input.size());
+}
+BENCHMARK(BM_LexerThroughput);
+
+void BM_StagedMachineThroughput(benchmark::State &State) {
+  auto Def = makeJsonGrammar();
+  auto P = compileFlap(Def);
+  Workload W = genWorkload("json", 4, 1 << 20);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P->M.recognize(W.Input));
+  State.SetBytesProcessed(State.iterations() * W.Input.size());
+}
+BENCHMARK(BM_StagedMachineThroughput);
+
+void BM_PipelineCompile(benchmark::State &State) {
+  for (auto _ : State) {
+    auto Def = makeSexpGrammar();
+    auto P = compileFlap(Def);
+    benchmark::DoNotOptimize(P.ok());
+  }
+}
+BENCHMARK(BM_PipelineCompile);
+
+} // namespace
+
+BENCHMARK_MAIN();

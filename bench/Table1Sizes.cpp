@@ -1,0 +1,67 @@
+//===- bench/Table1Sizes.cpp - Paper Table 1 ----------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Table 1: sizes of inputs, intermediate forms, and
+/// generated code — lexer rules, CFE nodes, normalized nonterminals and
+/// productions, fused productions, and generated "functions" (machine
+/// states, which equal the functions the code generator emits).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include <cstdio>
+
+using namespace flapbench;
+using namespace flap;
+
+int main() {
+  std::printf("Table 1 — Sizes of inputs, intermediate forms, and "
+              "generated code\n\n");
+  std::printf("%-8s %9s %6s | %4s %6s | %6s | %10s\n", "Grammar",
+              "Lex rules", "CFEs", "NTs", "Prods", "Fused", "Functions");
+  std::printf("------------------------------------------------------"
+              "------\n");
+  // The paper lists pgn, ppm, sexp, csv, json, arith.
+  for (const char *Name : {"pgn", "ppm", "sexp", "csv", "json", "arith"}) {
+    std::shared_ptr<GrammarDef> Def;
+    for (auto &G : allBenchmarkGrammars())
+      if (G->Name == Name)
+        Def = G;
+    auto P = compileFlap(Def);
+    if (!P) {
+      std::fprintf(stderr, "fatal: %s\n", P.error().c_str());
+      return 1;
+    }
+    const SizeStats &S = P->Sizes;
+    std::printf("%-8s %9zu %6zu | %4zu %6zu | %6zu | %10zu\n", Name,
+                S.LexRules, S.CfeNodes, S.NumNts, S.NumProds,
+                S.FusedProds, S.OutputFunctions);
+  }
+  std::printf("\nPaper reference rows (OCaml flap, for shape "
+              "comparison):\n");
+  std::printf("  pgn:   13 lex, 95 CFE | 38 NT, 53 prods | 91 fused | "
+              "203 functions\n");
+  std::printf("  ppm:    6 lex, 10 CFE |  5 NT,  6 prods | 16 fused | "
+              " 55 functions\n");
+  std::printf("  sexp:   4 lex, 11 CFE |  3 NT,  6 prods |  9 fused | "
+              " 11 functions\n");
+  std::printf("  csv:    3 lex, 14 CFE |  5 NT,  7 prods |  7 fused | "
+              " 17 functions\n");
+  std::printf("  json:  12 lex, 42 CFE |  9 NT, 33 prods | 42 fused | "
+              " 93 functions\n");
+  std::printf("  arith: 14 lex, 143 CFE| 28 NT, 55 prods | 83 fused | "
+              "209 functions\n");
+  std::printf("\nNote: our CFE counts include action (map/ε-value) "
+              "nodes, and our arena shares\nsubexpressions that the "
+              "OCaml combinators duplicate (§6 'Sharing'), so CFE/NT\n"
+              "columns differ in absolute value; the invariant under "
+              "test is the *shape*:\nnormalization does not blow up "
+              "grammar size, and functions ≈ small multiple of\n"
+              "fused productions.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+//===- examples/calculator.cpp - Mini-language evaluator ------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The arith benchmark grammar as an interactive tool: evaluates
+/// semicolon-terminated terms of the mini language (arithmetic,
+/// comparison, let binding, branching) given on the command line or
+/// read from stdin.
+///
+///   $ calculator "let x = 6 in x * 7;"
+///   42
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammars/Grammars.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace flap;
+
+int main(int argc, char **argv) {
+  auto Def = makeArithGrammar();
+  auto P = compileFlap(Def);
+  if (!P) {
+    std::fprintf(stderr, "error: %s\n", P.error().c_str());
+    return 1;
+  }
+
+  std::string Input;
+  if (argc > 1) {
+    for (int I = 1; I < argc; ++I) {
+      Input += argv[I];
+      Input += ' ';
+    }
+  } else {
+    std::printf("reading terms from stdin (e.g. `let x = 2 in x + 1;`); "
+                "Ctrl-D to evaluate\n");
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Input = SS.str();
+  }
+
+  auto R = P->parse(Input);
+  if (!R) {
+    std::fprintf(stderr, "parse error: %s\n", R.error().c_str());
+    return 1;
+  }
+  std::printf("%lld\n", static_cast<long long>(R->asInt()));
+  return 0;
+}

@@ -1,0 +1,184 @@
+//===- baselines/Bnf.cpp - CFE → BNF lowering ---------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Bnf.h"
+
+#include "support/StrUtil.h"
+
+#include <map>
+#include <optional>
+
+using namespace flap;
+
+namespace {
+
+class Lowerer {
+public:
+  explicit Lowerer(const CfeArena &Arena) : Arena(Arena) {}
+
+  Result<BnfGrammar> run(CfeId Root) {
+    Result<uint32_t> S = lower(Root);
+    if (!S)
+      return Err(S.error());
+    G.Start = *S;
+    return std::move(G);
+  }
+
+private:
+  uint32_t addNt(const std::string &Name) {
+    G.RulesOf.emplace_back();
+    G.NtNames.push_back(Name);
+    return static_cast<uint32_t>(G.RulesOf.size() - 1);
+  }
+
+  void addRule(BnfRule R) {
+    G.RulesOf[R.Lhs].push_back(static_cast<uint32_t>(G.Rules.size()));
+    G.Rules.push_back(std::move(R));
+  }
+
+  /// Number of semantic values a node leaves on the stack.
+  int widthOf(CfeId Id) {
+    const CfeNode &N = Arena.node(Id);
+    switch (N.K) {
+    case CfeKind::Bot:
+      return 0; // vacuous; ⊥ never completes
+    case CfeKind::Seq:
+      return widthOf(N.A) + widthOf(N.B);
+    case CfeKind::Alt: {
+      int WA = widthOf(N.A);
+      const CfeNode &A = Arena.node(N.A);
+      return A.K == CfeKind::Bot ? widthOf(N.B) : WA;
+    }
+    default:
+      return 1;
+    }
+  }
+
+  Result<uint32_t> lower(CfeId Id) {
+    auto Memo = Done.find(Id);
+    if (Memo != Done.end())
+      return Memo->second;
+    const CfeNode &N = Arena.node(Id);
+    uint32_t Nt;
+    switch (N.K) {
+    case CfeKind::Bot:
+      Nt = addNt("bot"); // no rules: never derives anything
+      break;
+    case CfeKind::Eps: {
+      Nt = addNt("eps");
+      BnfRule R;
+      R.Lhs = Nt;
+      if (N.Act != NoAction) {
+        R.Kind = BnfRule::Reduce::Act;
+        R.Act = N.Act;
+        R.ActArity = 0;
+      } else {
+        R.Kind = BnfRule::Reduce::Unit;
+      }
+      addRule(std::move(R));
+      break;
+    }
+    case CfeKind::Tok: {
+      Nt = addNt(format("t%d", N.Tok));
+      BnfRule R;
+      R.Lhs = Nt;
+      R.Rhs = {BnfSym::tok(N.Tok)};
+      R.RhsWidth = 1;
+      addRule(std::move(R));
+      break;
+    }
+    case CfeKind::Var: {
+      auto It = Env.find(N.Var);
+      if (It == Env.end())
+        return Err(format("unbound variable a%u in BNF lowering", N.Var));
+      return It->second; // no memo: binding is scoped
+    }
+    case CfeKind::Seq: {
+      Result<uint32_t> A = lower(N.A);
+      if (!A)
+        return A;
+      Result<uint32_t> B = lower(N.B);
+      if (!B)
+        return B;
+      Nt = addNt("seq");
+      BnfRule R;
+      R.Lhs = Nt;
+      R.Rhs = {BnfSym::nt(*A), BnfSym::nt(*B)};
+      R.RhsWidth = widthOf(N.A) + widthOf(N.B);
+      addRule(std::move(R));
+      break;
+    }
+    case CfeKind::Alt: {
+      Result<uint32_t> A = lower(N.A);
+      if (!A)
+        return A;
+      Result<uint32_t> B = lower(N.B);
+      if (!B)
+        return B;
+      Nt = addNt("alt");
+      for (uint32_t Child : {*A, *B}) {
+        BnfRule R;
+        R.Lhs = Nt;
+        R.Rhs = {BnfSym::nt(Child)};
+        R.RhsWidth = widthOf(Id);
+        addRule(std::move(R));
+      }
+      break;
+    }
+    case CfeKind::Map: {
+      Result<uint32_t> A = lower(N.A);
+      if (!A)
+        return A;
+      Nt = addNt("map");
+      BnfRule R;
+      R.Lhs = Nt;
+      R.Rhs = {BnfSym::nt(*A)};
+      R.Kind = BnfRule::Reduce::Act;
+      R.Act = N.Act;
+      R.ActArity = widthOf(N.A);
+      R.RhsWidth = R.ActArity;
+      addRule(std::move(R));
+      break;
+    }
+    case CfeKind::Fix: {
+      Nt = addNt(format("fix_a%u", N.Var));
+      auto Saved = Env.find(N.Var) != Env.end()
+                       ? std::optional<uint32_t>(Env[N.Var])
+                       : std::nullopt;
+      Env[N.Var] = Nt;
+      Result<uint32_t> Body = lower(N.A);
+      if (Saved)
+        Env[N.Var] = *Saved;
+      else
+        Env.erase(N.Var);
+      if (!Body)
+        return Body;
+      BnfRule R;
+      R.Lhs = Nt;
+      R.Rhs = {BnfSym::nt(*Body)};
+      R.RhsWidth = 1;
+      addRule(std::move(R));
+      break;
+    }
+    default:
+      return Err("unknown CFE node kind in BNF lowering");
+    }
+    Done.emplace(Id, Nt);
+    return Nt;
+  }
+
+  const CfeArena &Arena;
+  BnfGrammar G;
+  std::map<CfeId, uint32_t> Done;
+  std::map<VarId, uint32_t> Env;
+};
+
+} // namespace
+
+Result<BnfGrammar> flap::lowerToBnf(const CfeArena &Arena, CfeId Root) {
+  return Lowerer(Arena).run(Root);
+}

@@ -1,0 +1,76 @@
+//===- baselines/Bnf.h - CFE → BNF lowering ---------------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a typed context-free expression to plain BNF rules for the
+/// baseline parser generators. The paper's implementations (a)-(c) use
+/// "identically structured grammars" written as ocamlyacc rules; this
+/// lowering produces the equivalent rule set from the very same CFE the
+/// flap pipeline consumes, so every engine parses the same language with
+/// the same semantic actions.
+///
+/// Value discipline: each rule reduction folds the values of its
+/// right-hand side. A rule either keeps them (None — widths concatenate,
+/// as for `seq`), pushes a unit/constant (ε-rules), or applies a
+/// registered action of statically-known arity (Map nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_BASELINES_BNF_H
+#define FLAP_BASELINES_BNF_H
+
+#include "cfe/Cfe.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace flap {
+
+/// A BNF grammar symbol.
+struct BnfSym {
+  bool IsTok;
+  uint32_t Idx; ///< TokenId or BNF-nonterminal id
+
+  static BnfSym tok(TokenId T) { return {true, static_cast<uint32_t>(T)}; }
+  static BnfSym nt(uint32_t N) { return {false, N}; }
+};
+
+/// One BNF rule with its reduction behaviour.
+struct BnfRule {
+  uint32_t Lhs;
+  std::vector<BnfSym> Rhs;
+
+  enum class Reduce : uint8_t {
+    None, ///< keep RHS values as-is
+    Unit, ///< push the unit value (bare ε)
+    Act   ///< apply Action of arity ActArity
+  };
+  Reduce Kind = Reduce::None;
+  ActionId Act = NoAction;
+  int ActArity = 0; ///< values consumed when Kind == Act
+
+  /// Total number of semantic values this rule's RHS leaves on the value
+  /// stack before reduction.
+  int RhsWidth = 0;
+};
+
+struct BnfGrammar {
+  uint32_t Start = 0;
+  std::vector<BnfRule> Rules;
+  std::vector<std::vector<uint32_t>> RulesOf; ///< rule indices by NT
+  std::vector<std::string> NtNames;
+
+  size_t numNts() const { return RulesOf.size(); }
+};
+
+/// Lowers \p Root (closed, well-typed) to BNF.
+Result<BnfGrammar> lowerToBnf(const CfeArena &Arena, CfeId Root);
+
+} // namespace flap
+
+#endif // FLAP_BASELINES_BNF_H

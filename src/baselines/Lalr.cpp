@@ -1,0 +1,355 @@
+//===- baselines/Lalr.cpp - LALR(1) parser generator --------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Lalr.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace flap;
+
+namespace {
+
+/// An LR(1) item packed as rule<<20 | dot<<10 | lookahead.
+using Item = uint64_t;
+
+Item makeItem(uint32_t Rule, uint32_t Dot, uint32_t La) {
+  return (static_cast<uint64_t>(Rule) << 20) |
+         (static_cast<uint64_t>(Dot) << 10) | La;
+}
+uint32_t itemRule(Item I) { return static_cast<uint32_t>(I >> 20); }
+uint32_t itemDot(Item I) { return static_cast<uint32_t>((I >> 10) & 0x3ff); }
+uint32_t itemLa(Item I) { return static_cast<uint32_t>(I & 0x3ff); }
+
+/// Construction-time helper bundling the grammar analysis.
+class Builder {
+public:
+  Builder(const BnfGrammar &G, size_t NumTokens,
+          const TokenSet *TokNames)
+      : G(G), NumToks(NumTokens), Eof(static_cast<uint32_t>(NumTokens)),
+        TokNames(TokNames) {
+    computeFirst();
+  }
+
+  const BnfGrammar &G;
+  size_t NumToks;
+  uint32_t Eof;
+  const TokenSet *TokNames;
+  uint32_t AugRule = 0; ///< index of the augmented rule S' → Start
+
+  std::vector<bool> Nullable;
+  std::vector<std::set<uint32_t>> First; ///< token ids per NT
+
+  std::vector<std::vector<Item>> States;
+  std::map<std::vector<Item>, uint32_t> StateIds;
+  /// Transitions of the canonical LR(1) automaton: (state, symbol) →
+  /// state, where symbols are encoded tok | (nt + NumToks+1).
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Trans;
+
+  uint32_t symCode(const BnfSym &S) const {
+    return S.IsTok ? S.Idx : static_cast<uint32_t>(NumToks + 1 + S.Idx);
+  }
+
+  void computeFirst() {
+    Nullable.assign(G.numNts(), false);
+    First.assign(G.numNts(), {});
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const BnfRule &R : G.Rules) {
+        bool AllNullable = true;
+        for (const BnfSym &S : R.Rhs) {
+          if (S.IsTok) {
+            if (First[R.Lhs].insert(S.Idx).second)
+              Changed = true;
+            AllNullable = false;
+            break;
+          }
+          size_t Before = First[R.Lhs].size();
+          First[R.Lhs].insert(First[S.Idx].begin(), First[S.Idx].end());
+          if (First[R.Lhs].size() != Before)
+            Changed = true;
+          if (!Nullable[S.Idx]) {
+            AllNullable = false;
+            break;
+          }
+        }
+        if (AllNullable && !Nullable[R.Lhs]) {
+          Nullable[R.Lhs] = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  /// FIRST of the symbol string Rhs[From..] followed by lookahead La.
+  std::set<uint32_t> firstOfSuffix(const BnfRule &R, size_t From,
+                                   uint32_t La) const {
+    std::set<uint32_t> Out;
+    for (size_t I = From; I < R.Rhs.size(); ++I) {
+      const BnfSym &S = R.Rhs[I];
+      if (S.IsTok) {
+        Out.insert(S.Idx);
+        return Out;
+      }
+      Out.insert(First[S.Idx].begin(), First[S.Idx].end());
+      if (!Nullable[S.Idx])
+        return Out;
+    }
+    Out.insert(La);
+    return Out;
+  }
+
+  std::vector<Item> closure(std::vector<Item> Kernel) const {
+    std::set<Item> Set(Kernel.begin(), Kernel.end());
+    std::vector<Item> Work = Kernel;
+    while (!Work.empty()) {
+      Item It = Work.back();
+      Work.pop_back();
+      const BnfRule &R = G.Rules[itemRule(It)];
+      uint32_t Dot = itemDot(It);
+      if (Dot >= R.Rhs.size() || R.Rhs[Dot].IsTok)
+        continue;
+      uint32_t B = R.Rhs[Dot].Idx;
+      std::set<uint32_t> Las = firstOfSuffix(R, Dot + 1, itemLa(It));
+      for (uint32_t RuleIdx : G.RulesOf[B])
+        for (uint32_t La : Las) {
+          Item NewItem = makeItem(RuleIdx, 0, La);
+          if (Set.insert(NewItem).second)
+            Work.push_back(NewItem);
+        }
+    }
+    return std::vector<Item>(Set.begin(), Set.end());
+  }
+
+  uint32_t internState(std::vector<Item> S) {
+    auto It = StateIds.find(S);
+    if (It != StateIds.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(States.size());
+    StateIds.emplace(S, Id);
+    States.push_back(std::move(S));
+    return Id;
+  }
+
+  void buildAutomaton(uint32_t StartNt) {
+    std::vector<Item> Kernel = {makeItem(AugRule, 0, Eof)};
+    uint32_t Start = internState(closure(std::move(Kernel)));
+    (void)Start;
+    for (uint32_t W = 0; W < States.size(); ++W) {
+      // Collect the symbols after the dot.
+      std::map<uint32_t, std::vector<Item>> Moves;
+      for (Item It : States[W]) {
+        const BnfRule &R = G.Rules[itemRule(It)];
+        uint32_t Dot = itemDot(It);
+        if (Dot >= R.Rhs.size())
+          continue;
+        Moves[symCode(R.Rhs[Dot])].push_back(
+            makeItem(itemRule(It), Dot + 1, itemLa(It)));
+      }
+      for (auto &[Sym, Kernel2] : Moves) {
+        uint32_t Next = internState(closure(std::move(Kernel2)));
+        Trans[{W, Sym}] = Next;
+      }
+    }
+  }
+};
+
+/// Item core (rule, dot) with the lookahead stripped.
+uint64_t itemCore(Item I) { return I >> 10; }
+
+} // namespace
+
+Result<LalrParser> LalrParser::build(const BnfGrammar &G, size_t NumTokens,
+                                     const TokenSet *TokNames) {
+  LalrParser P;
+  P.Bnf = G;
+  P.NumToks = NumTokens;
+
+  // Augment with S' → Start.
+  BnfRule Aug;
+  Aug.Lhs = static_cast<uint32_t>(G.numNts());
+  Aug.Rhs = {BnfSym::nt(G.Start)};
+  Aug.RhsWidth = 1;
+  P.Bnf.NtNames.push_back("S'");
+  P.Bnf.RulesOf.emplace_back();
+  P.Bnf.RulesOf.back().push_back(static_cast<uint32_t>(P.Bnf.Rules.size()));
+  P.Bnf.Rules.push_back(Aug);
+
+  if (P.Bnf.Rules.size() >= (1u << 12) || P.Bnf.numNts() >= (1u << 12))
+    return Err("BNF grammar too large for the LALR item encoding");
+  for (const BnfRule &R : P.Bnf.Rules)
+    if (R.Rhs.size() >= (1u << 10))
+      return Err("BNF rule too long for the LALR item encoding");
+
+  Builder B(P.Bnf, NumTokens, TokNames);
+  B.AugRule = static_cast<uint32_t>(P.Bnf.Rules.size() - 1);
+  B.buildAutomaton(P.Bnf.Start);
+
+  // LALR: merge canonical LR(1) states that share a core.
+  std::map<std::vector<uint64_t>, uint32_t> CoreIds;
+  std::vector<uint32_t> Merge(B.States.size());
+  std::vector<std::vector<Item>> Merged;
+  for (uint32_t S = 0; S < B.States.size(); ++S) {
+    std::vector<uint64_t> Core;
+    for (Item It : B.States[S])
+      Core.push_back(itemCore(It));
+    std::sort(Core.begin(), Core.end());
+    Core.erase(std::unique(Core.begin(), Core.end()), Core.end());
+    auto [It, New] = CoreIds.emplace(Core, static_cast<uint32_t>(Merged.size()));
+    if (New)
+      Merged.emplace_back();
+    Merge[S] = It->second;
+    auto &Dst = Merged[It->second];
+    Dst.insert(Dst.end(), B.States[S].begin(), B.States[S].end());
+  }
+  for (auto &MS : Merged) {
+    std::sort(MS.begin(), MS.end());
+    MS.erase(std::unique(MS.begin(), MS.end()), MS.end());
+  }
+
+  const size_t NumStates = Merged.size();
+  const size_t Cols = NumTokens + 1;
+  P.NumStates = NumStates;
+  P.ActionTab.assign(NumStates * Cols, 0);
+  P.GotoTab.assign(NumStates * P.Bnf.numNts(), -1);
+
+  auto TokName = [&](uint32_t T) -> std::string {
+    if (T == NumTokens)
+      return "<eof>";
+    return TokNames ? TokNames->name(static_cast<TokenId>(T))
+                    : format("t%u", T);
+  };
+
+  // Shift and goto entries from merged transitions.
+  for (const auto &[Key, Dst] : B.Trans) {
+    uint32_t S = Merge[Key.first], Sym = Key.second, D = Merge[Dst];
+    if (Sym <= NumTokens) {
+      int32_t &Cell = P.ActionTab[S * Cols + Sym];
+      int32_t Want = static_cast<int32_t>(D) + 1;
+      if (Cell != 0 && Cell != Want)
+        return Err(format("LALR conflict (shift) in state %u on %s", S,
+                          TokName(Sym).c_str()));
+      Cell = Want;
+    } else {
+      uint32_t Nt = Sym - static_cast<uint32_t>(NumTokens) - 1;
+      P.GotoTab[S * P.Bnf.numNts() + Nt] = static_cast<int32_t>(D);
+    }
+  }
+
+  // Reduce and accept entries.
+  for (uint32_t S = 0; S < NumStates; ++S)
+    for (Item It : Merged[S]) {
+      uint32_t RuleIdx = itemRule(It);
+      const BnfRule &R = P.Bnf.Rules[RuleIdx];
+      if (itemDot(It) != R.Rhs.size())
+        continue;
+      uint32_t La = itemLa(It);
+      int32_t &Cell = P.ActionTab[S * Cols + La];
+      int32_t Want = RuleIdx == B.AugRule
+                         ? AcceptAct
+                         : -(static_cast<int32_t>(RuleIdx) + 1);
+      if (Cell != 0 && Cell != Want) {
+        const char *Kind = Cell > 0 ? "shift/reduce" : "reduce/reduce";
+        return Err(format("LALR conflict (%s) in state %u on %s", Kind, S,
+                          TokName(La).c_str()));
+      }
+      Cell = Want;
+    }
+  return P;
+}
+
+Result<Value> LalrParser::parse(const std::vector<Lexeme> &Toks,
+                                const ActionTable &Actions,
+                                std::string_view Input, void *User) const {
+  ParseContext Ctx{Input, User};
+  ValueStack Values;
+  std::vector<uint32_t> StateStack = {0};
+  const size_t Cols = NumToks + 1;
+  size_t Pos = 0;
+
+  while (true) {
+    uint32_t La = Pos < Toks.size()
+                      ? static_cast<uint32_t>(Toks[Pos].Tok)
+                      : static_cast<uint32_t>(NumToks);
+    int32_t Act = ActionTab[StateStack.back() * Cols + La];
+    if (Act == AcceptAct)
+      break;
+    if (Act > 0) {
+      // Shift: materialized token becomes a semantic value.
+      Values.push(Value::token(Toks[Pos]));
+      ++Pos;
+      StateStack.push_back(static_cast<uint32_t>(Act - 1));
+      continue;
+    }
+    if (Act < 0) {
+      const BnfRule &R = Bnf.Rules[-Act - 1];
+      for (size_t I = 0; I < R.Rhs.size(); ++I)
+        StateStack.pop_back();
+      switch (R.Kind) {
+      case BnfRule::Reduce::None:
+        break;
+      case BnfRule::Reduce::Unit:
+        Values.push(Value::unit());
+        break;
+      case BnfRule::Reduce::Act:
+        Values.apply(Actions.get(R.Act), Ctx);
+        break;
+      }
+      int32_t Next = GotoTab[StateStack.back() * Bnf.numNts() + R.Lhs];
+      if (Next < 0)
+        return Err("LALR internal error: missing goto");
+      StateStack.push_back(static_cast<uint32_t>(Next));
+      continue;
+    }
+    if (Pos < Toks.size())
+      return Err(format("parse error at offset %u (token %u)",
+                        Toks[Pos].Begin, La));
+    return Err("parse error at end of input");
+  }
+
+  if (Values.size() == 1)
+    return Values.pop();
+  ValueList L;
+  while (Values.size())
+    L.insert(L.begin(), Values.pop());
+  return Value::list(std::move(L));
+}
+
+bool LalrParser::recognize(const std::vector<Lexeme> &Toks) const {
+  std::vector<uint32_t> StateStack = {0};
+  const size_t Cols = NumToks + 1;
+  size_t Pos = 0;
+  while (true) {
+    uint32_t La = Pos < Toks.size()
+                      ? static_cast<uint32_t>(Toks[Pos].Tok)
+                      : static_cast<uint32_t>(NumToks);
+    int32_t Act = ActionTab[StateStack.back() * Cols + La];
+    if (Act == AcceptAct)
+      return true;
+    if (Act > 0) {
+      ++Pos;
+      StateStack.push_back(static_cast<uint32_t>(Act - 1));
+      continue;
+    }
+    if (Act < 0) {
+      const BnfRule &R = Bnf.Rules[-Act - 1];
+      for (size_t I = 0; I < R.Rhs.size(); ++I)
+        StateStack.pop_back();
+      int32_t Next = GotoTab[StateStack.back() * Bnf.numNts() + R.Lhs];
+      if (Next < 0)
+        return false;
+      StateStack.push_back(static_cast<uint32_t>(Next));
+      continue;
+    }
+    return false;
+  }
+}

@@ -1,0 +1,64 @@
+//===- baselines/Lalr.h - LALR(1) parser generator --------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch LALR(1) parser generator and table driver: the
+/// substrate for the paper's implementations (a) ocamlyacc and
+/// (b) menhir in table mode, which are LALR tools driving tables over a
+/// materialized token stream. Construction is canonical LR(1) followed by
+/// core merging (correct, and cheap at these grammar sizes); conflicts
+/// are reported as errors — every LL(1) grammar is LALR(1), so the
+/// benchmark grammars build cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_BASELINES_LALR_H
+#define FLAP_BASELINES_LALR_H
+
+#include "baselines/Bnf.h"
+#include "cfe/Action.h"
+#include "lexer/Token.h"
+#include "support/Result.h"
+
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// LALR(1) tables plus the shift-reduce driver.
+class LalrParser {
+public:
+  /// Builds tables for \p G. Fails on shift/reduce or reduce/reduce
+  /// conflicts (with the offending state and token named).
+  static Result<LalrParser> build(const BnfGrammar &G, size_t NumTokens,
+                                  const TokenSet *TokNames = nullptr);
+
+  /// Parses a materialized token sequence, evaluating actions.
+  Result<Value> parse(const std::vector<Lexeme> &Toks,
+                      const ActionTable &Actions, std::string_view Input,
+                      void *User = nullptr) const;
+
+  /// Recognition only: drives the tables without the value stack.
+  bool recognize(const std::vector<Lexeme> &Toks) const;
+
+  size_t numStates() const { return NumStates; }
+
+private:
+  // ACTION encoding: 0 = error, +s = shift to state s-1,
+  // -r = reduce by rule r-1, Accept = accept.
+  static constexpr int32_t AcceptAct = INT32_MAX;
+
+  BnfGrammar Bnf;
+  size_t NumToks = 0;   ///< token columns; EOF is column NumToks
+  size_t NumStates = 0;
+  std::vector<int32_t> ActionTab; ///< [state * (NumToks+1) + tok]
+  std::vector<int32_t> GotoTab;   ///< [state * numNts + nt]
+};
+
+} // namespace flap
+
+#endif // FLAP_BASELINES_LALR_H

@@ -1,0 +1,374 @@
+//===- baselines/TokenEngines.cpp - Token-level baseline engines -------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/TokenEngines.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace flap;
+
+TokenTables flap::buildTokenTables(const Grammar &G, size_t NumTokens) {
+  TokenTables T;
+  T.NumToks = NumTokens;
+  T.Start = G.Start;
+  T.NtNames = G.Names;
+  T.Table.assign(G.numNts() * NumTokens, -1);
+  T.NtEps.assign(G.numNts(), -1);
+  for (NtId N = 0; N < G.numNts(); ++N)
+    for (const Production &P : G.Prods[N]) {
+      if (P.isEps()) {
+        std::vector<ActionId> Chain;
+        for (const Sym &S : P.Tail)
+          Chain.push_back(static_cast<ActionId>(S.Idx));
+        T.NtEps[N] = static_cast<int32_t>(T.EpsChains.size());
+        T.EpsChains.push_back(std::move(Chain));
+        continue;
+      }
+      assert(P.isTok() && "token tables need a DGNF grammar");
+      T.Table[N * NumTokens + P.Tok] =
+          static_cast<int32_t>(T.Prods.size());
+      T.Prods.push_back({P.Tok, P.Tail});
+    }
+  return T;
+}
+
+namespace {
+
+void runEpsChain(const TokenTables &T, int32_t Chain,
+                 const ActionTable &Actions, ValueStack &Values,
+                 ParseContext &Ctx) {
+  const std::vector<ActionId> &C = T.EpsChains[Chain];
+  if (C.empty()) {
+    Values.push(Value::unit());
+    return;
+  }
+  for (ActionId A : C)
+    Values.apply(Actions.get(A), Ctx);
+}
+
+/// Recursive-descent worker shared by RdToken (vector lookahead) and
+/// PartsStream (pull lookahead) via the Lookahead policy.
+template <typename Lookahead>
+class RdEngine {
+public:
+  RdEngine(const TokenTables &T, const ActionTable &Actions,
+           Lookahead &Look, ParseContext &Ctx)
+      : T(T), Actions(Actions), Look(Look), Ctx(Ctx) {}
+
+  bool parseNt(NtId N) {
+    // Tail-call elimination for the *last* nonterminal of a production:
+    // right-recursive list rules (the shape every star/fold produces in
+    // DGNF) run as a loop with heap-held pending markers, exactly like a
+    // hand-written recursive-descent parser loops over list elements.
+    // True nesting (parentheses) still recurses.
+    std::vector<ActionId> Pending;
+    while (true) {
+      if (!Failed && Look.errored()) {
+        fail(format("lexing failed at offset %u", Look.errorPos()));
+        return false;
+      }
+      int32_t ProdIdx =
+          Look.have() ? T.Table[N * T.NumToks + Look.tok()] : -1;
+      if (ProdIdx < 0) {
+        if (T.NtEps[N] < 0) {
+          fail(Look.have()
+                   ? format("parse error at offset %u in '%s'",
+                            Look.lexeme().Begin, T.NtNames[N].c_str())
+                   : format("parse error: unexpected end of input in '%s'",
+                            T.NtNames[N].c_str()));
+          return false;
+        }
+        runEpsChain(T, T.NtEps[N], Actions, Values, Ctx);
+        break;
+      }
+      const TokenTables::Prod &P = T.Prods[ProdIdx];
+      Values.push(Value::token(Look.lexeme()));
+      Look.advance();
+      // Locate the last nonterminal in the tail.
+      size_t LastNt = P.Tail.size();
+      for (size_t I = P.Tail.size(); I-- > 0;)
+        if (P.Tail[I].isNt()) {
+          LastNt = I;
+          break;
+        }
+      if (LastNt == P.Tail.size()) {
+        // Marker-only tail: this production completes N here.
+        for (const Sym &S : P.Tail)
+          Values.apply(Actions.get(static_cast<ActionId>(S.Idx)), Ctx);
+        break;
+      }
+      for (size_t I = 0; I < LastNt; ++I) {
+        const Sym &S = P.Tail[I];
+        if (S.isNt()) {
+          if (!parseNt(S.Idx))
+            return false;
+        } else {
+          Values.apply(Actions.get(static_cast<ActionId>(S.Idx)), Ctx);
+        }
+      }
+      // Markers after the last nonterminal run once it completes.
+      for (size_t I = P.Tail.size(); I-- > LastNt + 1;)
+        Pending.push_back(static_cast<ActionId>(P.Tail[I].Idx));
+      N = P.Tail[LastNt].Idx;
+    }
+    while (!Pending.empty()) {
+      Values.apply(Actions.get(Pending.back()), Ctx);
+      Pending.pop_back();
+    }
+    return true;
+  }
+
+  Result<Value> finish() {
+    if (Failed)
+      return Err(Error);
+    if (Look.errored())
+      return Err(format("lexing failed at offset %u", Look.errorPos()));
+    if (Look.have())
+      return Err(format("parse error: trailing input at offset %u",
+                        Look.lexeme().Begin));
+    if (Values.size() == 1)
+      return Values.pop();
+    ValueList L;
+    while (Values.size())
+      L.insert(L.begin(), Values.pop());
+    return Value::list(std::move(L));
+  }
+
+private:
+  void fail(std::string Msg) {
+    if (!Failed) {
+      Failed = true;
+      Error = std::move(Msg);
+    }
+  }
+
+  const TokenTables &T;
+  const ActionTable &Actions;
+  Lookahead &Look;
+  ParseContext &Ctx;
+  ValueStack Values;
+  bool Failed = false;
+  std::string Error;
+};
+
+/// Lookahead over a pre-materialized token vector.
+class VectorLookahead {
+public:
+  explicit VectorLookahead(const std::vector<Lexeme> &Toks) : Toks(Toks) {}
+  bool have() const { return Pos < Toks.size(); }
+  bool errored() const { return false; }
+  uint32_t errorPos() const { return 0; }
+  TokenId tok() const { return Toks[Pos].Tok; }
+  const Lexeme &lexeme() const { return Toks[Pos]; }
+  void advance() { ++Pos; }
+
+private:
+  const std::vector<Lexeme> &Toks;
+  size_t Pos = 0;
+};
+
+/// Lookahead pulling lexemes from the DFA lexer on demand.
+class PullLookahead {
+public:
+  PullLookahead(const CompiledLexer &Lex, std::string_view Input)
+      : Lex(Lex), Input(Input) {
+    advance0();
+  }
+  bool have() const { return Have; }
+  bool errored() const { return Error; }
+  uint32_t errorPos() const { return Pos; }
+  TokenId tok() const { return Cur.Tok; }
+  const Lexeme &lexeme() const { return Cur; }
+  void advance() { advance0(); }
+
+private:
+  void advance0() {
+    switch (Lex.next(Input, Pos, Cur)) {
+    case LexStatus::Token:
+      Have = true;
+      break;
+    case LexStatus::Eof:
+      Have = false;
+      break;
+    case LexStatus::Error:
+      Have = false;
+      Error = true;
+      break;
+    }
+  }
+
+  const CompiledLexer &Lex;
+  std::string_view Input;
+  uint32_t Pos = 0;
+  Lexeme Cur;
+  bool Have = false, Error = false;
+};
+
+} // namespace
+
+Result<Value> flap::parseRdTokens(const TokenTables &T,
+                                  const ActionTable &Actions,
+                                  const std::vector<Lexeme> &Toks,
+                                  std::string_view Input, void *User) {
+  ParseContext Ctx{Input, User};
+  VectorLookahead Look(Toks);
+  RdEngine<VectorLookahead> E(T, Actions, Look, Ctx);
+  E.parseNt(T.Start);
+  return E.finish();
+}
+
+Result<Value> flap::parseAspTokens(const TokenTables &T,
+                                   const ActionTable &Actions,
+                                   const std::vector<Lexeme> &Toks,
+                                   std::string_view Input, void *User) {
+  ParseContext Ctx{Input, User};
+  ValueStack Values;
+  std::vector<Sym> Stack;
+  Stack.push_back(Sym::nt(T.Start));
+  size_t Pos = 0;
+
+  while (!Stack.empty()) {
+    Sym S = Stack.back();
+    Stack.pop_back();
+    if (!S.isNt()) {
+      Values.apply(Actions.get(static_cast<ActionId>(S.Idx)), Ctx);
+      continue;
+    }
+    NtId N = S.Idx;
+    int32_t ProdIdx =
+        Pos < Toks.size() ? T.Table[N * T.NumToks + Toks[Pos].Tok] : -1;
+    if (ProdIdx >= 0) {
+      const TokenTables::Prod &P = T.Prods[ProdIdx];
+      Values.push(Value::token(Toks[Pos]));
+      ++Pos;
+      for (size_t J = P.Tail.size(); J-- > 0;)
+        Stack.push_back(P.Tail[J]);
+      continue;
+    }
+    if (T.NtEps[N] >= 0) {
+      runEpsChain(T, T.NtEps[N], Actions, Values, Ctx);
+      continue;
+    }
+    if (Pos < Toks.size())
+      return Err(format("parse error at offset %u in '%s'",
+                        Toks[Pos].Begin, T.NtNames[N].c_str()));
+    return Err(format("parse error: unexpected end of input in '%s'",
+                      T.NtNames[N].c_str()));
+  }
+  if (Pos != Toks.size())
+    return Err(format("parse error: trailing tokens at offset %u",
+                      Toks[Pos].Begin));
+  if (Values.size() == 1)
+    return Values.pop();
+  ValueList L;
+  while (Values.size())
+    L.insert(L.begin(), Values.pop());
+  return Value::list(std::move(L));
+}
+
+Result<Value> PartsStreamParser::parse(std::string_view Input,
+                                       void *User) const {
+  ParseContext Ctx{Input, User};
+  PullLookahead Look(Lex, Input);
+  RdEngine<PullLookahead> E(T, *Actions, Look, Ctx);
+  E.parseNt(T.Start);
+  return E.finish();
+}
+
+namespace {
+
+/// Recursive recognizer with the same tail-call elimination as RdEngine.
+bool rdRecognize(const TokenTables &T, const std::vector<Lexeme> &Toks,
+                 size_t &Pos, NtId N) {
+  while (true) {
+    int32_t ProdIdx =
+        Pos < Toks.size() ? T.Table[N * T.NumToks + Toks[Pos].Tok] : -1;
+    if (ProdIdx < 0)
+      return T.NtEps[N] >= 0;
+    const TokenTables::Prod &P = T.Prods[ProdIdx];
+    ++Pos;
+    size_t LastNt = P.Tail.size();
+    for (size_t I = P.Tail.size(); I-- > 0;)
+      if (P.Tail[I].isNt()) {
+        LastNt = I;
+        break;
+      }
+    if (LastNt == P.Tail.size())
+      return true;
+    for (size_t I = 0; I < LastNt; ++I)
+      if (P.Tail[I].isNt() && !rdRecognize(T, Toks, Pos, P.Tail[I].Idx))
+        return false;
+    N = P.Tail[LastNt].Idx;
+  }
+}
+
+} // namespace
+
+bool flap::recognizeRdTokens(const TokenTables &T,
+                             const std::vector<Lexeme> &Toks) {
+  size_t Pos = 0;
+  return rdRecognize(T, Toks, Pos, T.Start) && Pos == Toks.size();
+}
+
+bool flap::recognizeAspTokens(const TokenTables &T,
+                              const std::vector<Lexeme> &Toks) {
+  std::vector<uint32_t> Stack;
+  Stack.push_back(T.Start);
+  size_t Pos = 0;
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    int32_t ProdIdx =
+        Pos < Toks.size() ? T.Table[N * T.NumToks + Toks[Pos].Tok] : -1;
+    if (ProdIdx >= 0) {
+      const TokenTables::Prod &P = T.Prods[ProdIdx];
+      ++Pos;
+      for (size_t J = P.Tail.size(); J-- > 0;)
+        if (P.Tail[J].isNt())
+          Stack.push_back(P.Tail[J].Idx);
+      continue;
+    }
+    if (T.NtEps[N] >= 0)
+      continue;
+    return false;
+  }
+  return Pos == Toks.size();
+}
+
+bool PartsStreamParser::recognize(std::string_view Input) const {
+  // Pull-based recognition: one transient lookahead, explicit stack.
+  std::vector<uint32_t> Stack;
+  Stack.push_back(T.Start);
+  uint32_t Pos = 0;
+  Lexeme Look;
+  LexStatus LS = Lex.next(Input, Pos, Look);
+  if (LS == LexStatus::Error)
+    return false;
+  bool Have = LS == LexStatus::Token;
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    int32_t ProdIdx = Have ? T.Table[N * T.NumToks + Look.Tok] : -1;
+    if (ProdIdx >= 0) {
+      const TokenTables::Prod &P = T.Prods[ProdIdx];
+      LS = Lex.next(Input, Pos, Look);
+      if (LS == LexStatus::Error)
+        return false;
+      Have = LS == LexStatus::Token;
+      for (size_t J = P.Tail.size(); J-- > 0;)
+        if (P.Tail[J].isNt())
+          Stack.push_back(P.Tail[J].Idx);
+      continue;
+    }
+    if (T.NtEps[N] >= 0)
+      continue;
+    return false;
+  }
+  return !Have;
+}

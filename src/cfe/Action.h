@@ -1,0 +1,125 @@
+//===- cfe/Action.h - Semantic action table ---------------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic actions are registered in an ActionTable and referenced by
+/// dense ids from CFE nodes, grammar productions and compiled machines.
+/// An action of arity k pops k values from the engine's value stack and
+/// pushes exactly one result — the "net +1" discipline that lets actions
+/// survive DGNF normalization as ε-marker symbols (see DESIGN.md §3).
+///
+/// Actions may consult a per-parse ParseContext (input text and an opaque
+/// user pointer), which is how grammars like ppm implement semantic
+/// checks without building intermediate structures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CFE_ACTION_H
+#define FLAP_CFE_ACTION_H
+
+#include "cfe/Value.h"
+
+#include <cassert>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// Per-parse environment visible to actions.
+struct ParseContext {
+  std::string_view Input;
+  void *User = nullptr;
+};
+
+/// Index into an ActionTable; NoAction means "no action attached".
+using ActionId = int32_t;
+constexpr ActionId NoAction = -1;
+
+/// Callable of an action: \p Args points at Arity consecutive values
+/// (oldest first) that the engine is about to pop.
+using ActionFn = std::function<Value(ParseContext &Ctx, Value *Args)>;
+
+/// A semantic action with fixed arity.
+struct Action {
+  int Arity = 0;
+  ActionFn Fn;
+  std::string Name; ///< for grammar printers / debugging
+};
+
+/// Registry of actions for one grammar.
+class ActionTable {
+public:
+  ActionId add(int Arity, ActionFn Fn, std::string Name = "act") {
+    assert(Arity >= 0 && "negative action arity");
+    ActionId Id = static_cast<ActionId>(Actions.size());
+    Actions.push_back({Arity, std::move(Fn), std::move(Name)});
+    return Id;
+  }
+
+  /// Arity-0 action producing a fixed value.
+  ActionId addConst(Value V, std::string Name = "const") {
+    return add(
+        0, [V](ParseContext &, Value *) { return V; }, std::move(Name));
+  }
+
+  /// Arity-2 action building a pair (the default `seq` semantics).
+  ActionId addPair() {
+    return add(
+        2,
+        [](ParseContext &, Value *Args) {
+          return Value::pair(std::move(Args[0]), std::move(Args[1]));
+        },
+        "pair");
+  }
+
+  const Action &get(ActionId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Actions.size() &&
+           "action id out of range");
+    return Actions[Id];
+  }
+
+  size_t size() const { return Actions.size(); }
+
+private:
+  std::vector<Action> Actions;
+};
+
+/// A growable value stack shared by all engines. Running an action pops
+/// its arity and pushes its result.
+class ValueStack {
+public:
+  void push(Value V) { Stack.push_back(std::move(V)); }
+
+  Value pop() {
+    assert(!Stack.empty() && "value stack underflow");
+    Value V = std::move(Stack.back());
+    Stack.pop_back();
+    return V;
+  }
+
+  /// Applies \p A in place.
+  void apply(const Action &A, ParseContext &Ctx) {
+    assert(Stack.size() >= static_cast<size_t>(A.Arity) &&
+           "value stack underflow in action");
+    Value *Args = Stack.data() + (Stack.size() - A.Arity);
+    Value R = A.Fn(Ctx, Args);
+    Stack.resize(Stack.size() - A.Arity);
+    Stack.push_back(std::move(R));
+  }
+
+  size_t size() const { return Stack.size(); }
+  void clear() { Stack.clear(); }
+
+private:
+  std::vector<Value> Stack;
+};
+
+} // namespace flap
+
+#endif // FLAP_CFE_ACTION_H

@@ -1,0 +1,54 @@
+//===- cfe/Cfe.cpp - Typed context-free expressions ---------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfe/Cfe.h"
+
+#include "support/StrUtil.h"
+
+#include <set>
+
+using namespace flap;
+
+size_t CfeArena::countReachable(CfeId Root) const {
+  std::set<CfeId> Seen;
+  std::vector<CfeId> Work = {Root};
+  while (!Work.empty()) {
+    CfeId Id = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Id).second)
+      continue;
+    const CfeNode &N = node(Id);
+    if (N.A != NoCfe)
+      Work.push_back(N.A);
+    if (N.B != NoCfe)
+      Work.push_back(N.B);
+  }
+  return Seen.size();
+}
+
+std::string CfeArena::str(CfeId Id, const TokenSet &Toks) const {
+  const CfeNode &N = node(Id);
+  switch (N.K) {
+  case CfeKind::Bot:
+    return "⊥";
+  case CfeKind::Eps:
+    return "ε";
+  case CfeKind::Tok:
+    return Toks.name(N.Tok);
+  case CfeKind::Var:
+    return format("a%u", N.Var);
+  case CfeKind::Seq:
+    return "(" + str(N.A, Toks) + " . " + str(N.B, Toks) + ")";
+  case CfeKind::Alt:
+    return "(" + str(N.A, Toks) + " | " + str(N.B, Toks) + ")";
+  case CfeKind::Fix:
+    return format("(mu a%u. ", N.Var) + str(N.A, Toks) + ")";
+  case CfeKind::Map:
+    return "[map " + str(N.A, Toks) + "]";
+  }
+  return "?";
+}

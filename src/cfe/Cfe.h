@@ -1,0 +1,146 @@
+//===- cfe/Cfe.h - Typed context-free expressions ---------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-free expressions in the syntax of the paper (Fig. 2):
+///
+///   g ::= ε | t | ⊥ | α | g1·g2 | g1∨g2 | μα.g
+///
+/// extended with the two action-bearing forms flap's combinator library
+/// provides (§2.1, §5.5): `map f g` and value-carrying ε. Nodes live in a
+/// CfeArena and are referenced by dense CfeIds. There is deliberately no
+/// hash-consing: the combinator interface "provides no way to express
+/// sharing of subgrammars" (§6, *Sharing*), and Table 1 counts duplicated
+/// nodes, so duplication must be observable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CFE_CFE_H
+#define FLAP_CFE_CFE_H
+
+#include "cfe/Action.h"
+#include "lexer/Token.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flap {
+
+using CfeId = uint32_t;
+constexpr CfeId NoCfe = static_cast<CfeId>(-1);
+
+/// Identity of a μ-bound variable α.
+using VarId = uint32_t;
+
+enum class CfeKind : uint8_t {
+  Bot, ///< ⊥
+  Eps, ///< ε (optionally carrying a constant action)
+  Tok, ///< t
+  Var, ///< α
+  Seq, ///< g1·g2
+  Alt, ///< g1∨g2
+  Fix, ///< μα.g
+  Map  ///< semantic action over a subexpression
+};
+
+/// One CFE node. Operand meaning depends on the kind.
+struct CfeNode {
+  CfeKind K;
+  CfeId A = NoCfe;        ///< first child (Seq/Alt/Fix/Map)
+  CfeId B = NoCfe;        ///< second child (Seq/Alt)
+  TokenId Tok = NoToken;  ///< Tok
+  VarId Var = 0;          ///< Var / Fix
+  ActionId Act = NoAction; ///< Eps (const) / Map (arity 1)
+};
+
+/// Arena of CFE nodes for one grammar.
+class CfeArena {
+public:
+  CfeId bot() { return add({CfeKind::Bot}); }
+
+  /// ε producing the unit value.
+  CfeId eps() { return add({CfeKind::Eps}); }
+
+  /// ε producing the value of arity-0 action \p Act.
+  CfeId eps(ActionId Act) {
+    CfeNode N{CfeKind::Eps};
+    N.Act = Act;
+    return add(N);
+  }
+
+  CfeId tok(TokenId T) {
+    CfeNode N{CfeKind::Tok};
+    N.Tok = T;
+    return add(N);
+  }
+
+  CfeId var(VarId V) {
+    CfeNode N{CfeKind::Var};
+    N.Var = V;
+    return add(N);
+  }
+
+  CfeId seq(CfeId A, CfeId B) {
+    CfeNode N{CfeKind::Seq};
+    N.A = A;
+    N.B = B;
+    return add(N);
+  }
+
+  CfeId alt(CfeId A, CfeId B) {
+    CfeNode N{CfeKind::Alt};
+    N.A = A;
+    N.B = B;
+    return add(N);
+  }
+
+  CfeId fix(VarId V, CfeId Body) {
+    CfeNode N{CfeKind::Fix};
+    N.A = Body;
+    N.Var = V;
+    return add(N);
+  }
+
+  /// `map f g` with \p Act of arity 1.
+  CfeId map(CfeId G, ActionId Act) {
+    CfeNode N{CfeKind::Map};
+    N.A = G;
+    N.Act = Act;
+    return add(N);
+  }
+
+  VarId freshVar() { return NextVar++; }
+
+  const CfeNode &node(CfeId Id) const {
+    assert(Id < Nodes.size() && "CFE id out of range");
+    return Nodes[Id];
+  }
+
+  size_t numNodes() const { return Nodes.size(); }
+
+  /// Number of nodes reachable from \p Root (each shared node counted
+  /// once). This is the "CFEs" column of Table 1.
+  size_t countReachable(CfeId Root) const;
+
+  /// Renders \p Id in the paper's μ-notation.
+  std::string str(CfeId Id, const TokenSet &Toks) const;
+
+private:
+  CfeId add(CfeNode N) {
+    Nodes.push_back(N);
+    return static_cast<CfeId>(Nodes.size() - 1);
+  }
+
+  std::vector<CfeNode> Nodes;
+  VarId NextVar = 0;
+};
+
+} // namespace flap
+
+#endif // FLAP_CFE_CFE_H

@@ -1,0 +1,284 @@
+//===- cfe/Combinators.h - Parser combinator facade -------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing combinator interface of §2.1:
+///
+///   tok : token match        (>>>) : sequence       fix : recursion
+///
+/// plus the action-bearing combinators flap provides in practice (map,
+/// value-carrying ε) and derived forms (star, plus, count, foldr, ...).
+///
+/// Values are routed with a *width* discipline instead of nested pairs: a
+/// parser of width k leaves k values on the value stack; `seq`
+/// concatenates widths and `map` folds all k values with one action. This
+/// avoids materializing a pair per `>>>` — the C++ analogue of flap
+/// generating no allocation beyond user actions. Widths are checked at
+/// construction time (alt branches must agree; recursive parsers have
+/// width 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CFE_COMBINATORS_H
+#define FLAP_CFE_COMBINATORS_H
+
+#include "cfe/Cfe.h"
+#include "cfe/TypeCheck.h"
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+namespace flap {
+
+/// A handle to a CFE under construction: node id plus value width.
+struct Px {
+  CfeId Id = NoCfe;
+  int Width = 1; ///< -1 = polymorphic (⊥ only)
+};
+
+/// Builder that owns the CFE arena and action table for one grammar.
+class Lang {
+public:
+  explicit Lang(TokenSet &Tokens) : Toks(&Tokens) {}
+
+  CfeArena Arena;
+  ActionTable Actions;
+
+  TokenSet &tokens() const { return *Toks; }
+
+  //===--------------------------------------------------------------===//
+  // Core combinators (paper §2.1)
+  //===--------------------------------------------------------------===//
+
+  /// ⊥ — never matches. Width-polymorphic.
+  Px bot() { return {Arena.bot(), -1}; }
+
+  /// ε producing the unit value.
+  Px eps() { return {Arena.eps(), 1}; }
+
+  /// ε producing a fixed value.
+  Px eps(Value V, std::string Name = "const") {
+    return {Arena.eps(Actions.addConst(std::move(V), std::move(Name))), 1};
+  }
+
+  /// Token match; produces the matched Lexeme.
+  Px tok(TokenId T) { return {Arena.tok(T), 1}; }
+  Px tok(const std::string &Name) { return tok(Toks->get(Name)); }
+
+  /// Sequencing: widths add.
+  Px seq(Px A, Px B) {
+    int W = A.Width < 0 || B.Width < 0 ? -1 : A.Width + B.Width;
+    return {Arena.seq(A.Id, B.Id), W};
+  }
+
+  /// Alternation: widths must agree.
+  Px alt(Px A, Px B) {
+    int W = joinWidths(A.Width, B.Width);
+    return {Arena.alt(A.Id, B.Id), W};
+  }
+
+  /// Least fixed point. The recursive parser has width 1 (recursion
+  /// produces a single value), so \p F's body must too.
+  Px fix(const std::function<Px(Px)> &F) {
+    VarId V = Arena.freshVar();
+    Px Var = {Arena.var(V), 1};
+    Px Body = F(Var);
+    assert((Body.Width == 1 || Body.Width == -1) &&
+           "fix body must produce exactly one value");
+    return {Arena.fix(V, Body.Id), 1};
+  }
+
+  /// Semantic action folding all of \p A's values into one. \p F receives
+  /// A.Width arguments.
+  Px map(Px A, ActionFn F, std::string Name = "act") {
+    assert(A.Width >= 0 && "cannot map over ⊥ alone");
+    return {Arena.map(A.Id, Actions.add(A.Width, std::move(F),
+                                        std::move(Name))),
+            1};
+  }
+
+  //===--------------------------------------------------------------===//
+  // Derived forms
+  //===--------------------------------------------------------------===//
+
+  /// Sequences then folds with a binary function (no intermediate pair).
+  Px seqMap(Px A, Px B, ActionFn F, std::string Name = "act2") {
+    return map(seq(A, B), std::move(F), std::move(Name));
+  }
+
+  /// Sequence of several parsers folded by one action.
+  Px all(std::initializer_list<Px> Ps, ActionFn F,
+         std::string Name = "actN") {
+    assert(Ps.size() > 0 && "all() needs at least one parser");
+    auto It = Ps.begin();
+    Px Acc = *It++;
+    for (; It != Ps.end(); ++It)
+      Acc = seq(Acc, *It);
+    return map(Acc, std::move(F), std::move(Name));
+  }
+
+  /// Keeps only the left value of a sequence.
+  Px keepLeft(Px A, Px B) {
+    return seqMap(
+        A, B,
+        [](ParseContext &, Value *Args) { return std::move(Args[0]); },
+        "fst");
+  }
+
+  /// Keeps only the right value of a sequence.
+  Px keepRight(Px A, Px B) {
+    return seqMap(
+        A, B,
+        [](ParseContext &, Value *Args) { return std::move(Args[1]); },
+        "snd");
+  }
+
+  /// Pairs the two values of a sequence (the classical `>>>`).
+  Px pairUp(Px A, Px B) {
+    return seqMap(
+        A, B,
+        [](ParseContext &, Value *Args) {
+          return Value::pair(std::move(Args[0]), std::move(Args[1]));
+        },
+        "pair");
+  }
+
+  /// Right fold: star-many \p P, combining each value with the
+  /// accumulator-so-far as F(elem, acc); empty yields \p Init.
+  /// Requires First(P) disjoint from what follows, as usual for LL(1).
+  Px foldr(Px P, Value Init, ActionFn F, std::string Name = "fold") {
+    assert(P.Width == 1 && "foldr element must have width 1");
+    return fix([&](Px Self) {
+      return alt(map(seq(P, Self), F, Name), eps(Init, "foldInit"));
+    });
+  }
+
+  /// Kleene star producing a list of values.
+  Px star(Px P) {
+    Px Chain = foldr(
+        P, Value::unit(),
+        [](ParseContext &, Value *Args) {
+          return Value::pair(std::move(Args[0]), std::move(Args[1]));
+        },
+        "cons");
+    return map(
+        Chain,
+        [](ParseContext &, Value *Args) {
+          ValueList L;
+          Value Cur = std::move(Args[0]);
+          while (Cur.isPair()) {
+            L.push_back(Cur.asPair().first);
+            Cur = Cur.asPair().second;
+          }
+          return Value::list(std::move(L));
+        },
+        "toList");
+  }
+
+  /// One-or-more, producing a list (the pgn `oneormore` of §6).
+  Px plus(Px P) {
+    return seqMap(
+        P, star(P),
+        [](ParseContext &, Value *Args) {
+          ValueList L;
+          L.push_back(std::move(Args[0]));
+          for (const Value &V : Args[1].asList())
+            L.push_back(V);
+          return Value::list(std::move(L));
+        },
+        "cons1");
+  }
+
+  /// Star that only counts its elements (no list materialization).
+  Px count(Px P) {
+    return foldr(
+        P, Value::integer(0),
+        [](ParseContext &, Value *Args) {
+          return Value::integer(Args[1].asInt() + 1);
+        },
+        "count");
+  }
+
+  /// Star that discards element values and yields unit.
+  Px skipMany(Px P) {
+    return foldr(
+        P, Value::unit(),
+        [](ParseContext &, Value *) { return Value::unit(); }, "skipMany");
+  }
+
+  /// Zero-or-one: the value of \p P, or unit when absent. The usual
+  /// LL(1) caveats apply (the result is nullable).
+  Px opt(Px P) {
+    assert(P.Width == 1 && "opt argument must produce one value");
+    return alt(P, eps());
+  }
+
+  /// Left-associative operator chains without left recursion:
+  /// `operand (op operand)*` folded as Combine(acc, opValue, operand).
+  /// This is the encoding §6 ("Sharing") and §8 (usability) gesture at —
+  /// the operand/op subgrammars are shared, not duplicated.
+  Px chainl1(Px Operand, Px Op,
+             std::function<Value(ParseContext &, Value, Value, Value)>
+                 Combine,
+             std::string Name = "chainl1") {
+    assert(Operand.Width == 1 && Op.Width == 1 &&
+           "chainl1 parts must produce one value each");
+    // rest := ε | op operand rest   (a right-linear chain of steps)
+    Px Rest = fix([&](Px R) {
+      return alt(eps(Value::unit(), Name + "End"),
+                 all({Op, Operand, R},
+                     [](ParseContext &, Value *Args) {
+                       return Value::pair(Value::pair(std::move(Args[0]),
+                                                      std::move(Args[1])),
+                                          std::move(Args[2]));
+                     },
+                     Name + "Step"));
+    });
+    return seqMap(
+        Operand, Rest,
+        [Combine](ParseContext &Ctx, Value *Args) {
+          Value Acc = std::move(Args[0]);
+          const Value *Cur = &Args[1];
+          while (Cur->isPair()) {
+            const ValuePair &Step = Cur->asPair();
+            const ValuePair &OpY = Step.first.asPair();
+            Acc = Combine(Ctx, std::move(Acc), OpY.first, OpY.second);
+            Cur = &Step.second;
+          }
+          return Acc;
+        },
+        Name);
+  }
+
+  /// Discards the value of \p P, yielding unit.
+  Px ignore(Px P) {
+    return map(
+        P, [](ParseContext &, Value *) { return Value::unit(); }, "ignore");
+  }
+
+  /// Type-checks the finished grammar rooted at \p Root.
+  Result<TypeInfo> check(Px Root) const {
+    return typeCheck(Arena, Root.Id, *Toks);
+  }
+
+private:
+  static int joinWidths(int A, int B) {
+    if (A < 0)
+      return B;
+    if (B < 0)
+      return A;
+    assert(A == B && "alternative branches produce different value counts");
+    return A;
+  }
+
+  TokenSet *Toks;
+};
+
+} // namespace flap
+
+#endif // FLAP_CFE_COMBINATORS_H

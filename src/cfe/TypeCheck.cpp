@@ -1,0 +1,198 @@
+//===- cfe/TypeCheck.cpp - K&Y type system (paper Fig. 2) --------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfe/TypeCheck.h"
+
+#include "support/StrUtil.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace flap;
+
+namespace {
+
+class Checker {
+public:
+  Checker(const CfeArena &Arena, const TokenSet &Tokens)
+      : Arena(Arena), Tokens(Tokens), NumTokens(Tokens.size()) {}
+
+  Result<TypeInfo> run(CfeId Root) {
+    Info.NodeTypes.assign(Arena.numNodes(), TpType(NumTokens));
+    Status S = synth(Root);
+    if (!S.ok())
+      return Err(S.error());
+    S = verify(Root, {}, {});
+    if (!S.ok())
+      return Err(S.error());
+    return Info;
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Phase 1: type synthesis (records a type for every node)
+  //===--------------------------------------------------------------===//
+
+  Status synth(CfeId Id) {
+    const CfeNode &N = Arena.node(Id);
+    TpType T(NumTokens);
+    switch (N.K) {
+    case CfeKind::Bot:
+      T = TpType::bot(NumTokens);
+      break;
+    case CfeKind::Eps:
+      T = TpType::eps(NumTokens);
+      break;
+    case CfeKind::Tok:
+      if (N.Tok < 0 || static_cast<size_t>(N.Tok) >= NumTokens)
+        return Err(format("token id %d out of range", N.Tok));
+      T = TpType::tok(NumTokens, N.Tok);
+      break;
+    case CfeKind::Var: {
+      auto It = Env.find(N.Var);
+      if (It == Env.end())
+        return Err(format("unbound variable a%u", N.Var));
+      T = It->second;
+      break;
+    }
+    case CfeKind::Seq: {
+      if (Status S = synth(N.A); !S.ok())
+        return S;
+      if (Status S = synth(N.B); !S.ok())
+        return S;
+      T = TpType::seq(Info.of(N.A), Info.of(N.B));
+      break;
+    }
+    case CfeKind::Alt: {
+      if (Status S = synth(N.A); !S.ok())
+        return S;
+      if (Status S = synth(N.B); !S.ok())
+        return S;
+      T = TpType::alt(Info.of(N.A), Info.of(N.B));
+      break;
+    }
+    case CfeKind::Map: {
+      if (Status S = synth(N.A); !S.ok())
+        return S;
+      T = Info.of(N.A);
+      break;
+    }
+    case CfeKind::Fix: {
+      // Kleene iteration from the bottom type. Each pass re-synthesizes
+      // the body under the current approximation; monotonicity of the
+      // type combinators guarantees convergence to the least fixpoint.
+      auto Saved = Env.find(N.Var) != Env.end()
+                       ? std::optional<TpType>(Env[N.Var])
+                       : std::nullopt;
+      TpType Approx = TpType::bot(NumTokens);
+      while (true) {
+        Env[N.Var] = Approx;
+        if (Status S = synth(N.A); !S.ok()) {
+          restore(N.Var, Saved);
+          return S;
+        }
+        const TpType &Next = Info.of(N.A);
+        if (Next == Approx)
+          break;
+        Approx = Next;
+      }
+      restore(N.Var, Saved);
+      T = Approx;
+      break;
+    }
+    }
+    Info.NodeTypes[Id] = T;
+    return Status::success();
+  }
+
+  void restore(VarId V, const std::optional<TpType> &Saved) {
+    if (Saved)
+      Env[V] = *Saved;
+    else
+      Env.erase(V);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Phase 2: verification of the Γ/Δ discipline and side conditions
+  //===--------------------------------------------------------------===//
+
+  Status verify(CfeId Id, std::set<VarId> Gamma, std::set<VarId> Delta) {
+    const CfeNode &N = Arena.node(Id);
+    switch (N.K) {
+    case CfeKind::Bot:
+    case CfeKind::Eps:
+    case CfeKind::Tok:
+      return Status::success();
+    case CfeKind::Var:
+      // Only Γ grants use: a variable still in Δ has consumed no input
+      // yet on this path, which is exactly (left) recursion without a
+      // guard (Fig. 2, rule for α).
+      if (!Gamma.count(N.Var)) {
+        if (Delta.count(N.Var))
+          return Err(format("variable a%u is used in an unguarded "
+                            "position (left recursion)",
+                            N.Var));
+        return Err(format("unbound variable a%u", N.Var));
+      }
+      return Status::success();
+    case CfeKind::Seq: {
+      if (Status S = verify(N.A, Gamma, Delta); !S.ok())
+        return S;
+      // Γ,Δ; • ⊢ g2 — the left component consumed input, so Δ variables
+      // become usable on the right.
+      std::set<VarId> Gamma2 = Gamma;
+      Gamma2.insert(Delta.begin(), Delta.end());
+      if (Status S = verify(N.B, Gamma2, {}); !S.ok())
+        return S;
+      const TpType &TA = Info.of(N.A), &TB = Info.of(N.B);
+      if (TA.Null)
+        return Err("sequence not separable: left component is nullable "
+                   "(rewrite ε∨g1 · g2 as g2 ∨ (g1·g2))");
+      if (TA.FLast.intersects(TB.First))
+        return Err(format(
+            "sequence not separable: FLast(left) ∩ First(right) = %s",
+            (TA.FLast & TB.First).str(Tokens).c_str()));
+      return Status::success();
+    }
+    case CfeKind::Alt: {
+      if (Status S = verify(N.A, Gamma, Delta); !S.ok())
+        return S;
+      if (Status S = verify(N.B, Gamma, Delta); !S.ok())
+        return S;
+      const TpType &TA = Info.of(N.A), &TB = Info.of(N.B);
+      if (TA.First.intersects(TB.First))
+        return Err(format("alternatives not apart: First sets share %s",
+                          (TA.First & TB.First).str(Tokens).c_str()));
+      if (TA.Null && TB.Null)
+        return Err("alternatives not apart: both sides are nullable");
+      return Status::success();
+    }
+    case CfeKind::Map:
+      return verify(N.A, std::move(Gamma), std::move(Delta));
+    case CfeKind::Fix: {
+      std::set<VarId> Delta2 = std::move(Delta);
+      Delta2.insert(N.Var);
+      return verify(N.A, std::move(Gamma), std::move(Delta2));
+    }
+    }
+    return Status::success();
+  }
+
+  const CfeArena &Arena;
+  const TokenSet &Tokens;
+  size_t NumTokens;
+  std::map<VarId, TpType> Env;
+  TypeInfo Info;
+};
+
+} // namespace
+
+Result<TypeInfo> flap::typeCheck(const CfeArena &Arena, CfeId Root,
+                                 const TokenSet &Tokens) {
+  return Checker(Arena, Tokens).run(Root);
+}

@@ -1,0 +1,51 @@
+//===- cfe/TypeCheck.h - K&Y type system (paper Fig. 2) --------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typing judgment Γ;Δ ⊢ g : τ of Krishnaswami and Yallop (paper
+/// Fig. 2). Checking runs in two phases:
+///
+///  1. *Synthesis*: computes the type of every node. μ-types are inferred
+///     as least fixed points by Kleene iteration from the ⊥ type — the
+///     lattice (2 × P(Σ) × P(Σ)) is finite and all type combinators are
+///     monotone, so iteration terminates.
+///  2. *Verification*: re-walks the expression enforcing the Γ/Δ variable
+///     discipline (which excludes left recursion) and the ⊛ / # side
+///     conditions, producing precise diagnostics.
+///
+/// Theorem 3.3 / 3.7 of the paper: expressions that pass this check
+/// normalize successfully to DGNF. Our tests exercise exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CFE_TYPECHECK_H
+#define FLAP_CFE_TYPECHECK_H
+
+#include "cfe/Cfe.h"
+#include "cfe/Types.h"
+#include "support/Result.h"
+
+#include <vector>
+
+namespace flap {
+
+/// Per-node types produced by a successful check.
+struct TypeInfo {
+  std::vector<TpType> NodeTypes; ///< indexed by CfeId
+
+  const TpType &of(CfeId Id) const { return NodeTypes[Id]; }
+};
+
+/// Type-checks \p Root (which must be closed) against Fig. 2. On success
+/// returns the type of every node; on failure returns a diagnostic that
+/// names the failing side condition and the tokens involved.
+Result<TypeInfo> typeCheck(const CfeArena &Arena, CfeId Root,
+                           const TokenSet &Tokens);
+
+} // namespace flap
+
+#endif // FLAP_CFE_TYPECHECK_H

@@ -1,0 +1,24 @@
+//===- cfe/Types.cpp - Language types ----------------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfe/Types.h"
+
+#include "support/StrUtil.h"
+
+using namespace flap;
+
+std::string TokenBitset::str(const TokenSet &Toks) const {
+  std::vector<std::string> Names;
+  for (TokenId T : members())
+    Names.push_back(Toks.name(T));
+  return "{" + join(Names, ", ") + "}";
+}
+
+std::string TpType::str(const TokenSet &Toks) const {
+  return format("{Null=%s; First=%s; FLast=%s}", Null ? "true" : "false",
+                First.str(Toks).c_str(), FLast.str(Toks).c_str());
+}

@@ -1,0 +1,168 @@
+//===- cfe/Types.h - Language types (Null / First / FLast) -----*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The types of Krishnaswami and Yallop's system (paper Fig. 2):
+///
+///   τ ∈ { Null : 2 ; First : P(Σ) ; FLast : P(Σ) }
+///
+/// together with the type combinators τ1·τ2 and τ1∨τ2 and the side
+/// conditions ⊛ (separability) and # (apartness). First/FLast are sets of
+/// *tokens* (the parser's alphabet), stored as dynamic bitsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CFE_TYPES_H
+#define FLAP_CFE_TYPES_H
+
+#include "lexer/Token.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flap {
+
+/// A set of token ids as a dynamic bitset.
+class TokenBitset {
+public:
+  TokenBitset() = default;
+  explicit TokenBitset(size_t NumTokens)
+      : Words((NumTokens + 63) / 64, 0), Num(NumTokens) {}
+
+  void set(TokenId T) {
+    assert(T >= 0 && static_cast<size_t>(T) < Num && "token out of range");
+    Words[T >> 6] |= 1ULL << (T & 63);
+  }
+  bool test(TokenId T) const {
+    if (T < 0 || static_cast<size_t>(T) >= Num)
+      return false;
+    return (Words[T >> 6] >> (T & 63)) & 1;
+  }
+
+  TokenBitset operator|(const TokenBitset &O) const {
+    assert(Num == O.Num && "mismatched bitset widths");
+    TokenBitset R(Num);
+    for (size_t I = 0; I < Words.size(); ++I)
+      R.Words[I] = Words[I] | O.Words[I];
+    return R;
+  }
+  TokenBitset operator&(const TokenBitset &O) const {
+    assert(Num == O.Num && "mismatched bitset widths");
+    TokenBitset R(Num);
+    for (size_t I = 0; I < Words.size(); ++I)
+      R.Words[I] = Words[I] & O.Words[I];
+    return R;
+  }
+
+  bool intersects(const TokenBitset &O) const {
+    assert(Num == O.Num && "mismatched bitset widths");
+    for (size_t I = 0; I < Words.size(); ++I)
+      if (Words[I] & O.Words[I])
+        return true;
+    return false;
+  }
+
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  bool operator==(const TokenBitset &O) const {
+    return Num == O.Num && Words == O.Words;
+  }
+  bool operator!=(const TokenBitset &O) const { return !(*this == O); }
+
+  size_t numTokens() const { return Num; }
+
+  /// Members in increasing order.
+  std::vector<TokenId> members() const {
+    std::vector<TokenId> Out;
+    for (size_t T = 0; T < Num; ++T)
+      if (test(static_cast<TokenId>(T)))
+        Out.push_back(static_cast<TokenId>(T));
+    return Out;
+  }
+
+  /// Renders as `{a, b, c}` with names from \p Toks.
+  std::string str(const TokenSet &Toks) const;
+
+private:
+  std::vector<uint64_t> Words;
+  size_t Num = 0;
+};
+
+/// A language type (an overapproximation of the language's properties).
+struct TpType {
+  bool Null = false;
+  TokenBitset First;
+  TokenBitset FLast;
+
+  explicit TpType(size_t NumTokens = 0)
+      : First(NumTokens), FLast(NumTokens) {}
+
+  /// τ_ε.
+  static TpType eps(size_t N) {
+    TpType T(N);
+    T.Null = true;
+    return T;
+  }
+  /// τ_t.
+  static TpType tok(size_t N, TokenId Tok) {
+    TpType T(N);
+    T.First.set(Tok);
+    return T;
+  }
+  /// τ_⊥.
+  static TpType bot(size_t N) { return TpType(N); }
+
+  /// τ1 · τ2 (Fig. 2).
+  static TpType seq(const TpType &A, const TpType &B) {
+    TpType T(A.First.numTokens());
+    T.Null = A.Null && B.Null;
+    T.First = A.First;
+    if (A.Null)
+      T.First = T.First | B.First;
+    T.FLast = B.FLast;
+    if (B.Null)
+      T.FLast = T.FLast | B.First | A.FLast;
+    return T;
+  }
+
+  /// τ1 ∨ τ2 (Fig. 2).
+  static TpType alt(const TpType &A, const TpType &B) {
+    TpType T(A.First.numTokens());
+    T.Null = A.Null || B.Null;
+    T.First = A.First | B.First;
+    T.FLast = A.FLast | B.FLast;
+    return T;
+  }
+
+  /// τ1 ⊛ τ2: separable — FLast(τ1) ∩ First(τ2) = ∅ and ¬τ1.Null.
+  static bool separable(const TpType &A, const TpType &B) {
+    return !A.FLast.intersects(B.First) && !A.Null;
+  }
+
+  /// τ1 # τ2: apart — disjoint Firsts and not both nullable.
+  static bool apart(const TpType &A, const TpType &B) {
+    return !A.First.intersects(B.First) && !(A.Null && B.Null);
+  }
+
+  bool operator==(const TpType &O) const {
+    return Null == O.Null && First == O.First && FLast == O.FLast;
+  }
+  bool operator!=(const TpType &O) const { return !(*this == O); }
+
+  std::string str(const TokenSet &Toks) const;
+};
+
+} // namespace flap
+
+#endif // FLAP_CFE_TYPES_H

@@ -1,0 +1,68 @@
+//===- cfe/Value.cpp - Semantic values ---------------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfe/Value.h"
+
+#include "support/StrUtil.h"
+
+using namespace flap;
+
+bool Value::operator==(const Value &O) const {
+  if (V.index() != O.V.index())
+    return false;
+  if (isUnit())
+    return true;
+  if (isBool())
+    return asBool() == O.asBool();
+  if (isInt())
+    return asInt() == O.asInt();
+  if (isReal())
+    return asReal() == O.asReal();
+  if (isToken())
+    return asToken() == O.asToken();
+  if (isString())
+    return asString() == O.asString();
+  if (isPair())
+    return asPair().first == O.asPair().first &&
+           asPair().second == O.asPair().second;
+  if (isList()) {
+    const ValueList &A = asList(), &B = O.asList();
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (A[I] != B[I])
+        return false;
+    return true;
+  }
+  return false;
+}
+
+std::string Value::str() const {
+  if (isUnit())
+    return "()";
+  if (isBool())
+    return asBool() ? "true" : "false";
+  if (isInt())
+    return format("%lld", static_cast<long long>(asInt()));
+  if (isReal())
+    return format("%g", asReal());
+  if (isToken()) {
+    const Lexeme &L = asToken();
+    return format("[tok:%d@%u-%u]", L.Tok, L.Begin, L.End);
+  }
+  if (isString())
+    return "\"" + escapeString(asString()) + "\"";
+  if (isPair())
+    return "(" + asPair().first.str() + " . " + asPair().second.str() + ")";
+  if (isList()) {
+    std::vector<std::string> Parts;
+    for (const Value &E : asList())
+      Parts.push_back(E.str());
+    return "[" + join(Parts, " ") + "]";
+  }
+  return "?";
+}

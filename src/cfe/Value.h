@@ -1,0 +1,127 @@
+//===- cfe/Value.h - Semantic values ----------------------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime semantic values produced by parser actions. flap (§5.5)
+/// "supports semantic actions — i.e. constructing and returning ASTs or
+/// other values when parsing succeeds". All engines in this repository
+/// evaluate actions over this Value type so differential tests can compare
+/// full results, not just accept/reject.
+///
+/// Scalars (unit, bool, int, double, token spans) are unboxed; strings,
+/// pairs and lists are shared immutable heap nodes. This mirrors flap's
+/// claim that the generated parser itself performs no allocation beyond
+/// what user actions insert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CFE_VALUE_H
+#define FLAP_CFE_VALUE_H
+
+#include "lexer/Token.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace flap {
+
+class Value;
+using ValuePair = std::pair<Value, Value>;
+using ValueList = std::vector<Value>;
+
+/// A dynamically-typed semantic value.
+class Value {
+public:
+  Value() : V(std::monostate{}) {}
+
+  static Value unit() { return Value(); }
+  static Value boolean(bool B) { return Value(B); }
+  static Value integer(int64_t I) { return Value(I); }
+  static Value real(double D) { return Value(D); }
+  static Value token(TokenId Tok, uint32_t Begin, uint32_t End) {
+    return Value(Lexeme{Tok, Begin, End});
+  }
+  static Value token(const Lexeme &L) { return Value(L); }
+  static Value string(std::string S) {
+    return Value(std::make_shared<const std::string>(std::move(S)));
+  }
+  static Value pair(Value A, Value B) {
+    return Value(std::make_shared<const ValuePair>(std::move(A),
+                                                   std::move(B)));
+  }
+  static Value list(ValueList L) {
+    return Value(std::make_shared<const ValueList>(std::move(L)));
+  }
+
+  bool isUnit() const { return std::holds_alternative<std::monostate>(V); }
+  bool isBool() const { return std::holds_alternative<bool>(V); }
+  bool isInt() const { return std::holds_alternative<int64_t>(V); }
+  bool isReal() const { return std::holds_alternative<double>(V); }
+  bool isToken() const { return std::holds_alternative<Lexeme>(V); }
+  bool isString() const {
+    return std::holds_alternative<std::shared_ptr<const std::string>>(V);
+  }
+  bool isPair() const {
+    return std::holds_alternative<std::shared_ptr<const ValuePair>>(V);
+  }
+  bool isList() const {
+    return std::holds_alternative<std::shared_ptr<const ValueList>>(V);
+  }
+
+  bool asBool() const {
+    assert(isBool() && "value is not a bool");
+    return std::get<bool>(V);
+  }
+  int64_t asInt() const {
+    assert(isInt() && "value is not an int");
+    return std::get<int64_t>(V);
+  }
+  double asReal() const {
+    assert(isReal() && "value is not a real");
+    return std::get<double>(V);
+  }
+  const Lexeme &asToken() const {
+    assert(isToken() && "value is not a token");
+    return std::get<Lexeme>(V);
+  }
+  const std::string &asString() const {
+    assert(isString() && "value is not a string");
+    return *std::get<std::shared_ptr<const std::string>>(V);
+  }
+  const ValuePair &asPair() const {
+    assert(isPair() && "value is not a pair");
+    return *std::get<std::shared_ptr<const ValuePair>>(V);
+  }
+  const ValueList &asList() const {
+    assert(isList() && "value is not a list");
+    return *std::get<std::shared_ptr<const ValueList>>(V);
+  }
+
+  /// Deep structural equality (for differential tests).
+  bool operator==(const Value &O) const;
+  bool operator!=(const Value &O) const { return !(*this == O); }
+
+  /// Debug rendering, e.g. `(3 . [tok:atom@2-5])`.
+  std::string str() const;
+
+private:
+  template <typename T> explicit Value(T X) : V(std::move(X)) {}
+
+  std::variant<std::monostate, bool, int64_t, double, Lexeme,
+               std::shared_ptr<const std::string>,
+               std::shared_ptr<const ValuePair>,
+               std::shared_ptr<const ValueList>>
+      V;
+};
+
+} // namespace flap
+
+#endif // FLAP_CFE_VALUE_H

@@ -1,0 +1,39 @@
+//===- codegen/CppEmitter.h - Emit the staged parser as C++ ----*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a CompiledParser as a standalone C++ translation unit — the
+/// analogue of the code MetaOCaml generates for flap (§5.5). The output
+/// has the shape of the paper's excerpt: one function per machine state,
+/// character-class `case` arms (ranges, not single bytes), tail calls
+/// between states, and an end-of-input check folded into the scan. The
+/// emitted entry point
+///
+///   extern "C" long <name>_parse(const char *s, size_t len);
+///
+/// is a recognizer returning the number of non-skip lexemes consumed, or
+/// -1 on a parse error. The function count equals
+/// CompiledParser::numStates() — Table 1's "Output Functions".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CODEGEN_CPPEMITTER_H
+#define FLAP_CODEGEN_CPPEMITTER_H
+
+#include "engine/Compile.h"
+
+#include <string>
+
+namespace flap {
+
+/// Emits the complete translation unit. \p Name must be a valid C
+/// identifier prefix.
+std::string emitCpp(const CompiledParser &M, const std::string &Name);
+
+} // namespace flap
+
+#endif // FLAP_CODEGEN_CPPEMITTER_H

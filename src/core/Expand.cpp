@@ -1,0 +1,172 @@
+//===- core/Expand.cpp - Expansion relation (Definition 1) --------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Expand.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace flap;
+
+namespace {
+
+using Word = std::vector<TokenId>;
+using Pending = std::vector<NtId>;
+
+/// Sentential forms at one prefix length, keyed so that forms with longer
+/// pending stacks sort first: ε-steps strictly shrink the stack, so
+/// processing in this order sees each form's full derivation count before
+/// expanding it.
+struct FormKey {
+  Word Prefix;
+  Pending Stack;
+
+  bool operator<(const FormKey &O) const {
+    if (Stack.size() != O.Stack.size())
+      return Stack.size() > O.Stack.size();
+    if (Prefix != O.Prefix)
+      return Prefix < O.Prefix;
+    return Stack < O.Stack;
+  }
+};
+
+Pending tailNts(const Production &P) {
+  Pending Out;
+  for (const Sym &S : P.Tail)
+    if (S.isNt())
+      Out.push_back(S.Idx);
+  return Out;
+}
+
+} // namespace
+
+bool flap::expandWords(const Grammar &G, unsigned MaxLen, WordCounts &Out,
+                       size_t MaxForms) {
+  Out.clear();
+  if (G.Start == NoNt)
+    return true;
+
+  std::vector<std::map<FormKey, uint64_t>> Levels(MaxLen + 2);
+  Levels[0][{{}, {G.Start}}] = 1;
+  size_t Processed = 0;
+
+  for (unsigned L = 0; L <= MaxLen; ++L) {
+    auto &Level = Levels[L];
+    while (!Level.empty()) {
+      if (++Processed > MaxForms)
+        return false;
+      auto It = Level.begin();
+      FormKey Key = It->first;
+      uint64_t Count = It->second;
+      Level.erase(It);
+
+      if (Key.Stack.empty()) {
+        Out[Key.Prefix] += Count;
+        continue;
+      }
+      NtId Head = Key.Stack.front();
+      Pending Rest(Key.Stack.begin() + 1, Key.Stack.end());
+      for (const Production &P : G.Prods[Head]) {
+        if (P.isVar())
+          continue; // internal forms do not expand (Definition 1)
+        if (P.isEps()) {
+          // Same prefix, strictly smaller stack: lands later in this
+          // level's ordering.
+          Levels[L][{Key.Prefix, Rest}] += Count;
+          continue;
+        }
+        if (L + 1 > MaxLen)
+          continue;
+        Word NextPrefix = Key.Prefix;
+        NextPrefix.push_back(P.Tok);
+        Pending NextStack = tailNts(P);
+        NextStack.insert(NextStack.end(), Rest.begin(), Rest.end());
+        Levels[L + 1][{std::move(NextPrefix), std::move(NextStack)}] +=
+            Count;
+      }
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Denotational semantics (§3.4), bounded
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using Lang = std::set<Word>;
+
+class Denoter {
+public:
+  Denoter(const CfeArena &Arena, unsigned MaxLen)
+      : Arena(Arena), MaxLen(MaxLen) {}
+
+  Lang eval(CfeId Id) {
+    const CfeNode &N = Arena.node(Id);
+    switch (N.K) {
+    case CfeKind::Bot:
+      return {};
+    case CfeKind::Eps:
+      return {Word{}};
+    case CfeKind::Tok:
+      return MaxLen >= 1 ? Lang{Word{N.Tok}} : Lang{};
+    case CfeKind::Var: {
+      auto It = Env.find(N.Var);
+      return It == Env.end() ? Lang{} : It->second;
+    }
+    case CfeKind::Map:
+      return eval(N.A);
+    case CfeKind::Seq: {
+      Lang LA = eval(N.A), LB = eval(N.B), Out;
+      for (const Word &A : LA)
+        for (const Word &B : LB) {
+          if (A.size() + B.size() > MaxLen)
+            continue;
+          Word W = A;
+          W.insert(W.end(), B.begin(), B.end());
+          Out.insert(std::move(W));
+        }
+      return Out;
+    }
+    case CfeKind::Alt: {
+      Lang Out = eval(N.A), LB = eval(N.B);
+      Out.insert(LB.begin(), LB.end());
+      return Out;
+    }
+    case CfeKind::Fix: {
+      // fix(f) = ∪ Lᵢ, L₀ = ∅, Lᵢ₊₁ = f(Lᵢ); bounded length makes the
+      // chain finite.
+      Lang Approx;
+      while (true) {
+        Env[N.Var] = Approx;
+        Lang Next = eval(N.A);
+        if (Next == Approx)
+          break;
+        Approx = std::move(Next);
+      }
+      Env.erase(N.Var);
+      return Approx;
+    }
+    }
+    return {};
+  }
+
+private:
+  const CfeArena &Arena;
+  unsigned MaxLen;
+  std::map<VarId, Lang> Env;
+};
+
+} // namespace
+
+std::vector<Word> flap::denotationWords(const CfeArena &Arena, CfeId Root,
+                                        unsigned MaxLen) {
+  Lang L = Denoter(Arena, MaxLen).eval(Root);
+  return std::vector<Word>(L.begin(), L.end());
+}

@@ -1,0 +1,51 @@
+//===- core/Expand.h - Expansion relation (Definition 1) -------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expansion relation G ⊢ n ↝ w of paper Definition 1, implemented as
+/// bounded enumeration: every token word of length ≤ k derivable from a
+/// nonterminal, together with its derivation count. Used by tests for
+///
+///  - Theorem 3.8 (soundness): L(normalize(g)) = ⟦g⟧, compared against a
+///    direct bounded enumeration of the CFE's denotational semantics;
+///  - Theorem 3.1 (deterministic parsing): in DGNF every derivable word
+///    has exactly one derivation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CORE_EXPAND_H
+#define FLAP_CORE_EXPAND_H
+
+#include "cfe/Cfe.h"
+#include "core/Grammar.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace flap {
+
+/// Token words mapped to their number of distinct leftmost derivations.
+using WordCounts = std::map<std::vector<TokenId>, uint64_t>;
+
+/// Enumerates every word of length ≤ \p MaxLen expandable from \p G's
+/// start symbol, with derivation counts. \p MaxForms caps the search
+/// frontier to keep pathological grammars bounded (counts are exact when
+/// the cap is not hit; the return flag reports completeness).
+bool expandWords(const Grammar &G, unsigned MaxLen, WordCounts &Out,
+                 size_t MaxForms = 1u << 20);
+
+/// Enumerates every word of length ≤ \p MaxLen in the denotational
+/// semantics ⟦g⟧ (§3.4) by bounded fixpoint iteration. Words only — the
+/// denotation is a language, not a multiset.
+std::vector<std::vector<TokenId>> denotationWords(const CfeArena &Arena,
+                                                  CfeId Root,
+                                                  unsigned MaxLen);
+
+} // namespace flap
+
+#endif // FLAP_CORE_EXPAND_H

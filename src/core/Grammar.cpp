@@ -1,0 +1,44 @@
+//===- core/Grammar.cpp - Normal-form grammars --------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Grammar.h"
+
+#include "support/StrUtil.h"
+
+using namespace flap;
+
+std::string Grammar::strProduction(const Production &P, const TokenSet &Toks,
+                                   const ActionTable *Actions) const {
+  std::vector<std::string> Parts;
+  switch (P.Head) {
+  case Production::HeadKind::Eps:
+    Parts.push_back("eps");
+    break;
+  case Production::HeadKind::Tok:
+    Parts.push_back(Toks.name(P.Tok));
+    break;
+  case Production::HeadKind::Var:
+    Parts.push_back(format("a%u", P.Var));
+    break;
+  }
+  for (const Sym &S : P.Tail) {
+    if (S.isNt())
+      Parts.push_back(Names[S.Idx]);
+    else if (Actions)
+      Parts.push_back("@" + Actions->get(static_cast<ActionId>(S.Idx)).Name);
+  }
+  return join(Parts, " ");
+}
+
+std::string Grammar::str(const TokenSet &Toks,
+                         const ActionTable *Actions) const {
+  std::vector<std::string> Lines;
+  for (NtId N = 0; N < Prods.size(); ++N)
+    for (const Production &P : Prods[N])
+      Lines.push_back(Names[N] + " -> " + strProduction(P, Toks, Actions));
+  return join(Lines, "\n");
+}

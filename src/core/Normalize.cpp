@@ -1,0 +1,264 @@
+//===- core/Normalize.cpp - CFE → DGNF normalization (Fig. 4) ---------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Normalize.h"
+
+#include "core/Simplify.h"
+#include "support/StrUtil.h"
+
+#include <map>
+
+using namespace flap;
+
+namespace {
+
+bool sameProduction(const Production &A, const Production &B) {
+  if (A.Head != B.Head || A.Tok != B.Tok || A.Var != B.Var ||
+      A.Tail.size() != B.Tail.size())
+    return false;
+  for (size_t I = 0; I < A.Tail.size(); ++I)
+    if (!(A.Tail[I] == B.Tail[I]))
+      return false;
+  return true;
+}
+
+class Normalizer {
+public:
+  Normalizer(const CfeArena &Arena, NormalizeOptions Opts)
+      : Arena(Arena), Opts(Opts) {}
+
+  Result<Grammar> run(const std::vector<CfeId> &Roots,
+                      std::vector<NtId> &StartsOut) {
+    StartsOut.clear();
+    for (CfeId Root : Roots) {
+      Result<NtId> Start = norm(Root);
+      if (!Start)
+        return Err(Start.error());
+      StartsOut.push_back(*Start);
+    }
+    G.Start = StartsOut.empty() ? NoNt : StartsOut.front();
+    if (Opts.TrimUnreachable)
+      return trimUnreachableMulti(G, StartsOut);
+    return std::move(G);
+  }
+
+private:
+  NtId freshNt() { return G.addNt(format("n%u", Counter++)); }
+
+  /// The nonterminal standing for variable α (allocated on first use).
+  NtId ntOfVar(VarId V) {
+    auto It = VarNt.find(V);
+    if (It != VarNt.end())
+      return It->second;
+    NtId N = G.addNt(format("a%u", V));
+    VarNt.emplace(V, N);
+    return N;
+  }
+
+  /// Grammars are production *sets*: inserting an existing production is
+  /// a no-op (rule (alt) and (fix) may merge identical bodies).
+  void addProd(NtId N, Production P) {
+    for (const Production &Q : G.Prods[N])
+      if (sameProduction(Q, P))
+        return;
+    G.Prods[N].push_back(std::move(P));
+  }
+
+  /// Appendix-A collapse: referencing a pure alias `n → α` from a tail is
+  /// replaced by referencing α's nonterminal directly.
+  NtId tailRef(NtId N) {
+    if (!Opts.CollapseVarAliases)
+      return N;
+    const auto &Ps = G.Prods[N];
+    if (Ps.size() == 1 && Ps[0].isVar() && Ps[0].Tail.empty())
+      return ntOfVar(Ps[0].Var);
+    return N;
+  }
+
+  Result<NtId> norm(CfeId Id) {
+    // Shared subexpressions (one arena node reached through several
+    // parents) normalize to one nonterminal. This is not just a size
+    // optimization: a shared μ-node must not be normalized twice, since
+    // both copies would tie their knot through the same variable's
+    // nonterminal and merge their productions (breaking Determinism).
+    auto Hit = Memo.find(Id);
+    if (Hit != Memo.end())
+      return Hit->second;
+    Result<NtId> Out = normUncached(Id);
+    if (Out)
+      Memo.emplace(Id, *Out);
+    return Out;
+  }
+
+  Result<NtId> normUncached(CfeId Id) {
+    const CfeNode &Node = Arena.node(Id);
+    switch (Node.K) {
+    case CfeKind::Bot:
+      // (bot): a start symbol with no productions.
+      return freshNt();
+
+    case CfeKind::Eps: {
+      // (epsilon): n → ε, carrying the constant action as a marker.
+      NtId N = freshNt();
+      std::vector<Sym> Markers;
+      if (Node.Act != NoAction)
+        Markers.push_back(Sym::act(Node.Act));
+      addProd(N, Production::eps(std::move(Markers)));
+      return N;
+    }
+
+    case CfeKind::Tok: {
+      // (token): n → t.
+      NtId N = freshNt();
+      addProd(N, Production::tok(Node.Tok));
+      return N;
+    }
+
+    case CfeKind::Var: {
+      // (var): n → α. Returning α ⇒ ∅ would denote the empty grammar
+      // (§3.1), hence the indirection.
+      NtId N = freshNt();
+      addProd(N, Production::var(Node.Var));
+      return N;
+    }
+
+    case CfeKind::Seq: {
+      // (seq): copy each production of n1, appending n2's start symbol.
+      Result<NtId> N1 = norm(Node.A);
+      if (!N1)
+        return N1;
+      Result<NtId> N2 = norm(Node.B);
+      if (!N2)
+        return N2;
+      NtId N = freshNt();
+      NtId Ref = tailRef(*N2);
+      std::vector<Production> Left = G.Prods[*N1]; // copy; G grows below
+      for (Production P : Left) {
+        // Well-definedness (Theorem 3.3): the left component of a typed
+        // sequence is not nullable, so no ε-production occurs here
+        // (Lemma 3.2) and appending a nonterminal stays in normal form.
+        if (P.isEps())
+          return Err("internal: ε-production on the left of a sequence "
+                     "(expression is not well-typed)");
+        P.Tail.push_back(Sym::nt(Ref));
+        addProd(N, std::move(P));
+      }
+      return N;
+    }
+
+    case CfeKind::Alt: {
+      // (alt): merge the productions of both start symbols.
+      Result<NtId> N1 = norm(Node.A);
+      if (!N1)
+        return N1;
+      Result<NtId> N2 = norm(Node.B);
+      if (!N2)
+        return N2;
+      NtId N = freshNt();
+      for (const Production &P : std::vector<Production>(G.Prods[*N1]))
+        addProd(N, P);
+      for (const Production &P : std::vector<Production>(G.Prods[*N2]))
+        addProd(N, P);
+      return N;
+    }
+
+    case CfeKind::Map: {
+      // Action routing: copy n1's productions with the marker appended.
+      // Markers are ε-symbols, so this is semantics-preserving at the
+      // language level and attaches f at the value level.
+      Result<NtId> N1 = norm(Node.A);
+      if (!N1)
+        return N1;
+      NtId N = freshNt();
+      for (Production P : std::vector<Production>(G.Prods[*N1])) {
+        P.Tail.push_back(Sym::act(Node.Act));
+        addProd(N, std::move(P));
+      }
+      return N;
+    }
+
+    case CfeKind::Fix: {
+      // (fix), the knot-tying case of §3.1.
+      Result<NtId> BodyStart = norm(Node.A);
+      if (!BodyStart)
+        return BodyStart;
+      NtId AN = ntOfVar(Node.Var);
+      std::vector<Production> BodyProds = G.Prods[*BodyStart];
+
+      // Lemma 3.4 (first half): the start symbol's productions cannot
+      // begin with α itself — α was placed in Δ while typing the body.
+      for (const Production &P : BodyProds)
+        if (P.isVar() && P.Var == Node.Var)
+          return Err("internal: fixpoint body starts with its own "
+                     "variable (left recursion; not well-typed)");
+
+      // ① Copy the start symbol's productions onto α.
+      for (const Production &P : BodyProds)
+        addProd(AN, P);
+
+      // ② Substitute productions that *begin* with α: n′ → α n̄′ becomes
+      // n′ → N n̄′ for every production N of the start symbol. α in the
+      // middle of a tail is left alone — it is now a real nonterminal
+      // with productions of its own (step ①).
+      for (NtId M = 0; M < G.Prods.size(); ++M) {
+        std::vector<Production> NewProds;
+        bool Changed = false;
+        for (const Production &P : G.Prods[M]) {
+          if (!(P.isVar() && P.Var == Node.Var)) {
+            NewProds.push_back(P);
+            continue;
+          }
+          Changed = true;
+          for (const Production &BP : BodyProds) {
+            Production Q = BP;
+            if (BP.isEps()) {
+              // An ε body is only substituted into an empty (or
+              // marker-only) continuation — guaranteed by typing
+              // (Theorem 3.3 case for μ).
+              if (P.tailHasNt())
+                return Err("internal: nullable fixpoint spliced before a "
+                           "nonterminal (not well-typed)");
+            }
+            Q.Tail.insert(Q.Tail.end(), P.Tail.begin(), P.Tail.end());
+            NewProds.push_back(std::move(Q));
+          }
+        }
+        if (Changed) {
+          // Re-deduplicate through addProd semantics.
+          G.Prods[M].clear();
+          for (Production &Q : NewProds)
+            addProd(M, std::move(Q));
+        }
+      }
+      return AN;
+    }
+    }
+    return Err("internal: unknown CFE node kind");
+  }
+
+  const CfeArena &Arena;
+  NormalizeOptions Opts;
+  Grammar G;
+  std::map<VarId, NtId> VarNt;
+  std::map<CfeId, NtId> Memo;
+  unsigned Counter = 0;
+};
+
+} // namespace
+
+Result<Grammar> flap::normalize(const CfeArena &Arena, CfeId Root,
+                                NormalizeOptions Opts) {
+  std::vector<NtId> Starts;
+  return Normalizer(Arena, Opts).run({Root}, Starts);
+}
+
+Result<Grammar> flap::normalizeMulti(const CfeArena &Arena,
+                                     const std::vector<CfeId> &Roots,
+                                     std::vector<NtId> &StartsOut,
+                                     NormalizeOptions Opts) {
+  return Normalizer(Arena, Opts).run(Roots, StartsOut);
+}

@@ -1,0 +1,63 @@
+//===- core/Simplify.cpp - Grammar cleanup ------------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Simplify.h"
+
+#include <vector>
+
+using namespace flap;
+
+Grammar flap::trimUnreachable(const Grammar &G) {
+  std::vector<NtId> Starts;
+  if (G.Start != NoNt)
+    Starts.push_back(G.Start);
+  Grammar Out = trimUnreachableMulti(G, Starts);
+  Out.Start = Starts.empty() ? NoNt : Starts.front();
+  return Out;
+}
+
+Grammar flap::trimUnreachableMulti(const Grammar &G,
+                                   std::vector<NtId> &Starts) {
+  std::vector<bool> Reach(G.numNts(), false);
+  std::vector<NtId> Work;
+  auto Visit = [&](NtId N) {
+    if (!Reach[N]) {
+      Reach[N] = true;
+      Work.push_back(N);
+    }
+  };
+  for (NtId S : Starts)
+    Visit(S);
+  while (!Work.empty()) {
+    NtId N = Work.back();
+    Work.pop_back();
+    for (const Production &P : G.Prods[N])
+      for (const Sym &S : P.Tail)
+        if (S.isNt())
+          Visit(S.Idx);
+  }
+
+  std::vector<NtId> Remap(G.numNts(), NoNt);
+  Grammar Out;
+  for (NtId N = 0; N < G.numNts(); ++N)
+    if (Reach[N])
+      Remap[N] = Out.addNt(G.Names[N]);
+  for (NtId N = 0; N < G.numNts(); ++N) {
+    if (!Reach[N])
+      continue;
+    for (Production P : G.Prods[N]) {
+      for (Sym &S : P.Tail)
+        if (S.isNt())
+          S.Idx = Remap[S.Idx];
+      Out.Prods[Remap[N]].push_back(std::move(P));
+    }
+  }
+  Out.Start = G.Start == NoNt ? NoNt : Remap[G.Start];
+  for (NtId &S : Starts)
+    S = Remap[S];
+  return Out;
+}

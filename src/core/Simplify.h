@@ -1,0 +1,37 @@
+//===- core/Simplify.h - Grammar cleanup ------------------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reachability trimming for normalized grammars. Normalization "simply
+/// merges together all the production sets resulting from
+/// sub-expressions", leaving unreachable productions behind; "the
+/// definition here ignores this issue, since it is easy to trim
+/// unreachable productions in the implementation" (§3.1). Table 1 reports
+/// sizes after trimming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CORE_SIMPLIFY_H
+#define FLAP_CORE_SIMPLIFY_H
+
+#include "core/Grammar.h"
+
+#include <vector>
+
+namespace flap {
+
+/// Returns \p G restricted to nonterminals reachable from the start
+/// symbol, with ids renumbered densely.
+Grammar trimUnreachable(const Grammar &G);
+
+/// Multi-entry variant: keeps everything reachable from any nonterminal
+/// in \p Starts and rewrites \p Starts to the new ids.
+Grammar trimUnreachableMulti(const Grammar &G, std::vector<NtId> &Starts);
+
+} // namespace flap
+
+#endif // FLAP_CORE_SIMPLIFY_H

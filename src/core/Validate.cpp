@@ -1,0 +1,128 @@
+//===- core/Validate.cpp - DGNF validation (Definition 2) --------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Validate.h"
+
+#include "support/StrUtil.h"
+
+using namespace flap;
+
+GrammarFacts flap::computeFacts(const Grammar &G, size_t NumTokens) {
+  GrammarFacts F;
+  F.NumTokens = NumTokens;
+  const size_t NN = G.numNts();
+  F.First.assign(NN, std::vector<bool>(NumTokens, false));
+  F.Nullable.assign(NN, false);
+  F.FollowNts.assign(NN, std::vector<bool>(NN, false));
+
+  for (NtId N = 0; N < NN; ++N)
+    for (const Production &P : G.Prods[N]) {
+      if (P.isEps())
+        F.Nullable[N] = true;
+      else if (P.isTok())
+        F.First[N][P.Tok] = true;
+    }
+
+  // FollowNts fixpoint. Two rules (markers skipped throughout):
+  //  (a) within a tail [..., A, B1, B2, ...]: each Bi with a fully
+  //      nullable prefix B1..B(i-1) can immediately follow A;
+  //  (b) if B follows A and A → t [..., L], then B can follow each
+  //      nullable-suffix element of A's tails, and in particular L.
+  bool Changed = true;
+  auto MarkFollow = [&](NtId A, NtId B) {
+    if (!F.FollowNts[A][B]) {
+      F.FollowNts[A][B] = true;
+      Changed = true;
+    }
+  };
+  while (Changed) {
+    Changed = false;
+    for (NtId N = 0; N < NN; ++N)
+      for (const Production &P : G.Prods[N]) {
+        // Rule (a): adjacency inside one tail.
+        std::vector<NtId> Nts;
+        for (const Sym &S : P.Tail)
+          if (S.isNt())
+            Nts.push_back(S.Idx);
+        for (size_t I = 0; I < Nts.size(); ++I)
+          for (size_t J = I + 1; J < Nts.size(); ++J) {
+            MarkFollow(Nts[I], Nts[J]);
+            if (!F.Nullable[Nts[J]])
+              break;
+          }
+        // Rule (b): what follows N follows the nullable suffix of this
+        // tail (expansion splices the tail in front of N's follower).
+        if (Nts.empty())
+          continue;
+        for (NtId B = 0; B < NN; ++B) {
+          if (!F.FollowNts[N][B])
+            continue;
+          for (size_t I = Nts.size(); I-- > 0;) {
+            MarkFollow(Nts[I], B);
+            if (!F.Nullable[Nts[I]])
+              break;
+          }
+        }
+      }
+  }
+  return F;
+}
+
+Status flap::validateDgnf(const Grammar &G, const TokenSet &Tokens) {
+  // Form check: no α-heads; ε tails are marker-only.
+  for (NtId N = 0; N < G.numNts(); ++N)
+    for (const Production &P : G.Prods[N]) {
+      if (P.isVar())
+        return Err(format("production of '%s' starts with internal "
+                          "variable form a%u",
+                          G.Names[N].c_str(), P.Var));
+      if (P.isEps() && P.tailHasNt())
+        return Err(format("ε-production of '%s' has a non-marker tail",
+                          G.Names[N].c_str()));
+    }
+
+  // Determinism: distinct head tokens per nonterminal, and at most one
+  // ε-production.
+  for (NtId N = 0; N < G.numNts(); ++N) {
+    std::vector<bool> SeenTok(Tokens.size(), false);
+    bool SeenEps = false;
+    for (const Production &P : G.Prods[N]) {
+      if (P.isEps()) {
+        if (SeenEps)
+          return Err(format("nonterminal '%s' has two ε-productions",
+                            G.Names[N].c_str()));
+        SeenEps = true;
+        continue;
+      }
+      if (SeenTok[P.Tok])
+        return Err(format(
+            "Determinism violated: '%s' has two productions starting "
+            "with token '%s'",
+            G.Names[N].c_str(), Tokens.name(P.Tok).c_str()));
+      SeenTok[P.Tok] = true;
+    }
+  }
+
+  // Guarded ε-productions.
+  GrammarFacts F = computeFacts(G, Tokens.size());
+  for (NtId N1 = 0; N1 < G.numNts(); ++N1) {
+    if (!F.Nullable[N1])
+      continue;
+    for (NtId N2 = 0; N2 < G.numNts(); ++N2) {
+      if (!F.FollowNts[N1][N2])
+        continue;
+      for (size_t T = 0; T < Tokens.size(); ++T)
+        if (F.First[N1][T] && F.First[N2][T])
+          return Err(format(
+              "Guarded-ε violated: nullable '%s' and its follower '%s' "
+              "both start with token '%s'",
+              G.Names[N1].c_str(), G.Names[N2].c_str(),
+              Tokens.name(static_cast<TokenId>(T)).c_str()));
+    }
+  }
+  return Status::success();
+}

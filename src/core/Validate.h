@@ -1,0 +1,61 @@
+//===- core/Validate.h - DGNF validation (Definition 2) --------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks that a grammar is in Deterministic Greibach Normal Form
+/// (paper Definition 2):
+///
+///  - every production is n → t n̄ or n → ε (no internal α-forms);
+///  - *Determinism*: a nonterminal's token-headed productions all start
+///    with distinct tokens;
+///  - *Guarded ε-productions*: whenever n1 with an ε-production can be
+///    immediately followed by n2 in some expansion, First(n1) and
+///    First(n2) are disjoint.
+///
+/// The follow-adjacency relation is computed as a fixpoint (nullable
+/// symbols are skipped transitively, matching the expansions that erase
+/// them). Theorem 3.7 states normalize() output always passes for closed
+/// well-typed expressions; the test suite checks this on the paper's
+/// examples, all benchmark grammars and randomly generated CFEs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_CORE_VALIDATE_H
+#define FLAP_CORE_VALIDATE_H
+
+#include "core/Grammar.h"
+#include "support/Result.h"
+
+#include <vector>
+
+namespace flap {
+
+/// Grammar-level facts used by validation and by the token-level engines.
+struct GrammarFacts {
+  /// First(n): tokens heading n's productions (trivial in DGNF since
+  /// every non-ε production starts with a terminal).
+  std::vector<std::vector<bool>> First; ///< [Nt][Token]
+  /// Nullable(n): n has an ε-production.
+  std::vector<bool> Nullable;
+  /// FollowNts[n]: nonterminals that can appear immediately after n in
+  /// some expansion from the start symbol.
+  std::vector<std::vector<bool>> FollowNts;
+
+  size_t NumTokens = 0;
+};
+
+/// Computes First/Nullable/FollowNts for a grammar whose productions are
+/// all ε- or token-headed.
+GrammarFacts computeFacts(const Grammar &G, size_t NumTokens);
+
+/// Verifies Definition 2. On failure the message pinpoints the condition
+/// and the nonterminals/tokens involved.
+Status validateDgnf(const Grammar &G, const TokenSet &Tokens);
+
+} // namespace flap
+
+#endif // FLAP_CORE_VALIDATE_H

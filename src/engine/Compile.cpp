@@ -1,0 +1,390 @@
+//===- engine/Compile.cpp - Staged parser compilation (Fig. 10) --------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Compile.h"
+
+#include "regex/Alphabet.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <map>
+
+using namespace flap;
+
+namespace {
+
+/// A machine state: the memoization index of Fig. 10 — the current set of
+/// ⟨regex, continuation⟩ pairs.
+using ItemSet = std::vector<std::pair<RegexId, int32_t>>;
+
+} // namespace
+
+Result<CompiledParser> flap::compileFused(RegexArena &Arena,
+                                          const FusedGrammar &F,
+                                          const ActionTable &Actions,
+                                          size_t MaxStates) {
+  return compileFused(Arena, F, Actions, nullptr, MaxStates);
+}
+
+Result<CompiledParser> flap::compileFused(RegexArena &Arena,
+                                          const FusedGrammar &F,
+                                          const ActionTable &Actions,
+                                          const TokenSet *Tokens,
+                                          size_t MaxStates) {
+  CompiledParser M;
+  M.Start = F.Start;
+  M.Actions = &Actions;
+  bool HaveSkip = F.SkipRe != NoRegex && F.SkipRe != Arena.empty();
+
+  // Continuations: one per fused production, plus one sentinel for the
+  // trailing-skip matcher.
+  std::vector<ItemSet> NtStartItems(F.numNts());
+  for (NtId N = 0; N < F.numNts(); ++N)
+    for (const FusedProd &P : F.Nts[N].Prods) {
+      int32_t ContId = static_cast<int32_t>(M.Conts.size());
+      bool SelfSkip = P.isSkip() && P.Tail.size() == 1 &&
+                      P.Tail[0].isNt() && P.Tail[0].Idx == N;
+      M.Conts.push_back({P.FromTok, P.Tail, SelfSkip});
+      NtStartItems[N].push_back({P.Re, ContId});
+    }
+  int32_t TrailCont = -1;
+  if (HaveSkip) {
+    TrailCont = static_cast<int32_t>(M.Conts.size());
+    M.Conts.push_back({NoToken, {}});
+  }
+
+  // Memoized state generation — "there is at most one generated function
+  // S_{F_n,k} for any particular F_n and k" (§5.4). Transitions are
+  // first computed per *byte* (rows of 256), each state deriving along
+  // its own derivative-class partition (Owens et al.); a compression
+  // pass below folds equivalent bytes into global classes.
+  std::map<ItemSet, int32_t> StateIds;
+  std::vector<ItemSet> States;
+  std::vector<int32_t> Rows; // States.size() * 256
+  bool Overflow = false;
+  auto InternState = [&](ItemSet Items) -> int32_t {
+    auto It = StateIds.find(Items);
+    if (It != StateIds.end())
+      return It->second;
+    if (States.size() >= MaxStates) {
+      Overflow = true;
+      return 0;
+    }
+    int32_t Id = static_cast<int32_t>(States.size());
+    StateIds.emplace(Items, Id);
+    States.push_back(std::move(Items));
+    // Accepting continuation: the unique nullable item. Uniqueness holds
+    // because the regexes of one nonterminal's productions are disjoint
+    // (canonicalized lexer, §4) and items from different nonterminals
+    // never share a state.
+    int32_t Acc = -1;
+    for (const auto &[Re, K] : States[Id]) {
+      if (Arena.nullable(Re)) {
+        assert(Acc < 0 && "fused production regexes overlap");
+        Acc = K;
+      }
+    }
+    M.AcceptCont.push_back(Acc);
+    Rows.resize(States.size() * 256, CompiledParser::Dead);
+    return Id;
+  };
+
+  M.Nts.resize(F.numNts());
+  M.NtNames.resize(F.numNts());
+  M.NtExpected.resize(F.numNts());
+  for (NtId N = 0; N < F.numNts(); ++N) {
+    M.NtNames[N] = F.Nts[N].Name;
+    if (Tokens) {
+      std::string Expected;
+      for (const FusedProd &P : F.Nts[N].Prods) {
+        if (P.isSkip())
+          continue;
+        if (!Expected.empty())
+          Expected += ", ";
+        Expected += Tokens->name(P.FromTok);
+      }
+      M.NtExpected[N] = Expected;
+    }
+    M.Nts[N].StartState = InternState(NtStartItems[N]);
+    if (F.Nts[N].HasEps) {
+      std::vector<ActionId> Chain;
+      for (const Sym &S : F.Nts[N].EpsMarkers) {
+        assert(!S.isNt() && "ε-production tail must be markers only");
+        Chain.push_back(static_cast<ActionId>(S.Idx));
+      }
+      M.Nts[N].EpsChain = static_cast<int32_t>(M.EpsChains.size());
+      M.EpsChains.push_back(std::move(Chain));
+    }
+  }
+  if (HaveSkip)
+    M.SkipState = InternState({{F.SkipRe, TrailCont}});
+
+  // Close the transition table: compute the derivative of every live
+  // item once per derivative class of *this* state. All of this is
+  // "static" work in the staging sense — it never runs during parsing.
+  for (size_t W = 0; W < States.size(); ++W) {
+    ItemSet Cur = States[W]; // copy: States grows below
+    std::vector<CharSet> Parts = {CharSet::all()};
+    for (const auto &[Re, K] : Cur)
+      Parts = refinePartition(Parts, Arena.classes(Re));
+    for (const CharSet &Part : Parts) {
+      unsigned char Rep = Part.first();
+      ItemSet Next;
+      Next.reserve(Cur.size());
+      for (const auto &[Re, K] : Cur) {
+        RegexId D = Arena.derive(Re, Rep);
+        if (D != Arena.empty())
+          Next.push_back({D, K});
+      }
+      int32_t Dst = Next.empty() ? CompiledParser::Dead
+                                 : InternState(std::move(Next));
+      for (auto [Lo, Hi] : Part.ranges())
+        for (int C = Lo; C <= Hi; ++C)
+          Rows[W * 256 + C] = Dst;
+    }
+    if (Overflow)
+      return Err(format("staged parser exceeds %zu states", MaxStates));
+  }
+
+  // Character-class compression (§5.5): bytes with identical columns
+  // across every state form one class.
+  std::map<std::vector<int32_t>, int> ColumnIds;
+  const size_t NumStates = States.size();
+  for (int C = 0; C < 256; ++C) {
+    std::vector<int32_t> Col(NumStates);
+    for (size_t S = 0; S < NumStates; ++S)
+      Col[S] = Rows[S * 256 + C];
+    auto It =
+        ColumnIds.emplace(std::move(Col), static_cast<int>(ColumnIds.size()))
+            .first;
+    M.ClsMap[C] = static_cast<uint8_t>(It->second);
+  }
+  M.NumCls = static_cast<int>(ColumnIds.size());
+  M.Trans.assign(NumStates * M.NumCls, CompiledParser::Dead);
+  for (const auto &[Col, Cls] : ColumnIds)
+    for (size_t S = 0; S < NumStates; ++S)
+      M.Trans[S * M.NumCls + Cls] = Col[S];
+
+  // The byte-indexed hot-loop table (int16: the MaxStates bound keeps
+  // state ids within range).
+  static_assert((1u << 15) - 1 >= (1u << 14), "int16 state space");
+  M.Trans16.assign(NumStates * 256, static_cast<int16_t>(-1));
+  for (size_t S = 0; S < NumStates; ++S)
+    for (int C = 0; C < 256; ++C)
+      M.Trans16[S * 256 + C] = static_cast<int16_t>(Rows[S * 256 + C]);
+  if (NumStates <= 255) {
+    M.Trans8.assign(NumStates * 256, CompiledParser::Dead8);
+    for (size_t S = 0; S < NumStates; ++S)
+      for (int C = 0; C < 256; ++C) {
+        int32_t D = Rows[S * 256 + C];
+        if (D >= 0)
+          M.Trans8[S * 256 + C] = static_cast<uint8_t>(D);
+      }
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// The residual machine (the generated code of Fig. 10)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ScanResult {
+  int32_t Best;
+  size_t BestEnd;
+};
+
+/// The per-nonterminal longest-match scan over the uint8 table.
+inline ScanResult scan8(const uint8_t *T, const int32_t *Acc, int32_t Start,
+                        const char *S, size_t Pos, size_t Len) {
+  uint32_t Cur = static_cast<uint32_t>(Start);
+  int32_t Best = -1;
+  size_t BestEnd = Pos, I = Pos;
+  while (I < Len) {
+    uint8_t Next = T[Cur * 256 + static_cast<unsigned char>(S[I])];
+    if (Next == CompiledParser::Dead8)
+      break;
+    Cur = Next;
+    ++I;
+    int32_t A = Acc[Cur];
+    if (A >= 0) {
+      Best = A;
+      BestEnd = I;
+    }
+  }
+  return {Best, BestEnd};
+}
+
+/// Fallback for machines with more than 255 states.
+inline ScanResult scan16(const int16_t *T, const int32_t *Acc, int32_t Start,
+                         const char *S, size_t Pos, size_t Len) {
+  int32_t Cur = Start;
+  int32_t Best = -1;
+  size_t BestEnd = Pos, I = Pos;
+  while (I < Len) {
+    int32_t Next = T[Cur * 256 + static_cast<unsigned char>(S[I])];
+    if (Next < 0)
+      break;
+    Cur = Next;
+    ++I;
+    int32_t A = Acc[Cur];
+    if (A >= 0) {
+      Best = A;
+      BestEnd = I;
+    }
+  }
+  return {Best, BestEnd};
+}
+
+} // namespace
+
+size_t CompiledParser::matchTrailingSkip(std::string_view Input,
+                                         size_t Pos) const {
+  if (SkipState < 0)
+    return Pos;
+  const size_t Len = Input.size();
+  const bool Small = !Trans8.empty();
+  while (Pos < Len) {
+    ScanResult R = Small ? scan8(Trans8.data(), AcceptCont.data(),
+                                 SkipState, Input.data(), Pos, Len)
+                         : scan16(Trans16.data(), AcceptCont.data(),
+                                  SkipState, Input.data(), Pos, Len);
+    if (R.Best < 0 || R.BestEnd == Pos)
+      break;
+    Pos = R.BestEnd;
+  }
+  return Pos;
+}
+
+Result<Value> CompiledParser::parseFrom(NtId StartNt,
+                                        std::string_view Input,
+                                        void *User) const {
+  assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  ParseContext Ctx{Input, User};
+  ValueStack Values;
+  std::vector<Sym> Stack;
+  Stack.push_back(Sym::nt(StartNt));
+  size_t Pos = 0;
+  const size_t Len = Input.size();
+  const bool Small = !Trans8.empty();
+  const uint8_t *T8 = Trans8.data();
+  const int16_t *T16 = Trans16.data();
+  const int32_t *Acc = AcceptCont.data();
+
+  while (!Stack.empty()) {
+    Sym S = Stack.back();
+    Stack.pop_back();
+    if (!S.isNt()) {
+      Values.apply(Actions->get(static_cast<ActionId>(S.Idx)), Ctx);
+      continue;
+    }
+    const NtInfo &Info = Nts[S.Idx];
+
+    // The residual loop: branch on characters only. Skip lexemes rescan
+    // the same nonterminal in place.
+    int32_t Best;
+    size_t BestEnd;
+    while (true) {
+      ScanResult R = Small
+                         ? scan8(T8, Acc, Info.StartState, Input.data(),
+                                 Pos, Len)
+                         : scan16(T16, Acc, Info.StartState, Input.data(),
+                                  Pos, Len);
+      Best = R.Best;
+      BestEnd = R.BestEnd;
+      if (Best >= 0 && Conts[Best].SelfSkip) {
+        Pos = BestEnd;
+        continue;
+      }
+      break;
+    }
+
+    if (Best >= 0) {
+      const Cont &K = Conts[Best];
+      if (K.PushTok != NoToken)
+        Values.push(Value::token(K.PushTok, static_cast<uint32_t>(Pos),
+                                 static_cast<uint32_t>(BestEnd)));
+      Pos = BestEnd;
+      for (size_t J = K.Tail.size(); J-- > 0;)
+        Stack.push_back(K.Tail[J]);
+      continue;
+    }
+    if (Info.EpsChain >= 0) {
+      const std::vector<ActionId> &Chain = EpsChains[Info.EpsChain];
+      if (Chain.empty()) {
+        Values.push(Value::unit());
+      } else {
+        for (ActionId A : Chain)
+          Values.apply(Actions->get(A), Ctx);
+      }
+      continue;
+    }
+    if (!NtExpected[S.Idx].empty())
+      return Err(format("parse error at offset %zu: expected %s%s",
+                        Pos, NtExpected[S.Idx].c_str(),
+                        Nts[S.Idx].EpsChain >= 0 ? " (or nothing)" : ""));
+    return Err(format("parse error at offset %zu in '%s'", Pos,
+                      NtNames[S.Idx].c_str()));
+  }
+
+  Pos = matchTrailingSkip(Input, Pos);
+  if (Pos != Len)
+    return Err(format("parse error: trailing input at offset %zu", Pos));
+
+  if (Values.size() == 1)
+    return Values.pop();
+  ValueList L;
+  while (Values.size())
+    L.insert(L.begin(), Values.pop());
+  return Value::list(std::move(L));
+}
+
+bool CompiledParser::recognize(std::string_view Input) const {
+  std::vector<uint32_t> Stack; // nonterminal ids only; markers skipped
+  Stack.push_back(Start);
+  size_t Pos = 0;
+  const size_t Len = Input.size();
+  const bool Small = !Trans8.empty();
+  const uint8_t *T8 = Trans8.data();
+  const int16_t *T16 = Trans16.data();
+  const int32_t *Acc = AcceptCont.data();
+
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    const NtInfo &Info = Nts[N];
+    int32_t Best;
+    size_t BestEnd;
+    while (true) {
+      ScanResult R = Small
+                         ? scan8(T8, Acc, Info.StartState, Input.data(),
+                                 Pos, Len)
+                         : scan16(T16, Acc, Info.StartState, Input.data(),
+                                  Pos, Len);
+      Best = R.Best;
+      BestEnd = R.BestEnd;
+      if (Best >= 0 && Conts[Best].SelfSkip) {
+        Pos = BestEnd;
+        continue;
+      }
+      break;
+    }
+    if (Best >= 0) {
+      const Cont &K = Conts[Best];
+      Pos = BestEnd;
+      for (size_t J = K.Tail.size(); J-- > 0;)
+        if (K.Tail[J].isNt())
+          Stack.push_back(K.Tail[J].Idx);
+      continue;
+    }
+    if (Info.EpsChain >= 0)
+      continue;
+    return false;
+  }
+  return matchTrailingSkip(Input, Pos) == Len;
+}

@@ -1,0 +1,138 @@
+//===- engine/Compile.h - Staged parser compilation (Fig. 10) --*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged parsing algorithm (paper §5.4, Fig. 10), realized as
+/// run-time specialization to a flat machine. Each indexed function
+/// S_{F_n,k} of the paper — identified by its set of ⟨regex-derivative,
+/// continuation⟩ pairs — becomes one machine *state*, memoized exactly
+/// like flap memoizes generated functions. All grammar-dependent
+/// computation (derivatives, nullability, emptiness, character classes)
+/// happens here, at compile time; the residual parse loop branches only
+/// on input characters through a dense class-compressed transition table,
+/// with no token materialization, no indirect calls and no allocation
+/// outside semantic actions.
+///
+/// The same tables drive the C++ source emitter (src/codegen), whose
+/// output mirrors the §5.5 generated-code excerpt; the state count is the
+/// "Output Functions" column of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_ENGINE_COMPILE_H
+#define FLAP_ENGINE_COMPILE_H
+
+#include "cfe/Action.h"
+#include "core/Fuse.h"
+#include "support/Result.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// A fully staged, token-free parser.
+class CompiledParser {
+public:
+  /// A continuation selected by a completed match: optionally push the
+  /// matched span as a token value, then parse Tail.
+  struct Cont {
+    TokenId PushTok = NoToken; ///< NoToken: skip production, push nothing
+    std::vector<Sym> Tail;
+    /// F2 whitespace production n → r_skip n: the machine re-scans the
+    /// same nonterminal in place instead of a stack round-trip (the
+    /// generated code's direct tail call, §5.5).
+    bool SelfSkip = false;
+  };
+
+  /// Runs the parser, evaluating semantic actions. Absorbs trailing skip
+  /// input; fails unless the entire input is consumed.
+  Result<Value> parse(std::string_view Input, void *User = nullptr) const {
+    return parseFrom(Start, Input, User);
+  }
+
+  /// Parses starting from an arbitrary nonterminal — the machine is one
+  /// table set shared by every entry point (paper §8).
+  Result<Value> parseFrom(NtId StartNt, std::string_view Input,
+                          void *User = nullptr) const;
+
+  /// Recognition only: no values, no actions. Used by the ablation bench
+  /// to price the value machinery.
+  bool recognize(std::string_view Input) const;
+
+  /// Number of machine states = generated functions (Table 1, "Output
+  /// Functions").
+  int numStates() const { return static_cast<int>(AcceptCont.size()); }
+  int numClasses() const { return NumCls; }
+
+  //===--------------------------------------------------------------===//
+  // Tables (public: read by the code generator and by tests)
+  //===--------------------------------------------------------------===//
+
+  uint8_t ClsMap[256] = {0};
+  int NumCls = 1;
+  /// [State*NumCls + Cls] → next state, or Dead (-1). The canonical
+  /// class-compressed table, used by the code generator and tests.
+  std::vector<int32_t> Trans;
+  /// [State*256 + Byte] → next state (int16, Dead16 = -1): the hot-loop
+  /// table. One dependent load per input byte — the table analogue of
+  /// the generated code's direct branching.
+  std::vector<int16_t> Trans16;
+  /// Compact variant used when the machine has at most 255 states
+  /// (every benchmark grammar): fits L1, sentinel Dead8 = 0xff.
+  std::vector<uint8_t> Trans8;
+  static constexpr uint8_t Dead8 = 0xff;
+  /// [State] → continuation selected when this state is reached with the
+  /// longest match so far, or -1.
+  std::vector<int32_t> AcceptCont;
+  std::vector<Cont> Conts;
+
+  struct NtInfo {
+    int32_t StartState = -1;
+    /// Index into EpsChains when the nonterminal has an ε/lookahead
+    /// fallback (`back` continuation), else -1 (`no` → parse error).
+    int32_t EpsChain = -1;
+  };
+  std::vector<NtInfo> Nts;
+  std::vector<std::string> NtNames; ///< diagnostics only (cold)
+  /// Per nonterminal: human-readable expected-token list, e.g.
+  /// "rpar, atom" — derived from the fused productions' provenance and
+  /// used in parse error messages.
+  std::vector<std::string> NtExpected;
+  std::vector<std::vector<ActionId>> EpsChains;
+
+  /// Start state of the skip-only matcher (trailing whitespace), or -1.
+  int32_t SkipState = -1;
+  NtId Start = NoNt;
+  const ActionTable *Actions = nullptr;
+
+  static constexpr int32_t Dead = -1;
+
+private:
+  size_t matchTrailingSkip(std::string_view Input, size_t Pos) const;
+};
+
+/// Stages the fused grammar into a CompiledParser. \p MaxStates bounds
+/// specialization (generation is memoized and guaranteed to terminate,
+/// but a bound keeps adversarial grammars polite).
+Result<CompiledParser> compileFused(RegexArena &Arena,
+                                    const FusedGrammar &F,
+                                    const ActionTable &Actions,
+                                    size_t MaxStates = 1u << 14);
+
+/// Overload that also precomputes expected-token diagnostics from the
+/// token registry.
+Result<CompiledParser> compileFused(RegexArena &Arena,
+                                    const FusedGrammar &F,
+                                    const ActionTable &Actions,
+                                    const TokenSet *Tokens,
+                                    size_t MaxStates = 1u << 14);
+
+} // namespace flap
+
+#endif // FLAP_ENGINE_COMPILE_H

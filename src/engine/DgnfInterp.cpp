@@ -1,0 +1,69 @@
+//===- engine/DgnfInterp.cpp - DGNF token parsing (Fig. 8) --------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/DgnfInterp.h"
+
+#include "support/StrUtil.h"
+
+using namespace flap;
+
+Result<Value> flap::parseDgnf(const Grammar &G, const ActionTable &Actions,
+                              const std::vector<Lexeme> &Toks,
+                              std::string_view Input, void *User) {
+  ParseContext Ctx{Input, User};
+  ValueStack Values;
+  // The Fig. 8 recursion P/Q is run with an explicit symbol stack: Q's
+  // nonterminal sequence becomes stack content, P is the per-symbol step.
+  std::vector<Sym> Stack;
+  Stack.push_back(Sym::nt(G.Start));
+  size_t Pos = 0;
+
+  while (!Stack.empty()) {
+    Sym S = Stack.back();
+    Stack.pop_back();
+    if (!S.isNt()) {
+      Values.apply(Actions.get(static_cast<ActionId>(S.Idx)), Ctx);
+      continue;
+    }
+    NtId N = S.Idx;
+
+    // P(n, t::ts): select the unique production headed by the lookahead.
+    const Production *P =
+        Pos < Toks.size() ? G.tokProd(N, Toks[Pos].Tok) : nullptr;
+    if (P) {
+      Values.push(Value::token(Toks[Pos]));
+      ++Pos;
+      for (size_t I = P->Tail.size(); I-- > 0;)
+        Stack.push_back(P->Tail[I]);
+      continue;
+    }
+    // Otherwise the ε-production, if any, succeeds without consuming.
+    if (const Production *E = G.epsProd(N)) {
+      if (E->Tail.empty()) {
+        Values.push(Value::unit());
+      } else {
+        for (const Sym &M : E->Tail)
+          Values.apply(Actions.get(static_cast<ActionId>(M.Idx)), Ctx);
+      }
+      continue;
+    }
+    if (Pos < Toks.size())
+      return Err(format("parse error: unexpected token %d at offset %u",
+                        Toks[Pos].Tok, Toks[Pos].Begin));
+    return Err("parse error: unexpected end of input");
+  }
+
+  if (Pos != Toks.size())
+    return Err(format("parse error: trailing tokens from offset %u",
+                      Toks[Pos].Begin));
+  if (Values.size() == 1)
+    return Values.pop();
+  ValueList L;
+  while (Values.size())
+    L.insert(L.begin(), Values.pop());
+  return Value::list(std::move(L));
+}

@@ -1,0 +1,39 @@
+//===- engine/DgnfInterp.h - DGNF token parsing (Fig. 8) -------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parsing algorithm for DGNF grammars (paper Fig. 8): P parses one
+/// nonterminal against the head token, Q folds a nonterminal sequence
+/// over the stream. Deterministic by construction — no backtracking.
+/// This is the executable specification for the token-level engines; it
+/// also evaluates semantic actions (markers in production tails).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_ENGINE_DGNFINTERP_H
+#define FLAP_ENGINE_DGNFINTERP_H
+
+#include "cfe/Action.h"
+#include "core/Grammar.h"
+#include "support/Result.h"
+
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// Parses the token sequence \p Toks (spans into \p Input) against \p G.
+/// Succeeds only when the whole sequence is consumed; returns the final
+/// semantic value (the root's single value, or a list when the root
+/// leaves several).
+Result<Value> parseDgnf(const Grammar &G, const ActionTable &Actions,
+                        const std::vector<Lexeme> &Toks,
+                        std::string_view Input, void *User = nullptr);
+
+} // namespace flap
+
+#endif // FLAP_ENGINE_DGNFINTERP_H

@@ -1,0 +1,139 @@
+//===- engine/Unfused.cpp - Normalized-but-unfused engine --------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Unfused.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace flap;
+
+UnfusedParser::UnfusedParser(RegexArena &Arena, const CanonicalLexer &Lexer,
+                             const Grammar &G, const ActionTable &Actions,
+                             size_t NumTokens)
+    : Lex(Arena, Lexer), NumToks(NumTokens), Start(G.Start),
+      Actions(&Actions) {
+  Table.assign(G.numNts() * NumToks, -1);
+  NtEps.assign(G.numNts(), -1);
+  NtNames = G.Names;
+  for (NtId N = 0; N < G.numNts(); ++N)
+    for (const Production &P : G.Prods[N]) {
+      if (P.isEps()) {
+        std::vector<ActionId> Chain;
+        for (const Sym &S : P.Tail) {
+          assert(!S.isNt() && "ε-production tail must be markers only");
+          Chain.push_back(static_cast<ActionId>(S.Idx));
+        }
+        NtEps[N] = static_cast<int32_t>(EpsChains.size());
+        EpsChains.push_back(std::move(Chain));
+        continue;
+      }
+      assert(P.isTok() && "grammar not in DGNF");
+      assert(Table[N * NumToks + P.Tok] < 0 && "DGNF determinism violated");
+      Table[N * NumToks + P.Tok] = static_cast<int32_t>(Prods.size());
+      Prods.push_back({P.Tok, P.Tail});
+    }
+}
+
+Result<Value> UnfusedParser::parse(std::string_view Input,
+                                   void *User) const {
+  ParseContext Ctx{Input, User};
+  ValueStack Values;
+  std::vector<Sym> Stack;
+  Stack.push_back(Sym::nt(Start));
+
+  // Pull-based token stream: exactly one materialized lookahead lexeme
+  // at any time (the paper's single token of lookahead).
+  uint32_t Pos = 0;
+  Lexeme Look;
+  bool HaveLook = false;
+  LexStatus LS = Lex.next(Input, Pos, Look);
+  if (LS == LexStatus::Error)
+    return Err(format("lexing failed at offset %u", Pos));
+  HaveLook = LS == LexStatus::Token;
+
+  while (!Stack.empty()) {
+    Sym S = Stack.back();
+    Stack.pop_back();
+    if (!S.isNt()) {
+      Values.apply(Actions->get(static_cast<ActionId>(S.Idx)), Ctx);
+      continue;
+    }
+    NtId N = S.Idx;
+    int32_t ProdIdx =
+        HaveLook ? Table[N * NumToks + Look.Tok] : -1;
+    if (ProdIdx >= 0) {
+      const Prod &P = Prods[ProdIdx];
+      Values.push(Value::token(Look));
+      LS = Lex.next(Input, Pos, Look);
+      if (LS == LexStatus::Error)
+        return Err(format("lexing failed at offset %u", Pos));
+      HaveLook = LS == LexStatus::Token;
+      for (size_t J = P.Tail.size(); J-- > 0;)
+        Stack.push_back(P.Tail[J]);
+      continue;
+    }
+    if (NtEps[N] >= 0) {
+      const std::vector<ActionId> &Chain = EpsChains[NtEps[N]];
+      if (Chain.empty()) {
+        Values.push(Value::unit());
+      } else {
+        for (ActionId A : Chain)
+          Values.apply(Actions->get(A), Ctx);
+      }
+      continue;
+    }
+    if (HaveLook)
+      return Err(format("parse error at offset %u in '%s'", Look.Begin,
+                        NtNames[N].c_str()));
+    return Err(format("parse error: unexpected end of input in '%s'",
+                      NtNames[N].c_str()));
+  }
+
+  if (HaveLook)
+    return Err(format("parse error: trailing input at offset %u",
+                      Look.Begin));
+  if (Values.size() == 1)
+    return Values.pop();
+  ValueList L;
+  while (Values.size())
+    L.insert(L.begin(), Values.pop());
+  return Value::list(std::move(L));
+}
+
+bool UnfusedParser::recognize(std::string_view Input) const {
+  std::vector<uint32_t> Stack;
+  Stack.push_back(Start);
+  uint32_t Pos = 0;
+  Lexeme Look;
+  LexStatus LS = Lex.next(Input, Pos, Look);
+  if (LS == LexStatus::Error)
+    return false;
+  bool HaveLook = LS == LexStatus::Token;
+
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    int32_t ProdIdx = HaveLook ? Table[N * NumToks + Look.Tok] : -1;
+    if (ProdIdx >= 0) {
+      const Prod &P = Prods[ProdIdx];
+      LS = Lex.next(Input, Pos, Look);
+      if (LS == LexStatus::Error)
+        return false;
+      HaveLook = LS == LexStatus::Token;
+      for (size_t J = P.Tail.size(); J-- > 0;)
+        if (P.Tail[J].isNt())
+          Stack.push_back(P.Tail[J].Idx);
+      continue;
+    }
+    if (NtEps[N] >= 0)
+      continue;
+    return false;
+  }
+  return !HaveLook;
+}

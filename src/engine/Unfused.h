@@ -1,0 +1,64 @@
+//===- engine/Unfused.h - Normalized-but-unfused engine --------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation (g) of the paper's evaluation (§6): "grammars used for
+/// parsing are normalized by flap and lexers are implemented using flap,
+/// but parsers and lexers are connected via a stream rather than fused
+/// together". Concretely: a pull-based DFA lexer produces one lexeme at a
+/// time, and a DGNF dispatch-table machine branches on its token id. The
+/// gap between this engine and CompiledParser is precisely the cost of
+/// the token-stream interface — the quantity flap eliminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_ENGINE_UNFUSED_H
+#define FLAP_ENGINE_UNFUSED_H
+
+#include "cfe/Action.h"
+#include "core/Grammar.h"
+#include "lexer/CompiledLexer.h"
+#include "support/Result.h"
+
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// Token-stream engine over a flap-normalized DGNF grammar.
+class UnfusedParser {
+public:
+  UnfusedParser(RegexArena &Arena, const CanonicalLexer &Lexer,
+                const Grammar &G, const ActionTable &Actions,
+                size_t NumTokens);
+
+  Result<Value> parse(std::string_view Input, void *User = nullptr) const;
+
+  /// Recognition only (no values/actions), for the recognition-mode
+  /// benchmark panel.
+  bool recognize(std::string_view Input) const;
+
+private:
+  struct Prod {
+    TokenId Head;
+    std::vector<Sym> Tail;
+  };
+
+  CompiledLexer Lex;
+  size_t NumToks;
+  std::vector<int32_t> Table; ///< [nt*NumToks + tok] → prod index or -1
+  std::vector<Prod> Prods;
+  std::vector<int32_t> NtEps; ///< [nt] → ε-chain index or -1
+  std::vector<std::vector<ActionId>> EpsChains;
+  std::vector<std::string> NtNames;
+  NtId Start;
+  const ActionTable *Actions;
+};
+
+} // namespace flap
+
+#endif // FLAP_ENGINE_UNFUSED_H

@@ -1,0 +1,256 @@
+//===- grammars/Arith.cpp - Mini-language grammar ------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The §6 benchmark (6) mini language: arithmetic, comparison, let
+/// binding and branching. Terms are semicolon-terminated; the semantic
+/// value is the sum of the evaluated terms. Parsing builds a small AST
+/// out of Values (tagged pairs) and each term's root action evaluates it
+/// — "parse and evaluate".
+///
+/// Keyword/identifier overlap is resolved by lexer canonicalization
+/// (§4): the id rule is automatically cut by ¬(let|in|if|then|else).
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammars/Grammars.h"
+
+#include <string>
+#include <vector>
+
+using namespace flap;
+
+namespace {
+
+// AST encoding: node = pair(tag, payload).
+constexpr int64_t TagNum = 0, TagVar = 1, TagBin = 2, TagLet = 3,
+                  TagIf = 4;
+
+Value mkNode(int64_t Tag, Value Payload) {
+  return Value::pair(Value::integer(Tag), std::move(Payload));
+}
+
+// Binary operator codes.
+constexpr int64_t OpAdd = 0, OpSub = 1, OpMul = 2, OpDiv = 3, OpLt = 4,
+                  OpGt = 5, OpEq = 6;
+
+Value mkBin(int64_t Op, Value L, Value R) {
+  return mkNode(TagBin,
+                Value::pair(Value::integer(Op),
+                            Value::pair(std::move(L), std::move(R))));
+}
+
+std::string lexemeText(ParseContext &Ctx, const Lexeme &L) {
+  return std::string(Ctx.Input.substr(L.Begin, L.End - L.Begin));
+}
+
+int64_t evalAst(ParseContext &Ctx, const Value &Node,
+                std::vector<std::pair<std::string, int64_t>> &Env) {
+  int64_t Tag = Node.asPair().first.asInt();
+  const Value &P = Node.asPair().second;
+  switch (Tag) {
+  case TagNum:
+    return P.asInt();
+  case TagVar: {
+    std::string Name = lexemeText(Ctx, P.asToken());
+    for (size_t I = Env.size(); I-- > 0;)
+      if (Env[I].first == Name)
+        return Env[I].second;
+    return 0; // unbound variables read as 0
+  }
+  case TagBin: {
+    int64_t Op = P.asPair().first.asInt();
+    const ValuePair &LR = P.asPair().second.asPair();
+    int64_t A = evalAst(Ctx, LR.first, Env);
+    int64_t B = evalAst(Ctx, LR.second, Env);
+    switch (Op) {
+    case OpAdd:
+      return A + B;
+    case OpSub:
+      return A - B;
+    case OpMul:
+      return A * B;
+    case OpDiv:
+      return B == 0 ? 0 : A / B;
+    case OpLt:
+      return A < B ? 1 : 0;
+    case OpGt:
+      return A > B ? 1 : 0;
+    case OpEq:
+      return A == B ? 1 : 0;
+    }
+    return 0;
+  }
+  case TagLet: {
+    const Value &NameTok = P.asPair().first;
+    const ValuePair &Rest = P.asPair().second.asPair();
+    int64_t Bound = evalAst(Ctx, Rest.first, Env);
+    Env.emplace_back(lexemeText(Ctx, NameTok.asToken()), Bound);
+    int64_t Out = evalAst(Ctx, Rest.second, Env);
+    Env.pop_back();
+    return Out;
+  }
+  case TagIf: {
+    const Value &Cond = P.asPair().first;
+    const ValuePair &Arms = P.asPair().second.asPair();
+    return evalAst(Ctx, Cond, Env) != 0 ? evalAst(Ctx, Arms.first, Env)
+                                        : evalAst(Ctx, Arms.second, Env);
+  }
+  }
+  return 0;
+}
+
+/// Folds a left-associative operator chain: Chain is either unit (end)
+/// or pair(pair(opCode, operand), rest).
+Value foldChain(Value Acc, const Value &Chain) {
+  const Value *Cur = &Chain;
+  while (Cur->isPair()) {
+    const ValuePair &Step = Cur->asPair();
+    const ValuePair &OpArm = Step.first.asPair();
+    Acc = mkBin(OpArm.first.asInt(), std::move(Acc), OpArm.second);
+    Cur = &Step.second;
+  }
+  return Acc;
+}
+
+} // namespace
+
+std::shared_ptr<GrammarDef> flap::makeArithGrammar() {
+  auto Def = std::make_shared<GrammarDef>("arith");
+  Lang &L = *Def->L;
+
+  Def->Lexer->skip("[ \\t\\r\\n]");
+  TokenId KwLet = Def->Lexer->rule("let", "let");
+  TokenId KwIn = Def->Lexer->rule("in", "in");
+  TokenId KwIf = Def->Lexer->rule("if", "if");
+  TokenId KwThen = Def->Lexer->rule("then", "then");
+  TokenId KwElse = Def->Lexer->rule("else", "else");
+  TokenId Num = Def->Lexer->rule("[0-9]+", "num");
+  TokenId Id = Def->Lexer->rule("[a-z][a-z0-9_]*", "id");
+  TokenId Plus = Def->Lexer->rule("\\+", "plus");
+  TokenId Minus = Def->Lexer->rule("-", "minus");
+  TokenId Star = Def->Lexer->rule("\\*", "star");
+  TokenId Slash = Def->Lexer->rule("/", "slash");
+  TokenId Lt = Def->Lexer->rule("<", "lt");
+  TokenId Gt = Def->Lexer->rule(">", "gt");
+  TokenId EqEq = Def->Lexer->rule("==", "eqeq");
+  TokenId Eq = Def->Lexer->rule("=", "eq");
+  TokenId Lpar = Def->Lexer->rule("\\(", "lpar");
+  TokenId Rpar = Def->Lexer->rule("\\)", "rpar");
+  TokenId Semi = Def->Lexer->rule(";", "semi");
+
+  auto OpTok = [&](TokenId T, int64_t Code, const char *Name) {
+    return L.map(
+        L.tok(T),
+        [Code](ParseContext &, Value *) { return Value::integer(Code); },
+        Name);
+  };
+  auto ChainStep = [](ParseContext &, Value *Args) {
+    // (op, operand, rest) → pair(pair(op, operand), rest)
+    return Value::pair(Value::pair(std::move(Args[0]), std::move(Args[1])),
+                       std::move(Args[2]));
+  };
+  auto FoldLeft = [](ParseContext &, Value *Args) {
+    return foldChain(std::move(Args[0]), Args[1]);
+  };
+
+  Px Expr = L.fix([&](Px Self) {
+    Px Atom = L.alt(
+        L.alt(L.map(
+                  L.tok(Num),
+                  [](ParseContext &Ctx, Value *Args) {
+                    return mkNode(TagNum, Value::integer(spanInt(
+                                              Ctx, Args[0].asToken())));
+                  },
+                  "numLit"),
+              L.map(
+                  L.tok(Id),
+                  [](ParseContext &, Value *Args) {
+                    return mkNode(TagVar, std::move(Args[0]));
+                  },
+                  "varRef")),
+        L.all(
+            {L.tok(Lpar), Self, L.tok(Rpar)},
+            [](ParseContext &, Value *Args) { return std::move(Args[1]); },
+            "paren"));
+
+    Px MulRest = L.fix([&](Px Rest) {
+      return L.alt(L.eps(Value::unit(), "endMul"),
+                   L.all({L.alt(OpTok(Star, OpMul, "opMul"),
+                                OpTok(Slash, OpDiv, "opDiv")),
+                          Atom, Rest},
+                         ChainStep, "mulStep"));
+    });
+    Px Mul = L.seqMap(Atom, MulRest, FoldLeft, "mulFold");
+
+    Px AddRest = L.fix([&](Px Rest) {
+      return L.alt(L.eps(Value::unit(), "endAdd"),
+                   L.all({L.alt(OpTok(Plus, OpAdd, "opAdd"),
+                                OpTok(Minus, OpSub, "opSub")),
+                          Mul, Rest},
+                         ChainStep, "addStep"));
+    });
+    Px Add = L.seqMap(Mul, AddRest, FoldLeft, "addFold");
+
+    // cmp := add (cmpop add)?
+    Px CmpTail = L.alt(
+        L.eps(Value::unit(), "noCmp"),
+        L.all({L.alt(L.alt(OpTok(Lt, OpLt, "opLt"), OpTok(Gt, OpGt, "opGt")),
+               OpTok(EqEq, OpEq, "opEq")),
+               Add},
+              [](ParseContext &, Value *Args) {
+                return Value::pair(std::move(Args[0]), std::move(Args[1]));
+              },
+              "cmpArm"));
+    Px Cmp = L.seqMap(
+        Add, CmpTail,
+        [](ParseContext &, Value *Args) {
+          if (!Args[1].isPair())
+            return std::move(Args[0]);
+          const ValuePair &Arm = Args[1].asPair();
+          return mkBin(Arm.first.asInt(), std::move(Args[0]), Arm.second);
+        },
+        "cmpFold");
+
+    Px LetE = L.all(
+        {L.tok(KwLet), L.tok(Id), L.tok(Eq), Self, L.tok(KwIn), Self},
+        [](ParseContext &, Value *Args) {
+          return mkNode(
+              TagLet,
+              Value::pair(std::move(Args[1]),
+                          Value::pair(std::move(Args[3]),
+                                      std::move(Args[5]))));
+        },
+        "letE");
+    Px IfE = L.all(
+        {L.tok(KwIf), Self, L.tok(KwThen), Self, L.tok(KwElse), Self},
+        [](ParseContext &, Value *Args) {
+          return mkNode(
+              TagIf,
+              Value::pair(std::move(Args[1]),
+                          Value::pair(std::move(Args[3]),
+                                      std::move(Args[5]))));
+        },
+        "ifE");
+    return L.alt(L.alt(LetE, IfE), Cmp);
+  });
+
+  // term := expr ';' evaluated on reduction; file value = Σ terms.
+  Px Term = L.seqMap(
+      Expr, L.tok(Semi),
+      [](ParseContext &Ctx, Value *Args) {
+        std::vector<std::pair<std::string, int64_t>> Env;
+        return Value::integer(evalAst(Ctx, Args[0], Env));
+      },
+      "evalTerm");
+  Def->Root = L.foldr(
+      Term, Value::integer(0),
+      [](ParseContext &, Value *Args) {
+        return Value::integer(Args[0].asInt() + Args[1].asInt());
+      },
+      "sumTerms");
+  return Def;
+}

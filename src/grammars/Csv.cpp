@@ -1,0 +1,89 @@
+//===- grammars/Csv.cpp - CSV grammar (RFC 4180) ------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// CSV per Shafranovich [2005] with a mandatory terminating CRLF
+/// (§6 benchmark (4)). Quoted fields may contain escaped double-quotes
+/// "" — the very feature that needs more than one character of lookahead
+/// in a combinator lexer and therefore has no asp implementation in the
+/// paper; the derivative DFA lexer handles it via longest match.
+///
+/// Fields may be empty, which makes the natural `field (, field)*` shape
+/// nullable on the left of a sequence — disallowed by ⊛ (Fig. 2). The
+/// grammar below is the standard distributed form: a record is consumed
+/// field-boundary by field-boundary, counting fields as it goes.
+///
+/// Semantic value: the number of records. Row widths are checked for
+/// consistency through CsvCtx (the §6 "checking row lengths" semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammars/Grammars.h"
+
+using namespace flap;
+
+std::shared_ptr<GrammarDef> flap::makeCsvGrammar() {
+  auto Def = std::make_shared<GrammarDef>("csv");
+  Lang &L = *Def->L;
+
+  TokenId Text = Def->Lexer->rule("[^,\"\\r\\n]+", "text");
+  TokenId Quoted = Def->Lexer->rule("\"(\"\"|[^\"])*\"", "quoted");
+  TokenId Comma = Def->Lexer->rule(",", "comma");
+  TokenId Crlf = Def->Lexer->rule("\\r\\n", "crlf");
+
+  Px Content = L.alt(L.tok(Text), L.tok(Quoted));
+
+  // recBody: the rest of a record at a field boundary; value = number of
+  // fields remaining (the field currently starting counts as one).
+  Px RecBody = L.fix([&](Px Self) {
+    // After field content: either the row ends or a comma starts the
+    // next field.
+    Px AfterContent = L.alt(
+        L.map(
+            L.tok(Crlf),
+            [](ParseContext &, Value *) { return Value::integer(1); },
+            "rowEnd"),
+        L.all(
+            {L.tok(Comma), Self},
+            [](ParseContext &, Value *Args) {
+              return Value::integer(1 + Args[1].asInt());
+            },
+            "nextField"));
+    return L.alt(
+        L.alt(L.map(
+                  L.tok(Crlf),
+                  [](ParseContext &, Value *) { return Value::integer(1); },
+                  "emptyRowEnd"),
+              L.all(
+                  {L.tok(Comma), Self},
+                  [](ParseContext &, Value *Args) {
+                    return Value::integer(1 + Args[1].asInt());
+                  },
+                  "emptyField")),
+        L.seqMap(
+            Content, AfterContent,
+            [](ParseContext &, Value *Args) { return std::move(Args[1]); },
+            "contentField"));
+  });
+
+  // A file is a sequence of records; each record's field count is
+  // checked against the first record's.
+  Def->Root = L.foldr(
+      RecBody, Value::integer(0),
+      [](ParseContext &Ctx, Value *Args) {
+        if (auto *C = static_cast<CsvCtx *>(Ctx.User)) {
+          int64_t Fields = Args[0].asInt();
+          if (C->FirstCols < 0)
+            C->FirstCols = Fields;
+          else if (C->FirstCols != Fields)
+            C->Consistent = false;
+        }
+        return Value::integer(Args[1].asInt() + 1);
+      },
+      "countRecords");
+  Def->NewCtx = [] { return std::make_shared<CsvCtx>(); };
+  return Def;
+}

@@ -1,0 +1,70 @@
+//===- grammars/Grammars.h - The six benchmark grammars ---------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark grammars of the paper's evaluation (§6), each defined as
+/// a lexer specification plus a typed CFE with semantic actions:
+///
+///   sexp  — S-expressions with alphanumeric atoms; value = atom count.
+///   json  — the grammar of Jonnalagedda et al. [2014]; value = number of
+///           objects across all documents in the input.
+///   csv   — RFC 4180 with mandatory terminating CRLF; value = record
+///           count; per-record field counts checked for consistency via
+///           CsvCtx.
+///   pgn   — Portable Game Notation; value = game count; per-result
+///           tallies accumulate in PgnCtx.
+///   ppm   — Netpbm P3 (ASCII) images; value = true iff pixel count and
+///           color range satisfy the header; stats gather in PpmCtx.
+///   arith — a mini language (arithmetic / comparison / let binding /
+///           branching); value = the evaluation result (int).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_GRAMMARS_GRAMMARS_H
+#define FLAP_GRAMMARS_GRAMMARS_H
+
+#include "engine/Pipeline.h"
+
+#include <memory>
+#include <vector>
+
+namespace flap {
+
+std::shared_ptr<GrammarDef> makeSexpGrammar();
+std::shared_ptr<GrammarDef> makeJsonGrammar();
+std::shared_ptr<GrammarDef> makeCsvGrammar();
+std::shared_ptr<GrammarDef> makePgnGrammar();
+std::shared_ptr<GrammarDef> makePpmGrammar();
+std::shared_ptr<GrammarDef> makeArithGrammar();
+
+/// Per-parse context for csv: consistency of record widths.
+struct CsvCtx {
+  int64_t FirstCols = -1;
+  bool Consistent = true;
+};
+
+/// Per-parse context for pgn: result tallies.
+struct PgnCtx {
+  int64_t White = 0, Black = 0, Draw = 0, Unknown = 0;
+};
+
+/// Per-parse context for ppm: pixel statistics.
+struct PpmCtx {
+  int64_t Samples = 0;
+  int64_t MaxSample = 0;
+};
+
+/// All six grammars, in the paper's Fig. 11 order (json, sexp, arith,
+/// pgn, ppm, csv is the chart order; we use a stable name-keyed list).
+std::vector<std::shared_ptr<GrammarDef>> allBenchmarkGrammars();
+
+/// Parses the decimal integer covered by \p L in the input.
+int64_t spanInt(ParseContext &Ctx, const Lexeme &L);
+
+} // namespace flap
+
+#endif // FLAP_GRAMMARS_GRAMMARS_H

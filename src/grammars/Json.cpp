@@ -1,0 +1,98 @@
+//===- grammars/Json.cpp - JSON grammar (Jonnalagedda et al. 2014) -----------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// JSON per the staged-parser-combinator paper the evaluation cites
+/// (§6 benchmark (5)): objects, arrays, strings, numbers and literals.
+/// The input is a stream of JSON documents ("msgs" in Fig. 12); the
+/// semantic value is the total number of objects, computed bottom-up
+/// with integer actions (no AST is materialized).
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammars/Grammars.h"
+
+using namespace flap;
+
+namespace {
+
+/// Arg[1] passed through (drop surrounding delimiters).
+Value keepMiddle(ParseContext &, Value *Args) { return std::move(Args[1]); }
+
+Value zero(ParseContext &, Value *) { return Value::integer(0); }
+
+} // namespace
+
+std::shared_ptr<GrammarDef> flap::makeJsonGrammar() {
+  auto Def = std::make_shared<GrammarDef>("json");
+  Lang &L = *Def->L;
+
+  Def->Lexer->skip("[ \\t\\r\\n]");
+  TokenId Lbrace = Def->Lexer->rule("\\{", "lbrace");
+  TokenId Rbrace = Def->Lexer->rule("\\}", "rbrace");
+  TokenId Lbrack = Def->Lexer->rule("\\[", "lbrack");
+  TokenId Rbrack = Def->Lexer->rule("\\]", "rbrack");
+  TokenId Comma = Def->Lexer->rule(",", "comma");
+  TokenId Colon = Def->Lexer->rule(":", "colon");
+  TokenId True = Def->Lexer->rule("true", "true");
+  TokenId False = Def->Lexer->rule("false", "false");
+  TokenId Null = Def->Lexer->rule("null", "null");
+  TokenId Str = Def->Lexer->rule("\"([^\"\\\\]|\\\\.)*\"", "string");
+  TokenId Num = Def->Lexer->rule(
+      "-?(0|[1-9][0-9]*)(\\.[0-9]+)?([eE][+\\-]?[0-9]+)?", "number");
+
+  auto Add2 = [](ParseContext &, Value *Args) {
+    return Value::integer(Args[0].asInt() + Args[1].asInt());
+  };
+  // Each value's semantic result is the number of objects inside it.
+  Px Value_ = L.fix([&](Px Val) {
+    // members := ε | pair (comma pair)*    (object bodies)
+    // pair    := string colon value
+    Px Pair = L.all(
+        {L.tok(Str), L.tok(Colon), Val},
+        [](ParseContext &, Value *Args) { return std::move(Args[2]); },
+        "pairVal");
+    Px MembersRest = L.foldr(
+        L.all(
+            {L.tok(Comma), Pair},
+            [](ParseContext &, Value *Args) { return std::move(Args[1]); },
+            "sndPair"),
+        Value::integer(0), Add2, "sumMembers");
+    Px Members =
+        L.alt(L.eps(Value::integer(0), "noMembers"),
+              L.seqMap(Pair, MembersRest, Add2, "consMembers"));
+    Px Obj = L.all(
+        {L.tok(Lbrace), Members, L.tok(Rbrace)},
+        [](ParseContext &, Value *Args) {
+          return Value::integer(1 + Args[1].asInt());
+        },
+        "obj");
+
+    // elements := ε | value (comma value)*   (array bodies)
+    Px ElemsRest = L.foldr(
+        L.all(
+            {L.tok(Comma), Val},
+            [](ParseContext &, Value *Args) { return std::move(Args[1]); },
+            "sndElem"),
+        Value::integer(0), Add2, "sumElems");
+    Px Elements = L.alt(L.eps(Value::integer(0), "noElems"),
+                        L.seqMap(Val, ElemsRest, Add2, "consElems"));
+    Px Arr = L.all({L.tok(Lbrack), Elements, L.tok(Rbrack)}, keepMiddle,
+                   "arr");
+
+    Px Leaf = L.alt(
+        L.alt(L.map(L.tok(Str), zero, "strVal"),
+              L.map(L.tok(Num), zero, "numVal")),
+        L.alt(L.alt(L.map(L.tok(True), zero, "trueVal"),
+                    L.map(L.tok(False), zero, "falseVal")),
+              L.map(L.tok(Null), zero, "nullVal")));
+    return L.alt(L.alt(Obj, Arr), Leaf);
+  });
+
+  // A file is a stream of documents; the value is the total object count.
+  Def->Root = L.foldr(Value_, Value::integer(0), Add2, "sumDocs");
+  return Def;
+}

@@ -1,0 +1,92 @@
+//===- grammars/Pgn.cpp - Portable Game Notation grammar ----------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PGN chess game descriptions (§6 benchmark (1)): tag-pair headers
+/// followed by movetext and a result marker. Words (tag names and SAN
+/// moves share the lexical shape) and move numbers are distinguished by
+/// grammar position. Brace comments and whitespace are skipped.
+///
+/// Semantic value: the number of games; the §6 "extract game results"
+/// semantics tallies results per kind in PgnCtx.
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammars/Grammars.h"
+
+using namespace flap;
+
+std::shared_ptr<GrammarDef> flap::makePgnGrammar() {
+  auto Def = std::make_shared<GrammarDef>("pgn");
+  Lang &L = *Def->L;
+
+  Def->Lexer->skip("[ \\t\\r\\n]");
+  Def->Lexer->skip("\\{[^}]*\\}"); // brace comments
+  TokenId ResultTok =
+      Def->Lexer->rule("1-0|0-1|1/2-1/2|\\*", "result");
+  TokenId MoveNum = Def->Lexer->rule("[0-9]+\\.(\\.\\.)?", "movenum");
+  TokenId Word =
+      Def->Lexer->rule("[A-Za-z][A-Za-z0-9_+#=-]*", "word");
+  TokenId Str = Def->Lexer->rule("\"[^\"]*\"", "string");
+  TokenId Lbrack = Def->Lexer->rule("\\[", "lbrack");
+  TokenId Rbrack = Def->Lexer->rule("\\]", "rbrack");
+
+  // tag := '[' word string ']'
+  Px Tag = L.all(
+      {L.tok(Lbrack), L.tok(Word), L.tok(Str), L.tok(Rbrack)},
+      [](ParseContext &, Value *) { return Value::unit(); }, "tag");
+
+  // tags := tag tags | tag      (exported games always carry tags)
+  Px Tags = L.fix([&](Px Self) {
+    return L.seqMap(
+        Tag, L.alt(L.eps(Value::unit(), "tagsEnd"), Self),
+        [](ParseContext &, Value *) { return Value::unit(); }, "tags");
+  });
+
+  // movesResult := result | (word|movenum) movesResult
+  // Consumes movetext until the result marker; classifies the result.
+  Px MovesResult = L.fix([&](Px Self) {
+    Px End = L.map(
+        L.tok(ResultTok),
+        [](ParseContext &Ctx, Value *Args) {
+          if (auto *C = static_cast<PgnCtx *>(Ctx.User)) {
+            const Lexeme &R = Args[0].asToken();
+            std::string_view T =
+                Ctx.Input.substr(R.Begin, R.End - R.Begin);
+            if (T == "1-0")
+              ++C->White;
+            else if (T == "0-1")
+              ++C->Black;
+            else if (T == "1/2-1/2")
+              ++C->Draw;
+            else
+              ++C->Unknown;
+          }
+          return Value::unit();
+        },
+        "gameResult");
+    Px MoveItem = L.alt(L.tok(Word), L.tok(MoveNum));
+    return L.alt(End, L.seqMap(
+                          MoveItem, Self,
+                          [](ParseContext &, Value *Args) {
+                            return std::move(Args[1]);
+                          },
+                          "moveStep"));
+  });
+
+  Px Game = L.seqMap(
+      Tags, MovesResult,
+      [](ParseContext &, Value *) { return Value::integer(1); }, "game");
+
+  Def->Root = L.foldr(
+      Game, Value::integer(0),
+      [](ParseContext &, Value *Args) {
+        return Value::integer(Args[0].asInt() + Args[1].asInt());
+      },
+      "countGames");
+  Def->NewCtx = [] { return std::make_shared<PgnCtx>(); };
+  return Def;
+}

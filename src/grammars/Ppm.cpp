@@ -1,0 +1,60 @@
+//===- grammars/Ppm.cpp - Netpbm P3 grammar -----------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Netpbm ASCII pixmaps (§6 benchmark (2)): "parse and check semantic
+/// properties (e.g. pixel count, color range)". The header gives
+/// width/height/maxval; pixel samples stream after it. Samples accumulate
+/// count and max in PpmCtx; the root action checks
+///
+///   samples == 3·w·h   and   max(sample) ≤ maxval
+///
+/// and the parse value is that boolean.
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammars/Grammars.h"
+
+using namespace flap;
+
+std::shared_ptr<GrammarDef> flap::makePpmGrammar() {
+  auto Def = std::make_shared<GrammarDef>("ppm");
+  Lang &L = *Def->L;
+
+  TokenId Magic = Def->Lexer->rule("P3", "p3");
+  TokenId Num = Def->Lexer->rule("[0-9]+", "num");
+  Def->Lexer->skip("[ \\t\\r\\n]");
+  Def->Lexer->skip("#[^\\n]*"); // comments run to end of line
+
+  // Each pixel sample updates the running statistics and yields unit.
+  Px Sample = L.map(
+      L.tok(Num),
+      [](ParseContext &Ctx, Value *Args) {
+        int64_t V = spanInt(Ctx, Args[0].asToken());
+        if (auto *C = static_cast<PpmCtx *>(Ctx.User)) {
+          ++C->Samples;
+          if (V > C->MaxSample)
+            C->MaxSample = V;
+        }
+        return Value::unit();
+      },
+      "sample");
+  Px Samples = L.skipMany(Sample);
+
+  Def->Root = L.all(
+      {L.tok(Magic), L.tok(Num), L.tok(Num), L.tok(Num), Samples},
+      [](ParseContext &Ctx, Value *Args) {
+        int64_t W = spanInt(Ctx, Args[1].asToken());
+        int64_t H = spanInt(Ctx, Args[2].asToken());
+        int64_t MaxVal = spanInt(Ctx, Args[3].asToken());
+        auto *C = static_cast<PpmCtx *>(Ctx.User);
+        bool Ok = C && C->Samples == 3 * W * H && C->MaxSample <= MaxVal;
+        return Value::boolean(Ok);
+      },
+      "checkPpm");
+  Def->NewCtx = [] { return std::make_shared<PpmCtx>(); };
+  return Def;
+}

@@ -1,0 +1,26 @@
+//===- grammars/Registry.cpp - Grammar registry & helpers ----------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammars/Grammars.h"
+
+using namespace flap;
+
+int64_t flap::spanInt(ParseContext &Ctx, const Lexeme &L) {
+  int64_t V = 0;
+  for (uint32_t I = L.Begin; I < L.End; ++I) {
+    char C = Ctx.Input[I];
+    if (C < '0' || C > '9')
+      break;
+    V = V * 10 + (C - '0');
+  }
+  return V;
+}
+
+std::vector<std::shared_ptr<GrammarDef>> flap::allBenchmarkGrammars() {
+  return {makeJsonGrammar(), makeSexpGrammar(), makeArithGrammar(),
+          makePgnGrammar(),  makePpmGrammar(),  makeCsvGrammar()};
+}

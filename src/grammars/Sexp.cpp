@@ -1,0 +1,56 @@
+//===- grammars/Sexp.cpp - S-expression grammar (paper Fig. 3) ---------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The running example of the paper (§2.4):
+///
+///   lexer:   id ⇒ Return atom   space ⇒ Skip   ( ⇒ lpar   ) ⇒ rpar
+///   grammar: μ sexp. (lpar · (μ sexps. ε ∨ sexp·sexps) · rpar) ∨ atom
+///
+/// Semantic value: the number of atoms (the §6 benchmark "returning the
+/// atom count").
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammars/Grammars.h"
+
+using namespace flap;
+
+std::shared_ptr<GrammarDef> flap::makeSexpGrammar() {
+  auto Def = std::make_shared<GrammarDef>("sexp");
+  Lang &L = *Def->L;
+
+  // Fig. 3b, with atoms extended to the "alphanumeric atoms" of §6.
+  TokenId Atom = Def->Lexer->rule("[a-z0-9]+", "atom");
+  Def->Lexer->skip("[ \\n\\t\\r]");
+  TokenId Lpar = Def->Lexer->rule("\\(", "lpar");
+  TokenId Rpar = Def->Lexer->rule("\\)", "rpar");
+
+  // μ sexp. (lpar · (μ sexps. ε ∨ sexp·sexps) · rpar) ∨ atom
+  Px Sexp = L.fix([&](Px Self) {
+    Px Sexps = L.fix([&](Px Rest) {
+      return L.alt(L.eps(Value::integer(0), "nil"),
+                   L.seqMap(
+                       Self, Rest,
+                       [](ParseContext &, Value *Args) {
+                         return Value::integer(Args[0].asInt() +
+                                               Args[1].asInt());
+                       },
+                       "add"));
+    });
+    Px List = L.all(
+        {L.tok(Lpar), Sexps, L.tok(Rpar)},
+        [](ParseContext &, Value *Args) { return std::move(Args[1]); },
+        "list");
+    Px AtomP = L.map(
+        L.tok(Atom),
+        [](ParseContext &, Value *) { return Value::integer(1); }, "one");
+    return L.alt(List, AtomP);
+  });
+
+  Def->Root = Sexp;
+  return Def;
+}

@@ -1,0 +1,180 @@
+//===- lexer/CompiledLexer.cpp - DFA lexer ----------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/CompiledLexer.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <map>
+
+using namespace flap;
+
+CompiledLexer::CompiledLexer(RegexArena &Arena, const CanonicalLexer &Lexer) {
+  // Rule vector: Return rules in order, then the Skip rule.
+  std::vector<RegexId> StartVec;
+  for (const LexRule &R : Lexer.Rules) {
+    StartVec.push_back(R.Re);
+    Toks.push_back(R.Tok);
+  }
+  StartVec.push_back(Lexer.SkipRe);
+  Toks.push_back(NoToken);
+
+  // Subset construction over rule-derivative vectors. Each state derives
+  // along its own derivative-class partition (Owens et al.); transitions
+  // are first stored per byte, then compressed into global classes.
+  std::map<std::vector<RegexId>, int32_t> StateIds;
+  std::vector<std::vector<RegexId>> States;
+  std::vector<int32_t> Rows; // States.size() * 256
+  auto InternState = [&](std::vector<RegexId> V) -> int32_t {
+    auto It = StateIds.find(V);
+    if (It != StateIds.end())
+      return It->second;
+    int32_t Id = static_cast<int32_t>(States.size());
+    StateIds.emplace(V, Id);
+    States.push_back(std::move(V));
+    // Accepting rule: the unique nullable member (disjointness).
+    int32_t Acc = -1;
+    for (size_t R = 0; R < States[Id].size(); ++R) {
+      if (States[Id][R] != Arena.empty() &&
+          Arena.nullable(States[Id][R])) {
+        assert(Acc < 0 && "canonicalized lexer rules overlap");
+        Acc = static_cast<int32_t>(R);
+      }
+    }
+    Accept.push_back(Acc);
+    Rows.resize(States.size() * 256, Dead);
+    return Id;
+  };
+
+  Start = InternState(StartVec);
+  for (size_t Work = 0; Work < States.size(); ++Work) {
+    // Copy: States may reallocate while interning successors.
+    std::vector<RegexId> Cur = States[Work];
+    std::vector<CharSet> Parts = {CharSet::all()};
+    for (RegexId R : Cur)
+      if (R != Arena.empty())
+        Parts = refinePartition(Parts, Arena.classes(R));
+    for (const CharSet &Part : Parts) {
+      unsigned char Rep = Part.first();
+      std::vector<RegexId> Next(Cur.size());
+      bool AnyLive = false;
+      for (size_t R = 0; R < Cur.size(); ++R) {
+        Next[R] = Cur[R] == Arena.empty() ? Arena.empty()
+                                          : Arena.derive(Cur[R], Rep);
+        AnyLive |= Next[R] != Arena.empty();
+      }
+      int32_t Dst = AnyLive ? InternState(std::move(Next)) : Dead;
+      for (auto [Lo, Hi] : Part.ranges())
+        for (int C = Lo; C <= Hi; ++C)
+          Rows[Work * 256 + C] = Dst;
+    }
+  }
+
+  // Byte-column compression into equivalence classes.
+  std::map<std::vector<int32_t>, int> ColumnIds;
+  const size_t NumStates = States.size();
+  for (int C = 0; C < 256; ++C) {
+    std::vector<int32_t> Col(NumStates);
+    for (size_t S = 0; S < NumStates; ++S)
+      Col[S] = Rows[S * 256 + C];
+    auto It =
+        ColumnIds.emplace(std::move(Col), static_cast<int>(ColumnIds.size()))
+            .first;
+    Alpha.Map[C] = static_cast<uint8_t>(It->second);
+  }
+  Alpha.NumClasses = static_cast<int>(ColumnIds.size());
+  Trans.assign(NumStates * Alpha.NumClasses, Dead);
+  for (const auto &[Col, Cls] : ColumnIds)
+    for (size_t S = 0; S < NumStates; ++S)
+      Trans[S * Alpha.NumClasses + Cls] = Col[S];
+  Trans16.assign(NumStates * 256, static_cast<int16_t>(-1));
+  for (size_t S = 0; S < NumStates; ++S)
+    for (int C = 0; C < 256; ++C)
+      Trans16[S * 256 + C] = static_cast<int16_t>(Rows[S * 256 + C]);
+  if (NumStates <= 255) {
+    Trans8.assign(NumStates * 256, Dead8);
+    for (size_t S = 0; S < NumStates; ++S)
+      for (int C = 0; C < 256; ++C)
+        if (Rows[S * 256 + C] >= 0)
+          Trans8[S * 256 + C] = static_cast<uint8_t>(Rows[S * 256 + C]);
+  }
+}
+
+LexStatus CompiledLexer::nextRaw(std::string_view Input, uint32_t &Pos,
+                                 Lexeme &Out) const {
+  const uint32_t N = static_cast<uint32_t>(Input.size());
+  if (Pos >= N)
+    return LexStatus::Eof;
+
+  int32_t BestRule = -1;
+  uint32_t BestEnd = Pos;
+  uint32_t I = Pos;
+  if (!Trans8.empty()) {
+    const uint8_t *T = Trans8.data();
+    uint32_t State = static_cast<uint32_t>(Start);
+    while (I < N) {
+      uint8_t Next = T[State * 256 + static_cast<unsigned char>(Input[I])];
+      if (Next == Dead8)
+        break;
+      State = Next;
+      ++I;
+      int32_t Acc = Accept[State];
+      if (Acc >= 0) {
+        BestRule = Acc;
+        BestEnd = I;
+      }
+    }
+  } else {
+    const int16_t *T = Trans16.data();
+    int32_t State = Start;
+    while (I < N) {
+      int32_t Next = T[State * 256 + static_cast<unsigned char>(Input[I])];
+      if (Next == Dead)
+        break;
+      State = Next;
+      ++I;
+      int32_t Acc = Accept[State];
+      if (Acc >= 0) {
+        BestRule = Acc;
+        BestEnd = I;
+      }
+    }
+  }
+  if (BestRule < 0)
+    return LexStatus::Error;
+  Out = {Toks[BestRule], Pos, BestEnd};
+  Pos = BestEnd;
+  return LexStatus::Token;
+}
+
+LexStatus CompiledLexer::next(std::string_view Input, uint32_t &Pos,
+                              Lexeme &Out) const {
+  while (true) {
+    LexStatus S = nextRaw(Input, Pos, Out);
+    if (S != LexStatus::Token || Out.Tok != NoToken)
+      return S;
+    // Skip lexeme: keep pulling.
+  }
+}
+
+Result<std::vector<Lexeme>> CompiledLexer::lexAll(std::string_view Input) const {
+  std::vector<Lexeme> Out;
+  uint32_t Pos = 0;
+  while (true) {
+    Lexeme L;
+    switch (next(Input, Pos, L)) {
+    case LexStatus::Eof:
+      return Out;
+    case LexStatus::Error:
+      return Err(format("lexing failed at offset %u (no rule matches)", Pos));
+    case LexStatus::Token:
+      Out.push_back(L);
+      break;
+    }
+  }
+}

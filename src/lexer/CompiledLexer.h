@@ -1,0 +1,76 @@
+//===- lexer/CompiledLexer.h - DFA lexer ------------------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lexer compiled to a dense DFA (Owens et al. 2009 construction:
+/// states are vectors of rule derivatives, transitions computed per
+/// alphabet equivalence class). This is the token producer used by every
+/// *unfused* engine in the evaluation — the thing flap's fusion makes
+/// unnecessary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_LEXER_COMPILEDLEXER_H
+#define FLAP_LEXER_COMPILEDLEXER_H
+
+#include "lexer/LexerSpec.h"
+#include "regex/Alphabet.h"
+
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// Outcome of a pull on the token stream.
+enum class LexStatus {
+  Token, ///< a lexeme was produced
+  Eof,   ///< clean end of input
+  Error  ///< no rule matches at the current position
+};
+
+/// A lexer DFA with longest-match semantics.
+class CompiledLexer {
+public:
+  /// Compiles \p Lexer. The canonical rules are disjoint, so every DFA
+  /// state accepts for at most one rule.
+  CompiledLexer(RegexArena &Arena, const CanonicalLexer &Lexer);
+
+  /// Pulls the next non-skip lexeme starting at \p Pos, advancing it.
+  LexStatus next(std::string_view Input, uint32_t &Pos, Lexeme &Out) const;
+
+  /// Pulls the next lexeme *including* skip matches (Tok == NoToken).
+  /// Used by differential tests against the Fig. 7 interpreter.
+  LexStatus nextRaw(std::string_view Input, uint32_t &Pos,
+                    Lexeme &Out) const;
+
+  /// Lexes everything; convenience wrapper over next().
+  Result<std::vector<Lexeme>> lexAll(std::string_view Input) const;
+
+  int numStates() const { return static_cast<int>(Accept.size()); }
+  int numClasses() const { return Alpha.NumClasses; }
+
+private:
+  static constexpr int32_t Dead = -1;
+
+  Alphabet Alpha;
+  /// Row-major [state][class] next-state table; Dead when stuck.
+  std::vector<int32_t> Trans;
+  /// Byte-indexed hot-loop table: [state*256 + byte] (int16).
+  std::vector<int16_t> Trans16;
+  /// Compact hot table when the DFA has ≤255 states (fits L1).
+  std::vector<uint8_t> Trans8;
+  static constexpr uint8_t Dead8 = 0xff;
+  /// Accepting rule index per state (index into Toks), or -1.
+  std::vector<int32_t> Accept;
+  /// Token returned by rule I; NoToken for the skip rule.
+  std::vector<TokenId> Toks;
+  int32_t Start = 0;
+};
+
+} // namespace flap
+
+#endif // FLAP_LEXER_COMPILEDLEXER_H

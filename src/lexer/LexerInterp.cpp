@@ -1,0 +1,73 @@
+//===- lexer/LexerInterp.cpp - Reference lexing algorithm (Fig. 7) ---------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/LexerInterp.h"
+
+#include "support/StrUtil.h"
+
+using namespace flap;
+
+Result<std::vector<Lexeme>> flap::lexAll(RegexArena &Arena,
+                                         const CanonicalLexer &Lexer,
+                                         std::string_view Input) {
+  std::vector<Lexeme> Out;
+  const size_t N = Input.size();
+
+  // Live rule states: one derivative per canonical rule plus the skip
+  // regex at the end. Indices into this vector identify the action.
+  const size_t NumRules = Lexer.Rules.size();
+  std::vector<RegexId> Start(NumRules + 1);
+  for (size_t I = 0; I < NumRules; ++I)
+    Start[I] = Lexer.Rules[I].Re;
+  Start[NumRules] = Lexer.SkipRe;
+
+  size_t Pos = 0;
+  std::vector<RegexId> Live(Start.size());
+  while (Pos < N) {
+    // L(L', k, rs, s): scan forward updating the best match seen so far.
+    Live = Start;
+    int BestRule = -1; // the paper's `no`
+    size_t BestEnd = Pos;
+    size_t I = Pos;
+    while (I < N) {
+      unsigned char C = static_cast<unsigned char>(Input[I]);
+      bool AnyLive = false;
+      int Accepting = -1;
+      for (size_t R = 0; R < Live.size(); ++R) {
+        if (Live[R] == Arena.empty())
+          continue;
+        Live[R] = Arena.derive(Live[R], C);
+        if (Live[R] == Arena.empty())
+          continue;
+        AnyLive = true;
+        if (Arena.nullable(Live[R])) {
+          // Canonical rules are disjoint, so at most one accepts here.
+          assert(Accepting < 0 && "canonicalized rules overlap");
+          Accepting = static_cast<int>(R);
+        }
+      }
+      if (!AnyLive)
+        break; // L'c = ∅: hand the best match to M
+      ++I;
+      if (Accepting >= 0) {
+        BestRule = Accepting;
+        BestEnd = I;
+      }
+    }
+
+    // M(k, rs): act on the best match.
+    if (BestRule < 0)
+      return Err(format("lexing failed at offset %zu (no rule matches)",
+                        Pos));
+    if (BestRule < static_cast<int>(NumRules))
+      Out.push_back({Lexer.Rules[BestRule].Tok,
+                     static_cast<uint32_t>(Pos),
+                     static_cast<uint32_t>(BestEnd)});
+    Pos = BestEnd;
+  }
+  return Out;
+}

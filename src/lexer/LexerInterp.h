@@ -1,0 +1,35 @@
+//===- lexer/LexerInterp.h - Reference lexing algorithm (Fig. 7) -*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's lexing algorithm (Fig. 7), implemented directly on regex
+/// derivatives with conventional longest-match semantics. This is the
+/// executable specification; CompiledLexer must agree with it on every
+/// input (tested differentially).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_LEXER_LEXERINTERP_H
+#define FLAP_LEXER_LEXERINTERP_H
+
+#include "lexer/LexerSpec.h"
+#include "support/Result.h"
+
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// Lexes the whole input, returning the sequence of non-skip lexemes.
+/// Fails at the first position where no rule matches a non-empty prefix.
+Result<std::vector<Lexeme>> lexAll(RegexArena &Arena,
+                                   const CanonicalLexer &Lexer,
+                                   std::string_view Input);
+
+} // namespace flap
+
+#endif // FLAP_LEXER_LEXERINTERP_H

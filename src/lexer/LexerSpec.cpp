@@ -1,0 +1,114 @@
+//===- lexer/LexerSpec.cpp - Lexer specifications ---------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/LexerSpec.h"
+
+#include "regex/RegexParser.h"
+#include "support/StrUtil.h"
+
+#include <map>
+
+using namespace flap;
+
+RegexId CanonicalLexer::tokenRegex(RegexArena &Arena, TokenId Tok) const {
+  for (const LexRule &R : Rules)
+    if (R.Tok == Tok)
+      return R.Re;
+  return Arena.empty();
+}
+
+std::vector<RegexId> CanonicalLexer::allRegexes() const {
+  std::vector<RegexId> Out;
+  Out.reserve(Rules.size() + 1);
+  for (const LexRule &R : Rules)
+    Out.push_back(R.Re);
+  if (SkipRe != NoRegex)
+    Out.push_back(SkipRe);
+  return Out;
+}
+
+TokenId LexerSpec::rule(std::string_view Pattern, const std::string &Name) {
+  TokenId Tok = Tokens->intern(Name);
+  Rules.push_back({mustParseRegex(*Arena, Pattern), Tok});
+  return Tok;
+}
+
+void LexerSpec::rule(RegexId Re, TokenId Tok) { Rules.push_back({Re, Tok}); }
+
+void LexerSpec::skip(std::string_view Pattern) {
+  Rules.push_back({mustParseRegex(*Arena, Pattern), NoToken});
+}
+
+void LexerSpec::skip(RegexId Re) { Rules.push_back({Re, NoToken}); }
+
+Result<CanonicalLexer> LexerSpec::canonicalize() const {
+  RegexArena &A = *Arena;
+
+  // Step 1: make rules pairwise disjoint in priority order:
+  //   r_i' = (r_i \ ε) & ¬(r_1 | ... | r_{i-1})
+  // The ε subtraction reflects the lexing algorithm (Fig. 7), which only
+  // registers a match after consuming at least one character.
+  RegexId Earlier = A.empty();
+  RegexId NotEps = A.not_(A.eps());
+  std::vector<LexRule> Disjoint;
+  std::vector<TokenId> Shadowed;
+  for (const LexRule &R : Rules) {
+    RegexId Cut = A.and_(A.and_(R.Re, NotEps), A.not_(Earlier));
+    Earlier = A.alt(Earlier, R.Re);
+    if (A.isEmptyLang(Cut)) {
+      Shadowed.push_back(R.Tok);
+      continue;
+    }
+    Disjoint.push_back({Cut, R.Tok});
+  }
+
+  // Step 2: merge rules on the right — one rule per token, one Skip regex.
+  std::map<TokenId, RegexId> PerToken;
+  std::vector<TokenId> Order;
+  RegexId SkipRe = A.empty();
+  for (const LexRule &R : Disjoint) {
+    if (R.isSkip()) {
+      SkipRe = A.alt(SkipRe, R.Re);
+      continue;
+    }
+    auto It = PerToken.find(R.Tok);
+    if (It == PerToken.end()) {
+      PerToken.emplace(R.Tok, R.Re);
+      Order.push_back(R.Tok);
+    } else {
+      It->second = A.alt(It->second, R.Re);
+    }
+  }
+
+  CanonicalLexer Out;
+  Out.SkipRe = SkipRe;
+  Out.Shadowed = std::move(Shadowed);
+  for (TokenId Tok : Order)
+    Out.Rules.push_back({PerToken[Tok], Tok});
+
+  // A token every rule of which was shadowed is a specification error the
+  // user should hear about.
+  for (TokenId Tok : Out.Shadowed) {
+    if (Tok == NoToken)
+      continue;
+    if (PerToken.find(Tok) == PerToken.end())
+      return Err(format("lexer rule for token '%s' is completely shadowed "
+                        "by earlier rules",
+                        Tokens->name(Tok).c_str()));
+  }
+  return Out;
+}
+
+std::string LexerSpec::str() const {
+  std::vector<std::string> Lines;
+  for (const LexRule &R : Rules) {
+    std::string Action =
+        R.isSkip() ? "Skip" : "Return " + Tokens->name(R.Tok);
+    Lines.push_back(Arena->str(R.Re) + " => " + Action);
+  }
+  return join(Lines, "\n");
+}

@@ -1,0 +1,102 @@
+//===- lexer/LexerSpec.h - Lexer specifications ----------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexers in the syntax of the paper (Fig. 3a):
+///
+///   L ::= { r ⇒ Return t } ∪ { r ⇒ Skip }
+///
+/// Users write rules in priority order (first match wins at equal length,
+/// like ocamllex). Before fusion the lexer is *canonicalized* (§4): rules
+/// are made pairwise disjoint on the left using & and ¬, rules returning
+/// the same token are unioned, all Skip rules are merged into one, and
+/// rules whose language becomes empty are dropped. Canonicalization is a
+/// semantics-preserving rewrite, so the user-facing interface is
+/// unrestricted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_LEXER_LEXERSPEC_H
+#define FLAP_LEXER_LEXERSPEC_H
+
+#include "lexer/Token.h"
+#include "regex/Regex.h"
+#include "support/Result.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// One lexing rule: a regex paired with its action. Tok == NoToken means
+/// the action is Skip.
+struct LexRule {
+  RegexId Re = NoRegex;
+  TokenId Tok = NoToken;
+
+  bool isSkip() const { return Tok == NoToken; }
+};
+
+/// The result of canonicalization: pairwise-disjoint Return rules (one per
+/// token) plus a single Skip regex (possibly ⊥).
+struct CanonicalLexer {
+  /// Disjoint Return rules, in original priority order.
+  std::vector<LexRule> Rules;
+  /// The merged Skip regex; ⊥ when the lexer skips nothing.
+  RegexId SkipRe = NoRegex;
+  /// Rules dropped because canonicalization emptied their language
+  /// (reported so users can fix shadowed rules).
+  std::vector<TokenId> Shadowed;
+
+  /// The canonical regex recognizing \p Tok; ⊥ when no rule returns it.
+  RegexId tokenRegex(RegexArena &Arena, TokenId Tok) const;
+
+  /// All Return regexes plus the skip regex (for alphabet collection).
+  std::vector<RegexId> allRegexes() const;
+};
+
+/// A user-facing lexer specification under construction.
+class LexerSpec {
+public:
+  LexerSpec(RegexArena &Arena, TokenSet &Tokens)
+      : Arena(&Arena), Tokens(&Tokens) {}
+
+  /// Adds `Pattern ⇒ Return Name`, interning the token name. Aborts on a
+  /// malformed pattern (specs are compile-time constants in practice).
+  TokenId rule(std::string_view Pattern, const std::string &Name);
+
+  /// Adds `Re ⇒ Return Tok` from an already-built regex.
+  void rule(RegexId Re, TokenId Tok);
+
+  /// Adds `Pattern ⇒ Skip`.
+  void skip(std::string_view Pattern);
+  void skip(RegexId Re);
+
+  const std::vector<LexRule> &rules() const { return Rules; }
+  RegexArena &arena() const { return *Arena; }
+  TokenSet &tokens() const { return *Tokens; }
+
+  /// Number of rules as written (the "Lex rules" column of Table 1).
+  size_t numRules() const { return Rules.size(); }
+
+  /// Canonicalizes per §4. Fails when a Return rule's language contains
+  /// only the empty string (a token that can never be produced).
+  Result<CanonicalLexer> canonicalize() const;
+
+  /// Renders the spec in the paper's `r ⇒ Return t` notation.
+  std::string str() const;
+
+private:
+  RegexArena *Arena;
+  TokenSet *Tokens;
+  std::vector<LexRule> Rules;
+};
+
+} // namespace flap
+
+#endif // FLAP_LEXER_LEXERSPEC_H

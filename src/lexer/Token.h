@@ -1,0 +1,80 @@
+//===- lexer/Token.h - Token identities and registry -----------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens are the interface between a separately-defined lexer and parser
+/// (§2.2). flap's whole point is that the *generated* code never
+/// materializes them; they exist at specification time (and in the token-
+/// level baseline engines, which is what Fig. 11 measures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_LEXER_TOKEN_H
+#define FLAP_LEXER_TOKEN_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace flap {
+
+/// Dense token identity; NoToken marks a Skip action.
+using TokenId = int32_t;
+constexpr TokenId NoToken = -1;
+
+/// Registry interning token names to dense ids. Shared by a lexer spec
+/// and the grammar that consumes its tokens.
+class TokenSet {
+public:
+  /// Returns the id for \p Name, creating it on first use.
+  TokenId intern(const std::string &Name) {
+    auto It = Ids.find(Name);
+    if (It != Ids.end())
+      return It->second;
+    TokenId Id = static_cast<TokenId>(Names.size());
+    Names.push_back(Name);
+    Ids.emplace(Name, Id);
+    return Id;
+  }
+
+  /// Looks up an existing token; asserts when absent.
+  TokenId get(const std::string &Name) const {
+    auto It = Ids.find(Name);
+    assert(It != Ids.end() && "unknown token name");
+    return It->second;
+  }
+
+  const std::string &name(TokenId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Names.size() &&
+           "token id out of range");
+    return Names[Id];
+  }
+
+  size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, TokenId> Ids;
+};
+
+/// A token instance: id plus the input span it covers. Only baseline
+/// engines and tests ever materialize these.
+struct Lexeme {
+  TokenId Tok = NoToken;
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+
+  bool operator==(const Lexeme &O) const {
+    return Tok == O.Tok && Begin == O.Begin && End == O.End;
+  }
+};
+
+} // namespace flap
+
+#endif // FLAP_LEXER_TOKEN_H

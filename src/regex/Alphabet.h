@@ -1,0 +1,77 @@
+//===- regex/Alphabet.h - Alphabet equivalence classes ---------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compression of the 256-byte alphabet into equivalence classes that all
+/// regexes of a machine treat identically (§5.5: "flap generates a smaller
+/// number of cases by grouping characters with equivalent behaviour into
+/// classes"). Compiled automata index transition tables by class, and the
+/// code generator emits one case arm per class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_REGEX_ALPHABET_H
+#define FLAP_REGEX_ALPHABET_H
+
+#include "regex/Regex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace flap {
+
+/// A mapping from bytes to dense equivalence-class indices.
+struct Alphabet {
+  uint8_t Map[256] = {0};
+  int NumClasses = 1;
+
+  /// Builds the map from a disjoint covering partition.
+  static Alphabet fromPartition(const std::vector<CharSet> &Parts) {
+    Alphabet A;
+    A.NumClasses = static_cast<int>(Parts.size());
+    for (size_t I = 0; I < Parts.size(); ++I)
+      for (int C = 0; C < 256; ++C)
+        if (Parts[I].contains(static_cast<unsigned char>(C)))
+          A.Map[C] = static_cast<uint8_t>(I);
+    return A;
+  }
+
+  int classOf(unsigned char C) const { return Map[C]; }
+
+  /// A representative byte for class \p Cls.
+  unsigned char representative(int Cls) const {
+    for (int C = 0; C < 256; ++C)
+      if (Map[C] == Cls)
+        return static_cast<unsigned char>(C);
+    return 0;
+  }
+
+  /// The byte set of class \p Cls.
+  CharSet setOf(int Cls) const {
+    CharSet S;
+    for (int C = 0; C < 256; ++C)
+      if (Map[C] == Cls)
+        S.insert(static_cast<unsigned char>(C));
+    return S;
+  }
+};
+
+/// Refines the derivative classes of every regex in \p Regexes into one
+/// global partition valid for the whole machine.
+inline std::vector<CharSet> collectClasses(RegexArena &Arena,
+                                           const std::vector<RegexId> &Regexes) {
+  std::vector<CharSet> Acc = {CharSet::all()};
+  for (RegexId R : Regexes) {
+    std::vector<CharSet> Rs = Arena.classes(R);
+    Acc = refinePartition(Acc, Rs);
+  }
+  return Acc;
+}
+
+} // namespace flap
+
+#endif // FLAP_REGEX_ALPHABET_H

@@ -1,0 +1,71 @@
+//===- regex/CharSet.cpp - 256-wide byte sets ------------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/CharSet.h"
+
+#include "support/StrUtil.h"
+
+using namespace flap;
+
+std::vector<std::pair<unsigned char, unsigned char>> CharSet::ranges() const {
+  std::vector<std::pair<unsigned char, unsigned char>> Out;
+  int C = 0;
+  while (C < 256) {
+    if (!contains(static_cast<unsigned char>(C))) {
+      ++C;
+      continue;
+    }
+    int Lo = C;
+    while (C < 256 && contains(static_cast<unsigned char>(C)))
+      ++C;
+    Out.emplace_back(static_cast<unsigned char>(Lo),
+                     static_cast<unsigned char>(C - 1));
+  }
+  return Out;
+}
+
+std::string CharSet::str() const {
+  if (empty())
+    return "[]";
+  if (size() == 256)
+    return ".";
+  // Print the complemented form when it is more compact.
+  CharSet Comp = ~*this;
+  bool Negate = Comp.size() < size();
+  const CharSet &Base = Negate ? Comp : *this;
+  auto Rs = Base.ranges();
+  if (!Negate && Rs.size() == 1 && Rs[0].first == Rs[0].second)
+    return escapeChar(Rs[0].first);
+  std::string Out = Negate ? "[^" : "[";
+  for (auto [Lo, Hi] : Rs) {
+    if (Lo == Hi) {
+      Out += escapeChar(Lo);
+    } else if (Hi == Lo + 1) {
+      Out += escapeChar(Lo);
+      Out += escapeChar(Hi);
+    } else {
+      Out += escapeChar(Lo);
+      Out += '-';
+      Out += escapeChar(Hi);
+    }
+  }
+  Out += ']';
+  return Out;
+}
+
+std::vector<CharSet> flap::refinePartition(const std::vector<CharSet> &Acc,
+                                           const std::vector<CharSet> &New) {
+  std::vector<CharSet> Out;
+  Out.reserve(Acc.size() + New.size());
+  for (const CharSet &A : Acc)
+    for (const CharSet &B : New) {
+      CharSet I = A & B;
+      if (!I.empty())
+        Out.push_back(I);
+    }
+  return Out;
+}

@@ -1,0 +1,141 @@
+//===- regex/CharSet.h - 256-wide byte sets --------------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of bytes represented as a 256-bit bitmap. Character classes are
+/// the alphabet of flap's regexes: derivatives are computed per class, and
+/// the code generator emits one case arm per class (the "character class"
+/// optimization of §5.5 / Owens et al. 2009).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_REGEX_CHARSET_H
+#define FLAP_REGEX_CHARSET_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// An immutable-by-convention set of bytes (0..255).
+struct CharSet {
+  uint64_t Words[4] = {0, 0, 0, 0};
+
+  static CharSet none() { return CharSet(); }
+  static CharSet all() {
+    CharSet S;
+    for (uint64_t &W : S.Words)
+      W = ~0ULL;
+    return S;
+  }
+  static CharSet of(unsigned char C) {
+    CharSet S;
+    S.insert(C);
+    return S;
+  }
+  static CharSet range(unsigned char Lo, unsigned char Hi) {
+    CharSet S;
+    for (unsigned C = Lo; C <= Hi; ++C)
+      S.insert(static_cast<unsigned char>(C));
+    return S;
+  }
+  static CharSet ofString(std::string_view Chars) {
+    CharSet S;
+    for (unsigned char C : Chars)
+      S.insert(C);
+    return S;
+  }
+
+  void insert(unsigned char C) { Words[C >> 6] |= 1ULL << (C & 63); }
+  void erase(unsigned char C) { Words[C >> 6] &= ~(1ULL << (C & 63)); }
+  bool contains(unsigned char C) const {
+    return (Words[C >> 6] >> (C & 63)) & 1;
+  }
+
+  bool empty() const {
+    return (Words[0] | Words[1] | Words[2] | Words[3]) == 0;
+  }
+
+  /// Number of bytes in the set.
+  int size() const {
+    return __builtin_popcountll(Words[0]) + __builtin_popcountll(Words[1]) +
+           __builtin_popcountll(Words[2]) + __builtin_popcountll(Words[3]);
+  }
+
+  /// Smallest member; the set must be non-empty.
+  unsigned char first() const {
+    for (int W = 0; W < 4; ++W)
+      if (Words[W])
+        return static_cast<unsigned char>(W * 64 +
+                                          __builtin_ctzll(Words[W]));
+    return 0;
+  }
+
+  CharSet operator|(const CharSet &O) const {
+    CharSet R;
+    for (int I = 0; I < 4; ++I)
+      R.Words[I] = Words[I] | O.Words[I];
+    return R;
+  }
+  CharSet operator&(const CharSet &O) const {
+    CharSet R;
+    for (int I = 0; I < 4; ++I)
+      R.Words[I] = Words[I] & O.Words[I];
+    return R;
+  }
+  CharSet operator~() const {
+    CharSet R;
+    for (int I = 0; I < 4; ++I)
+      R.Words[I] = ~Words[I];
+    return R;
+  }
+  /// Set difference (this minus O).
+  CharSet operator-(const CharSet &O) const {
+    CharSet R;
+    for (int I = 0; I < 4; ++I)
+      R.Words[I] = Words[I] & ~O.Words[I];
+    return R;
+  }
+
+  bool operator==(const CharSet &O) const {
+    return std::memcmp(Words, O.Words, sizeof(Words)) == 0;
+  }
+  bool operator!=(const CharSet &O) const { return !(*this == O); }
+  bool operator<(const CharSet &O) const {
+    return std::memcmp(Words, O.Words, sizeof(Words)) < 0;
+  }
+
+  uint64_t hash() const {
+    uint64_t H = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t W : Words) {
+      H ^= W + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      H *= 0xff51afd7ed558ccdULL;
+    }
+    return H;
+  }
+
+  /// Members as contiguous [lo,hi] byte ranges, used by printers and the
+  /// code generator.
+  std::vector<std::pair<unsigned char, unsigned char>> ranges() const;
+
+  /// Compact textual form like "[a-z0-9_]" or "[^\"\\\\]".
+  std::string str() const;
+};
+
+/// Refines partition \p Acc (a list of disjoint CharSets covering the
+/// alphabet) by partition \p New: the result is all non-empty pairwise
+/// intersections. This is the ∧ operation on approximate derivative
+/// classes from Owens et al.
+std::vector<CharSet> refinePartition(const std::vector<CharSet> &Acc,
+                                     const std::vector<CharSet> &New);
+
+} // namespace flap
+
+#endif // FLAP_REGEX_CHARSET_H

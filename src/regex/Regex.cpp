@@ -1,0 +1,444 @@
+//===- regex/Regex.cpp - Hash-consed regexes with derivatives --------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Regex.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace flap;
+
+static uint64_t hashNode(RegexKind K, RegexId A, RegexId B, uint32_t Cls) {
+  uint64_t H = static_cast<uint64_t>(K);
+  H = H * 0x9e3779b97f4a7c15ULL + A;
+  H = H * 0x9e3779b97f4a7c15ULL + B;
+  H = H * 0x9e3779b97f4a7c15ULL + Cls;
+  return H;
+}
+
+RegexArena::RegexArena() {
+  // Pre-intern the constants so empty()/eps()/top() are O(1).
+  EmptyId = intern(Node{RegexKind::Empty, NoRegex, NoRegex, 0, false});
+  EpsId = intern(Node{RegexKind::Eps, NoRegex, NoRegex, 0, true});
+  TopId = intern(Node{RegexKind::Not, EmptyId, NoRegex, 0, true});
+}
+
+RegexId RegexArena::intern(Node N) {
+  uint64_t H = hashNode(N.K, N.A, N.B, N.ClassIdx);
+  auto &Bucket = InternMap[H];
+  for (RegexId Id : Bucket) {
+    const Node &M = Nodes[Id];
+    if (M.K == N.K && M.A == N.A && M.B == N.B && M.ClassIdx == N.ClassIdx)
+      return Id;
+  }
+  RegexId Id = static_cast<RegexId>(Nodes.size());
+  Nodes.push_back(N);
+  Bucket.push_back(Id);
+  return Id;
+}
+
+uint32_t RegexArena::mkClassIdx(const CharSet &S) {
+  uint64_t H = S.hash();
+  auto It = ClassMap.find(H);
+  if (It != ClassMap.end() && ClassPool[It->second] == S)
+    return It->second;
+  // Hash collision across distinct sets is possible but harmless: we fall
+  // through and append a fresh entry (hash-consing of classes is only an
+  // optimization; node identity uses the index we return).
+  uint32_t Idx = static_cast<uint32_t>(ClassPool.size());
+  ClassPool.push_back(S);
+  ClassMap[H] = Idx;
+  return Idx;
+}
+
+const CharSet &RegexArena::classOf(RegexId Id) const {
+  assert(kind(Id) == RegexKind::Class && "classOf on non-class regex");
+  return ClassPool[Nodes[Id].ClassIdx];
+}
+
+RegexId RegexArena::cls(const CharSet &S) {
+  if (S.empty())
+    return EmptyId;
+  return intern(Node{RegexKind::Class, NoRegex, NoRegex, mkClassIdx(S),
+                     false});
+}
+
+RegexId RegexArena::literal(std::string_view S) {
+  RegexId R = EpsId;
+  for (auto It = S.rbegin(); It != S.rend(); ++It)
+    R = seq(chr(static_cast<unsigned char>(*It)), R);
+  return R;
+}
+
+RegexId RegexArena::seq(RegexId A, RegexId B) {
+  // Zero and unit laws.
+  if (A == EmptyId || B == EmptyId)
+    return EmptyId;
+  if (A == EpsId)
+    return B;
+  if (B == EpsId)
+    return A;
+  // Right-associate: (x·y)·z => x·(y·z), a canonical spine.
+  if (kind(A) == RegexKind::Seq)
+    return seq(left(A), seq(right(A), B));
+  bool Null = nullable(A) && nullable(B);
+  return intern(Node{RegexKind::Seq, A, B, 0, Null});
+}
+
+void RegexArena::flatten(RegexKind K, RegexId Id,
+                         std::vector<RegexId> &Out) const {
+  if (kind(Id) == K) {
+    flatten(K, left(Id), Out);
+    flatten(K, right(Id), Out);
+    return;
+  }
+  Out.push_back(Id);
+}
+
+RegexId RegexArena::rebuildChain(RegexKind K, const std::vector<RegexId> &Ops) {
+  assert(!Ops.empty() && "rebuilding an empty operand chain");
+  RegexId R = Ops.back();
+  for (size_t I = Ops.size() - 1; I-- > 0;) {
+    bool Null = K == RegexKind::Alt
+                    ? (nullable(Ops[I]) || nullable(R))
+                    : (nullable(Ops[I]) && nullable(R));
+    R = intern(Node{K, Ops[I], R, 0, Null});
+  }
+  return R;
+}
+
+RegexId RegexArena::alt(RegexId A, RegexId B) {
+  if (A == B)
+    return A;
+  if (A == EmptyId)
+    return B;
+  if (B == EmptyId)
+    return A;
+  if (A == TopId || B == TopId)
+    return TopId;
+  // Flatten, merge character classes, sort, deduplicate.
+  std::vector<RegexId> Ops;
+  flatten(RegexKind::Alt, A, Ops);
+  flatten(RegexKind::Alt, B, Ops);
+  CharSet Merged;
+  bool SawClass = false;
+  std::vector<RegexId> Rest;
+  for (RegexId Op : Ops) {
+    if (kind(Op) == RegexKind::Class) {
+      Merged = Merged | classOf(Op);
+      SawClass = true;
+    } else {
+      Rest.push_back(Op);
+    }
+  }
+  if (SawClass)
+    Rest.push_back(cls(Merged));
+  std::sort(Rest.begin(), Rest.end());
+  Rest.erase(std::unique(Rest.begin(), Rest.end()), Rest.end());
+  if (Rest.size() == 1)
+    return Rest[0];
+  return rebuildChain(RegexKind::Alt, Rest);
+}
+
+RegexId RegexArena::and_(RegexId A, RegexId B) {
+  if (A == B)
+    return A;
+  if (A == EmptyId || B == EmptyId)
+    return EmptyId;
+  if (A == TopId)
+    return B;
+  if (B == TopId)
+    return A;
+  // Two single-byte classes intersect to a class over the intersection.
+  if (kind(A) == RegexKind::Class && kind(B) == RegexKind::Class)
+    return cls(classOf(A) & classOf(B));
+  std::vector<RegexId> Ops;
+  flatten(RegexKind::And, A, Ops);
+  flatten(RegexKind::And, B, Ops);
+  std::sort(Ops.begin(), Ops.end());
+  Ops.erase(std::unique(Ops.begin(), Ops.end()), Ops.end());
+  if (Ops.size() == 1)
+    return Ops[0];
+  return rebuildChain(RegexKind::And, Ops);
+}
+
+RegexId RegexArena::star(RegexId A) {
+  if (A == EmptyId || A == EpsId)
+    return EpsId;
+  if (kind(A) == RegexKind::Star)
+    return A;
+  if (A == TopId)
+    return TopId;
+  return intern(Node{RegexKind::Star, A, NoRegex, 0, true});
+}
+
+RegexId RegexArena::not_(RegexId A) {
+  if (kind(A) == RegexKind::Not)
+    return left(A);
+  return intern(Node{RegexKind::Not, A, NoRegex, 0, !nullable(A)});
+}
+
+RegexId RegexArena::repeat(RegexId A, unsigned N) {
+  RegexId R = EpsId;
+  for (unsigned I = 0; I < N; ++I)
+    R = seq(A, R);
+  return R;
+}
+
+RegexId RegexArena::repeat(RegexId A, unsigned Lo, unsigned Hi) {
+  assert(Lo <= Hi && "repeat with inverted bounds");
+  RegexId R = repeat(A, Lo);
+  RegexId OptA = opt(A);
+  for (unsigned I = Lo; I < Hi; ++I)
+    R = seq(R, OptA);
+  return R;
+}
+
+RegexId RegexArena::derive(RegexId Id, unsigned char C) {
+  uint64_t Key = (static_cast<uint64_t>(Id) << 8) | C;
+  auto It = DeriveMemo.find(Key);
+  if (It != DeriveMemo.end())
+    return It->second;
+
+  const Node N = Nodes[Id]; // copy: Nodes may reallocate below
+  RegexId R = EmptyId;
+  switch (N.K) {
+  case RegexKind::Empty:
+  case RegexKind::Eps:
+    R = EmptyId;
+    break;
+  case RegexKind::Class:
+    R = ClassPool[N.ClassIdx].contains(C) ? EpsId : EmptyId;
+    break;
+  case RegexKind::Seq: {
+    RegexId DA = seq(derive(N.A, C), N.B);
+    R = nullable(N.A) ? alt(DA, derive(N.B, C)) : DA;
+    break;
+  }
+  case RegexKind::Alt:
+    R = alt(derive(N.A, C), derive(N.B, C));
+    break;
+  case RegexKind::Star:
+    R = seq(derive(N.A, C), Id);
+    break;
+  case RegexKind::And:
+    R = and_(derive(N.A, C), derive(N.B, C));
+    break;
+  case RegexKind::Not:
+    R = not_(derive(N.A, C));
+    break;
+  }
+  DeriveMemo[Key] = R;
+  return R;
+}
+
+const std::vector<CharSet> &RegexArena::classes(RegexId Id) {
+  auto It = ClassesMemo.find(Id);
+  if (It != ClassesMemo.end())
+    return It->second;
+
+  const Node N = Nodes[Id];
+  std::vector<CharSet> Out;
+  switch (N.K) {
+  case RegexKind::Empty:
+  case RegexKind::Eps:
+    Out = {CharSet::all()};
+    break;
+  case RegexKind::Class: {
+    const CharSet &S = ClassPool[N.ClassIdx];
+    Out.push_back(S);
+    CharSet Comp = ~S;
+    if (!Comp.empty())
+      Out.push_back(Comp);
+    break;
+  }
+  case RegexKind::Seq: {
+    // Copy operand partitions: recursive classes() calls may rehash the
+    // memo map and invalidate references.
+    std::vector<CharSet> CA = classes(N.A);
+    if (!nullable(N.A)) {
+      Out = std::move(CA);
+      break;
+    }
+    std::vector<CharSet> CB = classes(N.B);
+    Out = refinePartition(CA, CB);
+    break;
+  }
+  case RegexKind::Alt:
+  case RegexKind::And: {
+    std::vector<CharSet> CA = classes(N.A);
+    std::vector<CharSet> CB = classes(N.B);
+    Out = refinePartition(CA, CB);
+    break;
+  }
+  case RegexKind::Star:
+  case RegexKind::Not:
+    Out = classes(N.A);
+    break;
+  }
+  return ClassesMemo.emplace(Id, std::move(Out)).first->second;
+}
+
+bool RegexArena::isEmptyLang(RegexId Id) {
+  auto Memo = EmptyMemo.find(Id);
+  if (Memo != EmptyMemo.end())
+    return Memo->second;
+
+  // Breadth-first search of the derivative automaton: the language is
+  // non-empty iff some reachable state is nullable.
+  std::vector<RegexId> Visited;
+  std::deque<RegexId> Work;
+  auto Push = [&](RegexId R) {
+    if (std::find(Visited.begin(), Visited.end(), R) == Visited.end()) {
+      Visited.push_back(R);
+      Work.push_back(R);
+    }
+  };
+  Push(Id);
+  while (!Work.empty()) {
+    RegexId Cur = Work.front();
+    Work.pop_front();
+    if (nullable(Cur)) {
+      EmptyMemo[Id] = false;
+      return false;
+    }
+    auto It = EmptyMemo.find(Cur);
+    if (It != EmptyMemo.end()) {
+      if (!It->second) {
+        EmptyMemo[Id] = false;
+        return false;
+      }
+      continue; // known empty: no need to expand
+    }
+    // Copy the class partition: classes() may rehash ClassesMemo while we
+    // intern derivatives below.
+    std::vector<CharSet> Parts = classes(Cur);
+    for (const CharSet &Part : Parts) {
+      RegexId Next = derive(Cur, Part.first());
+      if (Next != EmptyId)
+        Push(Next);
+    }
+  }
+  // No nullable state is reachable from any visited state: all empty.
+  for (RegexId R : Visited)
+    EmptyMemo[R] = true;
+  return true;
+}
+
+bool RegexArena::equivalent(RegexId A, RegexId B) {
+  if (A == B)
+    return true;
+  RegexId Diff = alt(and_(A, not_(B)), and_(B, not_(A)));
+  return isEmptyLang(Diff);
+}
+
+bool RegexArena::matches(RegexId Id, std::string_view Input) {
+  RegexId Cur = Id;
+  for (unsigned char C : Input) {
+    Cur = derive(Cur, C);
+    if (Cur == EmptyId)
+      return false;
+  }
+  return nullable(Cur);
+}
+
+bool RegexArena::witness(RegexId Id, std::string &Out) {
+  // BFS with parent links; the first nullable state yields the shortest
+  // witness.
+  struct Entry {
+    RegexId R;
+    int Parent;
+    unsigned char Via;
+  };
+  std::vector<Entry> Entries;
+  std::vector<RegexId> Seen;
+  std::deque<int> Work;
+  auto Push = [&](RegexId R, int Parent, unsigned char Via) {
+    if (std::find(Seen.begin(), Seen.end(), R) != Seen.end())
+      return;
+    Seen.push_back(R);
+    Entries.push_back({R, Parent, Via});
+    Work.push_back(static_cast<int>(Entries.size()) - 1);
+  };
+  Push(Id, -1, 0);
+  while (!Work.empty()) {
+    int Idx = Work.front();
+    Work.pop_front();
+    RegexId Cur = Entries[Idx].R;
+    if (nullable(Cur)) {
+      std::string Rev;
+      for (int I = Idx; Entries[I].Parent >= 0; I = Entries[I].Parent)
+        Rev += static_cast<char>(Entries[I].Via);
+      Out.assign(Rev.rbegin(), Rev.rend());
+      return true;
+    }
+    if (Seen.size() > 4096)
+      continue; // safety valve; languages this deep are not used here
+    std::vector<CharSet> Parts = classes(Cur);
+    for (const CharSet &Part : Parts) {
+      unsigned char Rep = Part.first();
+      // Prefer a printable representative for readable diagnostics.
+      for (auto [Lo, Hi] : Part.ranges()) {
+        if (Hi >= 0x20 && Lo < 0x7f) {
+          Rep = std::max<unsigned char>(Lo, 0x20);
+          break;
+        }
+      }
+      RegexId Next = derive(Cur, Rep);
+      if (Next != EmptyId && !isEmptyLang(Next))
+        Push(Next, Idx, Rep);
+    }
+  }
+  return false;
+}
+
+// Precedence levels: Alt=0, And=1, Seq=2, unary=3, atom=4.
+std::string RegexArena::strPrec(RegexId Id, int Prec) const {
+  const Node &N = Nodes[Id];
+  std::string S;
+  int MyPrec = 4;
+  switch (N.K) {
+  case RegexKind::Empty:
+    // Printed forms must re-parse: ⊥ renders as the empty class.
+    S = "[^\\x00-\\xff]";
+    break;
+  case RegexKind::Eps:
+    S = "()";
+    break;
+  case RegexKind::Class:
+    S = ClassPool[N.ClassIdx].str();
+    break;
+  case RegexKind::Seq:
+    MyPrec = 2;
+    S = strPrec(N.A, 2) + strPrec(N.B, 2);
+    break;
+  case RegexKind::Alt:
+    MyPrec = 0;
+    S = strPrec(N.A, 1) + "|" + strPrec(N.B, 0);
+    break;
+  case RegexKind::And:
+    MyPrec = 1;
+    S = strPrec(N.A, 2) + "&" + strPrec(N.B, 1);
+    break;
+  case RegexKind::Star:
+    MyPrec = 3;
+    S = strPrec(N.A, 4) + "*";
+    break;
+  case RegexKind::Not:
+    MyPrec = 3;
+    S = "~" + strPrec(N.A, 4);
+    break;
+  }
+  if (MyPrec < Prec)
+    return "(" + S + ")";
+  return S;
+}
+
+std::string RegexArena::str(RegexId Id) const { return strPrec(Id, 0); }

@@ -1,0 +1,178 @@
+//===- regex/Regex.h - Hash-consed regexes with derivatives ----*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regular expressions in the syntax of the paper (Fig. 3a):
+///
+///   r ::= ⊥ | ε | [S] | r·s | r|s | r* | r&s | ¬r
+///
+/// Nodes are hash-consed in a RegexArena with the "weak canonical forms"
+/// of Owens, Reppy and Turon (2009): smart constructors normalize modulo
+/// associativity, commutativity, idempotence and the unit/zero laws, which
+/// keeps the set of Brzozowski derivatives of any regex finite. The arena
+/// also provides nullability, per-byte derivatives, approximate derivative
+/// character classes, and decision procedures for emptiness, universality,
+/// disjointness and equivalence (the latter back canonicalization of
+/// lexers, §4, and the F3 lookahead construction, Fig. 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_REGEX_REGEX_H
+#define FLAP_REGEX_REGEX_H
+
+#include "regex/CharSet.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace flap {
+
+/// Index of a regex node within its RegexArena.
+using RegexId = uint32_t;
+constexpr RegexId NoRegex = static_cast<RegexId>(-1);
+
+enum class RegexKind : uint8_t {
+  Empty, ///< ⊥ — the empty language
+  Eps,   ///< ε — the language {""}
+  Class, ///< [S] — any single byte drawn from a CharSet
+  Seq,   ///< r·s
+  Alt,   ///< r|s
+  Star,  ///< r*
+  And,   ///< r&s
+  Not    ///< ¬r
+};
+
+/// Arena of hash-consed regex nodes. All regexes built through one arena
+/// share structure; equal regexes (modulo the weak canonical forms) have
+/// equal RegexIds, so derivative memoization and DFA-state identification
+/// are O(1) id comparisons.
+class RegexArena {
+public:
+  RegexArena();
+
+  //===--------------------------------------------------------------===//
+  // Constructors (normalizing)
+  //===--------------------------------------------------------------===//
+
+  RegexId empty() const { return EmptyId; }
+  RegexId eps() const { return EpsId; }
+  /// ¬⊥: the universal language.
+  RegexId top() const { return TopId; }
+
+  /// Single byte from \p S; Class(∅) collapses to ⊥.
+  RegexId cls(const CharSet &S);
+  RegexId chr(unsigned char C) { return cls(CharSet::of(C)); }
+  RegexId range(unsigned char Lo, unsigned char Hi) {
+    return cls(CharSet::range(Lo, Hi));
+  }
+  /// Any single byte.
+  RegexId anyChar() { return cls(CharSet::all()); }
+  /// The exact string \p S (ε when empty).
+  RegexId literal(std::string_view S);
+
+  RegexId seq(RegexId A, RegexId B);
+  RegexId alt(RegexId A, RegexId B);
+  RegexId star(RegexId A);
+  RegexId and_(RegexId A, RegexId B);
+  RegexId not_(RegexId A);
+
+  /// A? = A | ε.
+  RegexId opt(RegexId A) { return alt(A, eps()); }
+  /// A+ = A·A*.
+  RegexId plus(RegexId A) { return seq(A, star(A)); }
+  /// A{N} exact repetition.
+  RegexId repeat(RegexId A, unsigned N);
+  /// A{Lo,Hi} bounded repetition (Hi >= Lo).
+  RegexId repeat(RegexId A, unsigned Lo, unsigned Hi);
+
+  //===--------------------------------------------------------------===//
+  // Structure access
+  //===--------------------------------------------------------------===//
+
+  RegexKind kind(RegexId Id) const { return Nodes[Id].K; }
+  RegexId left(RegexId Id) const { return Nodes[Id].A; }
+  RegexId right(RegexId Id) const { return Nodes[Id].B; }
+  const CharSet &classOf(RegexId Id) const;
+  size_t numNodes() const { return Nodes.size(); }
+
+  //===--------------------------------------------------------------===//
+  // Semantics
+  //===--------------------------------------------------------------===//
+
+  /// ν(r): does r match the empty string? O(1), cached on the node.
+  bool nullable(RegexId Id) const { return Nodes[Id].Null; }
+
+  /// Brzozowski derivative ∂c(r). Memoized.
+  RegexId derive(RegexId Id, unsigned char C);
+
+  /// Approximate derivative classes: a partition of the byte alphabet
+  /// such that the derivative of \p Id is constant on each class.
+  /// Memoized; returns disjoint non-empty CharSets covering all bytes.
+  const std::vector<CharSet> &classes(RegexId Id);
+
+  /// True when L(r) = ∅. Decided by exploring the derivative automaton
+  /// (syntactic ⊥ is insufficient in the presence of ¬ and &).
+  bool isEmptyLang(RegexId Id);
+
+  /// True when L(r) = Σ*.
+  bool isUniversal(RegexId Id) { return isEmptyLang(not_(Id)); }
+
+  /// True when L(a) ∩ L(b) = ∅.
+  bool disjoint(RegexId A, RegexId B) { return isEmptyLang(and_(A, B)); }
+
+  /// True when L(a) = L(b).
+  bool equivalent(RegexId A, RegexId B);
+
+  /// True when L(a) ⊆ L(b).
+  bool contains(RegexId A, RegexId B) {
+    return isEmptyLang(and_(A, not_(B)));
+  }
+
+  /// Full-string match by folding derivatives (test/debug use; engines
+  /// use compiled automata).
+  bool matches(RegexId Id, std::string_view Input);
+
+  /// Finds some witness string in L(r), if the language is non-empty.
+  /// Returns false when empty. Useful in tests and diagnostics.
+  bool witness(RegexId Id, std::string &Out);
+
+  /// Renders the regex with minimal parentheses.
+  std::string str(RegexId Id) const;
+
+private:
+  struct Node {
+    RegexKind K;
+    RegexId A = NoRegex; ///< left / only operand
+    RegexId B = NoRegex; ///< right operand
+    uint32_t ClassIdx = 0;
+    bool Null = false;
+  };
+
+  RegexId intern(Node N);
+  RegexId mkClassIdx(const CharSet &S);
+  /// Flattens an Alt/And spine into its operand list.
+  void flatten(RegexKind K, RegexId Id, std::vector<RegexId> &Out) const;
+  RegexId rebuildChain(RegexKind K, const std::vector<RegexId> &Ops);
+  std::string strPrec(RegexId Id, int Prec) const;
+
+  std::vector<Node> Nodes;
+  std::vector<CharSet> ClassPool;
+  std::unordered_map<uint64_t, std::vector<RegexId>> InternMap;
+  std::unordered_map<uint64_t, uint32_t> ClassMap;
+  std::unordered_map<uint64_t, RegexId> DeriveMemo;
+  std::unordered_map<RegexId, std::vector<CharSet>> ClassesMemo;
+  std::unordered_map<RegexId, bool> EmptyMemo;
+
+  RegexId EmptyId = 0, EpsId = 0, TopId = 0;
+};
+
+} // namespace flap
+
+#endif // FLAP_REGEX_REGEX_H

@@ -1,0 +1,334 @@
+//===- regex/RegexParser.cpp - Textual regex pattern syntax ---------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/RegexParser.h"
+
+#include "support/StrUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace flap;
+
+namespace {
+
+/// Recursive-descent parser over the pattern string. All methods return
+/// NoRegex on error and record a message.
+class PatternParser {
+public:
+  PatternParser(RegexArena &Arena, std::string_view Pattern)
+      : Arena(Arena), Pattern(Pattern) {}
+
+  Result<RegexId> run() {
+    RegexId R = parseAlt();
+    if (R == NoRegex)
+      return Err(ErrorMsg);
+    if (Pos != Pattern.size())
+      return Err(fail("unexpected character"));
+    return R;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Pattern.size(); }
+  char peek() const { return Pattern[Pos]; }
+  bool eat(char C) {
+    if (atEnd() || Pattern[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  std::string fail(const std::string &Msg) {
+    if (ErrorMsg.empty())
+      ErrorMsg = format("regex pattern error at offset %zu: %s", Pos,
+                        Msg.c_str());
+    return ErrorMsg;
+  }
+
+  RegexId parseAlt() {
+    RegexId L = parseAnd();
+    if (L == NoRegex)
+      return NoRegex;
+    while (eat('|')) {
+      RegexId R = parseAnd();
+      if (R == NoRegex)
+        return NoRegex;
+      L = Arena.alt(L, R);
+    }
+    return L;
+  }
+
+  RegexId parseAnd() {
+    RegexId L = parseCat();
+    if (L == NoRegex)
+      return NoRegex;
+    while (eat('&')) {
+      RegexId R = parseCat();
+      if (R == NoRegex)
+        return NoRegex;
+      L = Arena.and_(L, R);
+    }
+    return L;
+  }
+
+  bool startsAtom() const {
+    if (atEnd())
+      return false;
+    char C = peek();
+    return C != '|' && C != '&' && C != ')' && C != '*' && C != '+' &&
+           C != '?' && C != '{';
+  }
+
+  RegexId parseCat() {
+    // An empty concatenation is ε (e.g. "a|" or "()").
+    RegexId L = Arena.eps();
+    while (startsAtom()) {
+      RegexId R = parsePostfix();
+      if (R == NoRegex)
+        return NoRegex;
+      L = Arena.seq(L, R);
+    }
+    return L;
+  }
+
+  RegexId parsePostfix() {
+    bool Complement = eat('~');
+    RegexId R = Complement ? parsePostfix() : parseAtom();
+    if (R == NoRegex)
+      return NoRegex;
+    if (Complement)
+      return Arena.not_(R);
+    while (!atEnd()) {
+      if (eat('*')) {
+        R = Arena.star(R);
+      } else if (eat('+')) {
+        R = Arena.plus(R);
+      } else if (eat('?')) {
+        R = Arena.opt(R);
+      } else if (peek() == '{') {
+        if (!parseBounds(R))
+          return NoRegex;
+      } else {
+        break;
+      }
+    }
+    return R;
+  }
+
+  bool parseBounds(RegexId &R) {
+    ++Pos; // '{'
+    unsigned Lo = 0, Hi = 0;
+    if (!parseNumber(Lo)) {
+      fail("expected repetition count after '{'");
+      return false;
+    }
+    if (eat('}')) {
+      R = Arena.repeat(R, Lo);
+      return true;
+    }
+    if (!eat(',')) {
+      fail("expected ',' or '}' in repetition bounds");
+      return false;
+    }
+    if (eat('}')) { // r{n,} = r{n} r*
+      R = Arena.seq(Arena.repeat(R, Lo), Arena.star(R));
+      return true;
+    }
+    if (!parseNumber(Hi) || Hi < Lo || !eat('}')) {
+      fail("malformed repetition bounds");
+      return false;
+    }
+    R = Arena.repeat(R, Lo, Hi);
+    return true;
+  }
+
+  bool parseNumber(unsigned &Out) {
+    if (atEnd() || peek() < '0' || peek() > '9')
+      return false;
+    Out = 0;
+    while (!atEnd() && peek() >= '0' && peek() <= '9') {
+      Out = Out * 10 + static_cast<unsigned>(peek() - '0');
+      ++Pos;
+    }
+    return true;
+  }
+
+  RegexId parseAtom() {
+    if (atEnd()) {
+      fail("unexpected end of pattern");
+      return NoRegex;
+    }
+    char C = Pattern[Pos++];
+    switch (C) {
+    case '(': {
+      RegexId R = parseAlt();
+      if (R == NoRegex)
+        return NoRegex;
+      if (!eat(')')) {
+        fail("expected ')'");
+        return NoRegex;
+      }
+      return R;
+    }
+    case '.':
+      return Arena.cls(~CharSet::of('\n'));
+    case '[':
+      return parseClass();
+    case '\\': {
+      CharSet S;
+      if (!parseEscape(S))
+        return NoRegex;
+      return Arena.cls(S);
+    }
+    case ']':
+    case '}':
+      // Tolerated as literals when unambiguous, like most engines.
+      return Arena.chr(static_cast<unsigned char>(C));
+    default:
+      return Arena.chr(static_cast<unsigned char>(C));
+    }
+  }
+
+  /// Parses the escape following a consumed backslash into a CharSet.
+  bool parseEscape(CharSet &Out) {
+    if (atEnd()) {
+      fail("dangling backslash");
+      return false;
+    }
+    char C = Pattern[Pos++];
+    switch (C) {
+    case 'n':
+      Out = CharSet::of('\n');
+      return true;
+    case 't':
+      Out = CharSet::of('\t');
+      return true;
+    case 'r':
+      Out = CharSet::of('\r');
+      return true;
+    case '0':
+      Out = CharSet::of('\0');
+      return true;
+    case 'd':
+      Out = CharSet::range('0', '9');
+      return true;
+    case 'D':
+      Out = ~CharSet::range('0', '9');
+      return true;
+    case 'w':
+      Out = CharSet::range('a', 'z') | CharSet::range('A', 'Z') |
+            CharSet::range('0', '9') | CharSet::of('_');
+      return true;
+    case 'W':
+      Out = ~(CharSet::range('a', 'z') | CharSet::range('A', 'Z') |
+              CharSet::range('0', '9') | CharSet::of('_'));
+      return true;
+    case 's':
+      Out = CharSet::ofString(" \t\r\n\f\v");
+      return true;
+    case 'S':
+      Out = ~CharSet::ofString(" \t\r\n\f\v");
+      return true;
+    case 'x': {
+      if (Pos + 2 > Pattern.size()) {
+        fail("truncated \\xNN escape");
+        return false;
+      }
+      auto HexVal = [](char H) -> int {
+        if (H >= '0' && H <= '9')
+          return H - '0';
+        if (H >= 'a' && H <= 'f')
+          return H - 'a' + 10;
+        if (H >= 'A' && H <= 'F')
+          return H - 'A' + 10;
+        return -1;
+      };
+      int HiD = HexVal(Pattern[Pos]), LoD = HexVal(Pattern[Pos + 1]);
+      if (HiD < 0 || LoD < 0) {
+        fail("malformed \\xNN escape");
+        return false;
+      }
+      Pos += 2;
+      Out = CharSet::of(static_cast<unsigned char>(HiD * 16 + LoD));
+      return true;
+    }
+    default:
+      // Escaped metacharacter or any other byte, taken literally.
+      Out = CharSet::of(static_cast<unsigned char>(C));
+      return true;
+    }
+  }
+
+  RegexId parseClass() {
+    bool Negate = eat('^');
+    CharSet S;
+    bool First = true;
+    while (true) {
+      if (atEnd()) {
+        fail("unterminated character class");
+        return NoRegex;
+      }
+      char C = Pattern[Pos];
+      if (C == ']' && !First) {
+        ++Pos;
+        break;
+      }
+      ++Pos;
+      First = false;
+      CharSet Lo;
+      if (C == '\\') {
+        if (!parseEscape(Lo))
+          return NoRegex;
+      } else {
+        Lo = CharSet::of(static_cast<unsigned char>(C));
+      }
+      // Range 'a-z'? Only when the left side is a single byte and a '-'
+      // follows that is not the closing position.
+      if (Lo.size() == 1 && !atEnd() && peek() == '-' &&
+          Pos + 1 < Pattern.size() && Pattern[Pos + 1] != ']') {
+        ++Pos; // '-'
+        char HiC = Pattern[Pos++];
+        CharSet Hi;
+        if (HiC == '\\') {
+          if (!parseEscape(Hi))
+            return NoRegex;
+        } else {
+          Hi = CharSet::of(static_cast<unsigned char>(HiC));
+        }
+        if (Hi.size() != 1 || Hi.first() < Lo.first()) {
+          fail("malformed character range");
+          return NoRegex;
+        }
+        S = S | CharSet::range(Lo.first(), Hi.first());
+      } else {
+        S = S | Lo;
+      }
+    }
+    return Arena.cls(Negate ? ~S : S);
+  }
+
+  RegexArena &Arena;
+  std::string_view Pattern;
+  size_t Pos = 0;
+  std::string ErrorMsg;
+};
+
+} // namespace
+
+Result<RegexId> flap::parseRegex(RegexArena &Arena, std::string_view Pattern) {
+  return PatternParser(Arena, Pattern).run();
+}
+
+RegexId flap::mustParseRegex(RegexArena &Arena, std::string_view Pattern) {
+  Result<RegexId> R = parseRegex(Arena, Pattern);
+  if (!R) {
+    std::fprintf(stderr, "fatal: %s (pattern: %s)\n", R.error().c_str(),
+                 std::string(Pattern).c_str());
+    std::abort();
+  }
+  return *R;
+}

@@ -1,0 +1,45 @@
+//===- regex/RegexParser.h - Textual regex pattern syntax -----*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parser for a conventional regex pattern syntax used to write lexer
+/// specifications compactly (the paper writes e.g. id = [a-z]+). Supported
+/// syntax, lowest to highest precedence:
+///
+///   alternation   r|s
+///   intersection  r&s                      (paper's r & s)
+///   concatenation rs
+///   complement    ~r                       (paper's ¬r)
+///   postfix       r* r+ r? r{n} r{n,} r{n,m}
+///   atoms         c  .  [..] [^..]  (r)  \escapes  \d \w \s \D \W \S
+///
+/// '.' matches any byte except '\n'. Escapes: \n \t \r \0 \xNN and any
+/// escaped metacharacter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_REGEX_REGEXPARSER_H
+#define FLAP_REGEX_REGEXPARSER_H
+
+#include "regex/Regex.h"
+#include "support/Result.h"
+
+#include <string_view>
+
+namespace flap {
+
+/// Parses \p Pattern into a regex in \p Arena. Errors carry the offending
+/// position.
+Result<RegexId> parseRegex(RegexArena &Arena, std::string_view Pattern);
+
+/// Convenience: parses \p Pattern and aborts with a message on error.
+/// Intended for statically-known patterns in grammars and tests.
+RegexId mustParseRegex(RegexArena &Arena, std::string_view Pattern);
+
+} // namespace flap
+
+#endif // FLAP_REGEX_REGEXPARSER_H

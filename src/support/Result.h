@@ -1,0 +1,93 @@
+//===- support/Result.h - Lightweight error handling ----------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free error propagation. The library never throws; fallible
+/// operations return Result<T> carrying either a value or an Err message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_SUPPORT_RESULT_H
+#define FLAP_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace flap {
+
+/// A diagnostic carried by a failed Result. Messages follow the LLVM
+/// style: lowercase first word, no trailing period.
+struct Err {
+  std::string Message;
+
+  explicit Err(std::string Msg) : Message(std::move(Msg)) {}
+};
+
+/// Either a value of type T or an error message. A minimal analogue of
+/// llvm::Expected without the checked-error discipline.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Result(Err E) : Storage(std::move(E)) {}
+
+  /// True when a value is present.
+  bool ok() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(ok() && "accessing value of failed Result");
+    return std::get<T>(Storage);
+  }
+  const T &value() const {
+    assert(ok() && "accessing value of failed Result");
+    return std::get<T>(Storage);
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  const std::string &error() const {
+    assert(!ok() && "accessing error of successful Result");
+    return std::get<Err>(Storage).Message;
+  }
+
+  /// Moves the value out; Result must hold a value.
+  T take() {
+    assert(ok() && "taking value of failed Result");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Err> Storage;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+public:
+  Status() = default;
+  /*implicit*/ Status(Err E) : Message(std::move(E.Message)), Failed(true) {}
+
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+  const std::string &error() const {
+    assert(Failed && "accessing error of successful Status");
+    return Message;
+  }
+
+  static Status success() { return Status(); }
+
+private:
+  std::string Message;
+  bool Failed = false;
+};
+
+} // namespace flap
+
+#endif // FLAP_SUPPORT_RESULT_H

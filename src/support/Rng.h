@@ -1,0 +1,82 @@
+//===- support/Rng.h - Deterministic random number generation -*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (xoshiro256** seeded by splitmix64).
+/// Used by workload generators and property tests so that every corpus
+/// and every random grammar is reproducible from a single seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_SUPPORT_RNG_H
+#define FLAP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace flap {
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 expansion of the seed into the full state.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() needs a positive bound");
+    // Debiased multiply-shift (Lemire).
+    __uint128_t M = static_cast<__uint128_t>(next()) * Bound;
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// Uniform value in the inclusive range [Lo, Hi].
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() needs Lo <= Hi");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Uniform double in [0,1).
+  double unit() { return (next() >> 11) * 0x1.0p-53; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace flap
+
+#endif // FLAP_SUPPORT_RNG_H

@@ -1,0 +1,72 @@
+//===- support/StrUtil.cpp - Small string helpers -------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StrUtil.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace flap;
+
+std::string flap::escapeChar(unsigned char C) {
+  switch (C) {
+  case '\n':
+    return "\\n";
+  case '\t':
+    return "\\t";
+  case '\r':
+    return "\\r";
+  case '\0':
+    return "\\0";
+  case '\\':
+    return "\\\\";
+  case '\'':
+    return "\\'";
+  case '"':
+    return "\\\"";
+  default:
+    break;
+  }
+  if (C >= 0x20 && C < 0x7f)
+    return std::string(1, static_cast<char>(C));
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "\\x%02x", C);
+  return Buf;
+}
+
+std::string flap::escapeString(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S)
+    Out += escapeChar(C);
+  return Out;
+}
+
+std::string flap::join(const std::vector<std::string> &Parts,
+                       std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string flap::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out(Needed > 0 ? Needed : 0, '\0');
+  if (Needed > 0)
+    std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  va_end(Args);
+  return Out;
+}

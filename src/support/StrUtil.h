@@ -1,0 +1,38 @@
+//===- support/StrUtil.h - Small string helpers ----------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String escaping and formatting helpers shared by printers, error
+/// messages and the code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_SUPPORT_STRUTIL_H
+#define FLAP_SUPPORT_STRUTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// Renders a byte as a printable C-style escape ('a', '\n', '\x1f', ...).
+std::string escapeChar(unsigned char C);
+
+/// Escapes a whole string using escapeChar conventions (without quotes).
+std::string escapeString(std::string_view S);
+
+/// Joins the elements of \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 std::string_view Sep);
+
+/// Formats like snprintf into a std::string.
+std::string format(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace flap
+
+#endif // FLAP_SUPPORT_STRUTIL_H

@@ -1,0 +1,61 @@
+//===- support/Timer.h - Wall-clock timing helpers -------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steady-clock stopwatch and a median-of-N measurement helper used by the
+/// benchmark harnesses (Fig. 11/12 throughput, Table 2 compile time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_SUPPORT_TIMER_H
+#define FLAP_SUPPORT_TIMER_H
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <vector>
+
+namespace flap {
+
+/// Simple steady-clock stopwatch; constructed running.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p Fn \p Reps times and returns the median wall-clock seconds of a
+/// single run. Keeps benches robust against scheduler noise.
+inline double medianSeconds(int Reps, const std::function<void()> &Fn) {
+  std::vector<double> Samples;
+  Samples.reserve(Reps);
+  for (int I = 0; I < Reps; ++I) {
+    Stopwatch W;
+    Fn();
+    Samples.push_back(W.seconds());
+  }
+  std::nth_element(Samples.begin(), Samples.begin() + Samples.size() / 2,
+                   Samples.end());
+  return Samples[Samples.size() / 2];
+}
+
+} // namespace flap
+
+#endif // FLAP_SUPPORT_TIMER_H

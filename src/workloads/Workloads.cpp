@@ -1,0 +1,435 @@
+//===- workloads/Workloads.cpp - Synthetic benchmark corpora ------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/StrUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace flap;
+
+namespace {
+
+void appendAtom(Rng &R, std::string &Out) {
+  static const char Alpha[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  size_t Len = 1 + R.below(8);
+  // First char alphabetic to look like identifiers.
+  Out += Alpha[R.below(26)];
+  for (size_t I = 1; I < Len; ++I)
+    Out += Alpha[R.below(36)];
+}
+
+void appendWs(Rng &R, std::string &Out) {
+  Out += " ";
+  if (R.chance(1, 12))
+    Out += "\n";
+  if (R.chance(1, 10))
+    Out += "  ";
+}
+
+/// Emits one sexp, biased to keep going until the budget runs out.
+void emitSexp(Rng &R, std::string &Out, size_t Budget, int Depth,
+              int64_t &Atoms) {
+  if (Depth > 10 || Budget < 8 || R.chance(1, 4)) {
+    appendAtom(R, Out);
+    ++Atoms;
+    return;
+  }
+  Out += "(";
+  size_t Kids = 1 + R.below(5);
+  for (size_t I = 0; I < Kids; ++I) {
+    if (I)
+      appendWs(R, Out);
+    emitSexp(R, Out, Budget / Kids, Depth + 1, Atoms);
+  }
+  Out += ")";
+}
+
+} // namespace
+
+Workload flap::genSexp(Rng &R, size_t TargetBytes) {
+  Workload W;
+  W.Input.reserve(TargetBytes + 64);
+  // One top-level sexp: a list that keeps growing until target size.
+  W.Input += "(";
+  int64_t Atoms = 0;
+  bool First = true;
+  while (W.Input.size() < TargetBytes - 1) {
+    if (!First)
+      appendWs(R, W.Input);
+    First = false;
+    emitSexp(R, W.Input, 256 + R.below(512), 0, Atoms);
+  }
+  W.Input += ")\n";
+  W.Expected = Value::integer(Atoms);
+  W.HasExpected = true;
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendJsonString(Rng &R, std::string &Out) {
+  static const char Chars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-";
+  Out += '"';
+  size_t Len = R.below(14);
+  for (size_t I = 0; I < Len; ++I) {
+    if (R.chance(1, 24)) {
+      Out += '\\';
+      Out += "\"\\/nrt"[R.below(6)];
+    } else {
+      Out += Chars[R.below(sizeof(Chars) - 1)];
+    }
+  }
+  Out += '"';
+}
+
+void appendJsonNumber(Rng &R, std::string &Out) {
+  if (R.chance(1, 5))
+    Out += '-';
+  Out += format("%llu", static_cast<unsigned long long>(R.below(100000)));
+  if (R.chance(1, 4))
+    Out += format(".%llu", static_cast<unsigned long long>(R.below(1000)));
+  if (R.chance(1, 10))
+    Out += format("e%s%llu", R.chance(1, 2) ? "+" : "-",
+                  static_cast<unsigned long long>(R.below(20)));
+}
+
+void emitJsonValue(Rng &R, std::string &Out, int Depth, int64_t &Objects) {
+  unsigned Pick = Depth > 7 ? 2 + R.below(4) : R.below(6);
+  switch (Pick) {
+  case 0: { // object
+    ++Objects;
+    Out += '{';
+    size_t N = R.below(5);
+    for (size_t I = 0; I < N; ++I) {
+      if (I)
+        Out += ", ";
+      appendJsonString(R, Out);
+      Out += ": ";
+      emitJsonValue(R, Out, Depth + 1, Objects);
+    }
+    Out += '}';
+    break;
+  }
+  case 1: { // array
+    Out += '[';
+    size_t N = R.below(6);
+    for (size_t I = 0; I < N; ++I) {
+      if (I)
+        Out += ", ";
+      emitJsonValue(R, Out, Depth + 1, Objects);
+    }
+    Out += ']';
+    break;
+  }
+  case 2:
+    appendJsonString(R, Out);
+    break;
+  case 3:
+    appendJsonNumber(R, Out);
+    break;
+  case 4:
+    Out += R.chance(1, 2) ? "true" : "false";
+    break;
+  default:
+    Out += "null";
+    break;
+  }
+}
+
+} // namespace
+
+Workload flap::genJson(Rng &R, size_t TargetBytes) {
+  Workload W;
+  W.Input.reserve(TargetBytes + 256);
+  int64_t Objects = 0;
+  // A stream of top-level messages, like a message log.
+  while (W.Input.size() < TargetBytes) {
+    ++Objects; // each message is itself an object
+    W.Input += "{";
+    size_t Fields = 2 + R.below(6);
+    for (size_t I = 0; I < Fields; ++I) {
+      if (I)
+        W.Input += ", ";
+      appendJsonString(R, W.Input);
+      W.Input += ": ";
+      emitJsonValue(R, W.Input, 1, Objects);
+    }
+    W.Input += "}\n";
+  }
+  W.Expected = Value::integer(Objects);
+  W.HasExpected = true;
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// CSV (RFC 4180, mandatory CRLF line endings)
+//===----------------------------------------------------------------------===//
+
+Workload flap::genCsv(Rng &R, size_t TargetBytes) {
+  Workload W;
+  W.Input.reserve(TargetBytes + 256);
+  size_t Cols = 3 + R.below(10);
+  int64_t Records = 0;
+  static const char Text[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .;:";
+  while (W.Input.size() < TargetBytes) {
+    for (size_t C = 0; C < Cols; ++C) {
+      if (C)
+        W.Input += ',';
+      unsigned Kind = R.below(10);
+      if (Kind == 0)
+        continue; // empty field
+      if (Kind <= 2) { // quoted field, possibly with commas/quotes/CRLF
+        W.Input += '"';
+        size_t Len = R.below(18);
+        for (size_t I = 0; I < Len; ++I) {
+          unsigned K = R.below(24);
+          if (K == 0)
+            W.Input += "\"\""; // escaped quote
+          else if (K == 1)
+            W.Input += ',';
+          else if (K == 2)
+            W.Input += "\r\n"; // embedded newline (RFC 4180 §2.6)
+          else
+            W.Input += Text[R.below(sizeof(Text) - 1)];
+        }
+        W.Input += '"';
+      } else if (Kind <= 6) { // numeric field
+        W.Input += format("%lld", static_cast<long long>(
+                                      R.range(-100000, 100000)));
+      } else { // textual field
+        size_t Len = 1 + R.below(12);
+        for (size_t I = 0; I < Len; ++I) {
+          char Ch = Text[R.below(sizeof(Text) - 1)];
+          W.Input += Ch == ',' ? '.' : Ch;
+        }
+      }
+    }
+    W.Input += "\r\n";
+    ++Records;
+  }
+  W.Expected = Value::integer(Records);
+  W.HasExpected = true;
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// PGN
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *const SanMoves[] = {
+    "e4",    "e5",   "Nf3",  "Nc6",  "Bb5", "a6",   "Ba4",   "Nf6",
+    "O-O",   "Be7",  "Re1",  "b5",   "Bb3", "d6",   "c3",    "O-O-O",
+    "h3",    "Nb8",  "d4",   "Nbd7", "Qe2", "exd4", "cxd4",  "Bxf3",
+    "Qxf3",  "Rfe8", "Rd1",  "Qc7",  "Bg5", "h6",   "Bh4",   "g5",
+    "Bg3",   "Nh5",  "Nd5",  "Qd8",  "e6",  "fxe6", "Rxe6+", "Kh7",
+    "Qd3+",  "Kg8",  "Ne7+", "Bxe7", "a8=Q", "Kxa8", "Qxg6#", "Rf1"};
+
+const char *const TagKeys[] = {"Event", "Site",     "Date",  "Round",
+                               "White", "Black",    "ECO",   "Result",
+                               "Annotator", "PlyCount"};
+
+} // namespace
+
+Workload flap::genPgn(Rng &R, size_t TargetBytes) {
+  Workload W;
+  W.Input.reserve(TargetBytes + 512);
+  int64_t Games = 0;
+  while (W.Input.size() < TargetBytes) {
+    // Header: 5-9 tag pairs.
+    size_t Tags = 5 + R.below(5);
+    for (size_t T = 0; T < Tags; ++T) {
+      W.Input += '[';
+      W.Input += TagKeys[R.below(sizeof(TagKeys) / sizeof(*TagKeys))];
+      W.Input += " \"";
+      size_t Len = 2 + R.below(16);
+      for (size_t I = 0; I < Len; ++I)
+        W.Input += static_cast<char>('a' + R.below(26));
+      W.Input += "\"]\n";
+    }
+    W.Input += '\n';
+    // Movetext: 20-60 numbered move pairs, occasional comments.
+    size_t Moves = 20 + R.below(41);
+    for (size_t MV = 1; MV <= Moves; ++MV) {
+      W.Input += format("%zu.", MV);
+      W.Input += ' ';
+      W.Input += SanMoves[R.below(sizeof(SanMoves) / sizeof(*SanMoves))];
+      W.Input += ' ';
+      if (R.chance(1, 2)) {
+        W.Input += SanMoves[R.below(sizeof(SanMoves) / sizeof(*SanMoves))];
+        W.Input += ' ';
+      }
+      if (R.chance(1, 16)) {
+        W.Input += "{";
+        size_t Len = 4 + R.below(24);
+        for (size_t I = 0; I < Len; ++I)
+          W.Input += static_cast<char>(R.chance(1, 6) ? ' '
+                                                      : 'a' + R.below(26));
+        W.Input += "} ";
+      }
+      if (MV % 8 == 0)
+        W.Input += '\n';
+    }
+    static const char *const Results[] = {"1-0", "0-1", "1/2-1/2", "*"};
+    W.Input += Results[R.below(4)];
+    W.Input += "\n\n";
+    ++Games;
+  }
+  W.Expected = Value::integer(Games);
+  W.HasExpected = true;
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// PPM (P3, ASCII)
+//===----------------------------------------------------------------------===//
+
+Workload flap::genPpm(Rng &R, size_t TargetBytes) {
+  Workload W;
+  // ~4 bytes per sample ("255 "); 3 samples per pixel.
+  size_t Pixels = TargetBytes / 12 + 1;
+  size_t Width = 1;
+  while (Width * Width < Pixels)
+    ++Width;
+  size_t Height = (Pixels + Width - 1) / Width;
+  W.Input.reserve(TargetBytes + 256);
+  W.Input += "P3\n# synthetic flap-cpp test image\n";
+  W.Input += format("%zu %zu\n255\n", Width, Height);
+  size_t Samples = 3 * Width * Height;
+  for (size_t I = 0; I < Samples; ++I) {
+    W.Input += format("%u", static_cast<unsigned>(R.below(256)));
+    W.Input += (I % 12 == 11) ? '\n' : ' ';
+    if (R.chance(1, 400))
+      W.Input += "# noise comment\n";
+  }
+  W.Input += '\n';
+  W.Expected = Value::boolean(true);
+  W.HasExpected = true;
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Arith
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// The arith generator mirrors the grammar's precedence levels so that
+// every emitted term is syntactically valid: expr ≥ cmp ≥ add ≥ mul ≥
+// atom, with let/if only at expr level and parentheses re-admitting
+// full expressions at atom level.
+void emitArithExpr(Rng &R, std::string &Out, int Depth);
+
+void emitArithAtom(Rng &R, std::string &Out, int Depth) {
+  unsigned Pick = Depth > 5 ? R.below(2) : R.below(8);
+  if (Pick == 7) {
+    Out += '(';
+    emitArithExpr(R, Out, Depth + 1);
+    Out += ')';
+    return;
+  }
+  if (Pick % 2 == 0)
+    Out += format("%llu", static_cast<unsigned long long>(R.below(1000)));
+  else
+    Out += static_cast<char>('a' + R.below(4)); // small variable pool
+}
+
+void emitArithMul(Rng &R, std::string &Out, int Depth) {
+  emitArithAtom(R, Out, Depth);
+  size_t Ops = Depth > 5 ? 0 : R.below(3);
+  for (size_t I = 0; I < Ops; ++I) {
+    Out += R.chance(1, 2) ? " * " : " / ";
+    emitArithAtom(R, Out, Depth);
+  }
+}
+
+void emitArithAdd(Rng &R, std::string &Out, int Depth) {
+  emitArithMul(R, Out, Depth);
+  size_t Ops = Depth > 5 ? 0 : R.below(3);
+  for (size_t I = 0; I < Ops; ++I) {
+    Out += R.chance(1, 2) ? " + " : " - ";
+    emitArithMul(R, Out, Depth);
+  }
+}
+
+void emitArithCmp(Rng &R, std::string &Out, int Depth) {
+  emitArithAdd(R, Out, Depth);
+  if (Depth <= 5 && R.chance(1, 4)) {
+    static const char *const Cmp[] = {" < ", " > ", " == "};
+    Out += Cmp[R.below(3)];
+    emitArithAdd(R, Out, Depth);
+  }
+}
+
+void emitArithExpr(Rng &R, std::string &Out, int Depth) {
+  unsigned Pick = Depth > 5 ? 0 : R.below(8);
+  switch (Pick) {
+  case 6: { // let binding
+    char V = static_cast<char>('a' + R.below(4));
+    Out += "let ";
+    Out += V;
+    Out += " = ";
+    emitArithExpr(R, Out, Depth + 1);
+    Out += " in ";
+    emitArithExpr(R, Out, Depth + 1);
+    break;
+  }
+  case 7: // if-then-else (the condition is usually a comparison)
+    Out += "if ";
+    emitArithCmp(R, Out, Depth + 1);
+    Out += " then ";
+    emitArithExpr(R, Out, Depth + 1);
+    Out += " else ";
+    emitArithExpr(R, Out, Depth + 1);
+    break;
+  default:
+    emitArithCmp(R, Out, Depth);
+    break;
+  }
+}
+
+} // namespace
+
+Workload flap::genArith(Rng &R, size_t TargetBytes) {
+  Workload W;
+  W.Input.reserve(TargetBytes + 256);
+  while (W.Input.size() < TargetBytes) {
+    emitArithExpr(R, W.Input, 0);
+    W.Input += ";\n";
+  }
+  // Expected value left to differential testing (engines must agree).
+  return W;
+}
+
+Workload flap::genWorkload(const std::string &Name, uint64_t Seed,
+                           size_t TargetBytes) {
+  Rng R(Seed);
+  if (Name == "sexp")
+    return genSexp(R, TargetBytes);
+  if (Name == "json")
+    return genJson(R, TargetBytes);
+  if (Name == "csv")
+    return genCsv(R, TargetBytes);
+  if (Name == "pgn")
+    return genPgn(R, TargetBytes);
+  if (Name == "ppm")
+    return genPpm(R, TargetBytes);
+  if (Name == "arith")
+    return genArith(R, TargetBytes);
+  std::fprintf(stderr, "fatal: unknown workload '%s'\n", Name.c_str());
+  std::abort();
+}

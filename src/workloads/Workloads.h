@@ -1,0 +1,54 @@
+//===- workloads/Workloads.h - Synthetic benchmark corpora -----*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic corpus generators for the six benchmarks of §6. The
+/// paper's corpora (chess game archives, Netpbm files, JSON samples,
+/// CSV files "of various sizes and dimensions, using a random variety of
+/// textual and numeric data") are not redistributable; these generators
+/// produce inputs with matching token statistics (lexeme length
+/// distributions, nesting depth, whitespace density) from a fixed seed,
+/// so every run of the benchmarks sees byte-identical inputs.
+///
+/// Where cheap, the generator also returns the expected semantic value
+/// (atom/object/record/game counts), which tests check against every
+/// engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_WORKLOADS_WORKLOADS_H
+#define FLAP_WORKLOADS_WORKLOADS_H
+
+#include "cfe/Value.h"
+#include "support/Rng.h"
+
+#include <string>
+
+namespace flap {
+
+/// A generated input with (optionally) its expected parse value.
+struct Workload {
+  std::string Input;
+  Value Expected;
+  bool HasExpected = false;
+};
+
+Workload genSexp(Rng &R, size_t TargetBytes);
+Workload genJson(Rng &R, size_t TargetBytes);
+Workload genCsv(Rng &R, size_t TargetBytes);
+Workload genPgn(Rng &R, size_t TargetBytes);
+Workload genPpm(Rng &R, size_t TargetBytes);
+Workload genArith(Rng &R, size_t TargetBytes);
+
+/// Dispatch by grammar name ("sexp", "json", "csv", "pgn", "ppm",
+/// "arith"). Aborts on an unknown name.
+Workload genWorkload(const std::string &Name, uint64_t Seed,
+                     size_t TargetBytes);
+
+} // namespace flap
+
+#endif // FLAP_WORKLOADS_WORKLOADS_H

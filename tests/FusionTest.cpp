@@ -1,0 +1,172 @@
+//===- tests/FusionTest.cpp - Lexer-parser fusion tests -----------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fuse.h"
+#include "core/Normalize.h"
+#include "engine/Pipeline.h"
+#include "grammars/Grammars.h"
+
+#include <gtest/gtest.h>
+
+using namespace flap;
+
+namespace {
+
+/// Compiles the paper's s-expression pipeline once for the suite.
+class FusionTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    Def = new std::shared_ptr<GrammarDef>(makeSexpGrammar());
+    auto R = compileFlap(*Def);
+    ASSERT_TRUE(R.ok()) << R.error();
+    P = new FlapParser(R.take());
+  }
+  static void TearDownTestSuite() {
+    delete P;
+    delete Def;
+    P = nullptr;
+    Def = nullptr;
+  }
+
+  static std::shared_ptr<GrammarDef> *Def;
+  static FlapParser *P;
+};
+
+std::shared_ptr<GrammarDef> *FusionTest::Def = nullptr;
+FlapParser *FusionTest::P = nullptr;
+
+TEST_F(FusionTest, SexpFusedShapeMatchesFig3e) {
+  const FusedGrammar &F = P->F;
+  // 3 nonterminals survive fusion; fusion never changes the NT count.
+  EXPECT_EQ(F.numNts(), P->G.numNts());
+  // Table 1: 9 fused productions for sexp (5 inlined + 3 skip + 1
+  // lookahead).
+  EXPECT_EQ(F.numProductions(), 9u);
+
+  // Per Fig. 3e: the start (sexp) has lpar, atom and skip branches and
+  // no ε; sexps additionally has the lookahead rule.
+  const FusedNt &Start = F.Nts[F.Start];
+  EXPECT_EQ(Start.Prods.size(), 3u);
+  EXPECT_FALSE(Start.HasEps);
+  int SkipCount = 0, EpsCount = 0;
+  for (const FusedNt &Nt : F.Nts) {
+    for (const FusedProd &Pr : Nt.Prods)
+      SkipCount += Pr.isSkip();
+    EpsCount += Nt.HasEps;
+  }
+  EXPECT_EQ(SkipCount, 3); // one whitespace production per nonterminal
+  EXPECT_EQ(EpsCount, 1);  // only sexps is nullable
+}
+
+TEST_F(FusionTest, InlinedRegexesMatchLexerRules) {
+  RegexArena &A = *(*Def)->Re;
+  const FusedGrammar &F = P->F;
+  // Every non-skip production's regex equals the canonical regex of its
+  // provenance token (F1 in Fig. 6).
+  for (const FusedNt &Nt : F.Nts)
+    for (const FusedProd &Pr : Nt.Prods) {
+      if (Pr.isSkip()) {
+        EXPECT_EQ(Pr.Re, F.SkipRe);
+        continue;
+      }
+      EXPECT_TRUE(
+          A.equivalent(Pr.Re, P->Canon.tokenRegex(A, Pr.FromTok)));
+    }
+}
+
+TEST_F(FusionTest, LexerSpecialization) {
+  // §2.7 step (1): rpar's nonterminal keeps only the rpar rule (plus
+  // skip) — atom/lpar lexing rules are discarded for it.
+  RegexArena &A = *(*Def)->Re;
+  TokenId Rp = (*Def)->Toks->get("rpar");
+  const FusedGrammar &F = P->F;
+  bool FoundRparNt = false;
+  for (const FusedNt &Nt : F.Nts) {
+    if (Nt.Prods.size() == 2 && !Nt.HasEps &&
+        Nt.Prods[0].FromTok == Rp) {
+      FoundRparNt = true;
+      EXPECT_TRUE(Nt.Prods[1].isSkip());
+      EXPECT_TRUE(A.matches(Nt.Prods[0].Re, ")"));
+      EXPECT_FALSE(A.matches(Nt.Prods[0].Re, "("));
+    }
+  }
+  EXPECT_TRUE(FoundRparNt);
+}
+
+TEST_F(FusionTest, LookaheadIsComplementOfBranches) {
+  // F3: the lookahead regex of a nullable nonterminal denotes exactly
+  // the complement of the union of its production regexes.
+  RegexArena &A = *(*Def)->Re;
+  for (const FusedNt &Nt : P->F.Nts) {
+    if (!Nt.HasEps)
+      continue;
+    RegexId Union = A.empty();
+    for (const FusedProd &Pr : Nt.Prods)
+      Union = A.alt(Union, Pr.Re);
+    EXPECT_TRUE(A.equivalent(Nt.Lookahead, A.not_(Union)));
+    // The branch regexes themselves are pairwise disjoint (canonical
+    // lexer), which is what makes the accept state unique.
+    for (size_t I = 0; I < Nt.Prods.size(); ++I)
+      for (size_t J = I + 1; J < Nt.Prods.size(); ++J)
+        EXPECT_TRUE(A.disjoint(Nt.Prods[I].Re, Nt.Prods[J].Re));
+  }
+}
+
+TEST_F(FusionTest, SkipProductionsReenterTheirNonterminal) {
+  for (NtId N = 0; N < P->F.numNts(); ++N)
+    for (const FusedProd &Pr : P->F.Nts[N].Prods) {
+      if (!Pr.isSkip())
+        continue;
+      ASSERT_EQ(Pr.Tail.size(), 1u);
+      EXPECT_TRUE(Pr.Tail[0].isNt());
+      EXPECT_EQ(Pr.Tail[0].Idx, N);
+    }
+}
+
+TEST(FusionErrorTest, MissingLexerRuleForToken) {
+  // A grammar that uses a token the lexer never returns must fail to
+  // fuse with a useful message.
+  auto Def = std::make_shared<GrammarDef>("broken");
+  Lang &L = *Def->L;
+  TokenId A = Def->Lexer->rule("a", "a");
+  TokenId Ghost = Def->Toks->intern("ghost");
+  Def->Root = L.seq(L.tok(A), L.tok(Ghost));
+  auto R = compileFlap(Def);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("ghost"), std::string::npos);
+}
+
+TEST(FusionNoSkipTest, GrammarWithoutSkipRules) {
+  // Fusion with an empty skip regex adds no F2 productions.
+  auto Def = std::make_shared<GrammarDef>("noskip");
+  Lang &L = *Def->L;
+  TokenId A = Def->Lexer->rule("a", "a");
+  TokenId B = Def->Lexer->rule("b", "b");
+  Def->Root = L.seqMap(
+      L.tok(A), L.tok(B),
+      [](ParseContext &, Value *) { return Value::unit(); }, "ab");
+  auto R = compileFlap(Def);
+  ASSERT_TRUE(R.ok()) << R.error();
+  for (const FusedNt &Nt : R->F.Nts)
+    for (const FusedProd &Pr : Nt.Prods)
+      EXPECT_FALSE(Pr.isSkip());
+  EXPECT_TRUE(R->parse("ab").ok());
+  EXPECT_FALSE(R->parse("a b").ok());
+}
+
+TEST_F(FusionTest, FusedCountsForAllBenchmarks) {
+  // Fusion preserves nonterminal count and only adds productions, on
+  // every benchmark grammar.
+  for (const auto &GDef : allBenchmarkGrammars()) {
+    auto R = compileFlap(GDef);
+    ASSERT_TRUE(R.ok()) << GDef->Name << ": " << R.error();
+    EXPECT_EQ(R->F.numNts(), R->G.numNts()) << GDef->Name;
+    EXPECT_GE(R->F.numProductions(), R->G.numProductions()) << GDef->Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/LexerTest.cpp - Lexer substrate tests ----------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/CompiledLexer.h"
+#include "lexer/LexerInterp.h"
+#include "lexer/LexerSpec.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace flap;
+
+namespace {
+
+/// The s-expression lexer of paper Fig. 3b.
+struct SexpLexer {
+  RegexArena A;
+  TokenSet Toks;
+  LexerSpec Spec{A, Toks};
+  TokenId Atom, Lpar, Rpar;
+
+  SexpLexer() {
+    Atom = Spec.rule("[a-z]+", "atom");
+    Spec.skip("[ \\n]");
+    Lpar = Spec.rule("\\(", "lpar");
+    Rpar = Spec.rule("\\)", "rpar");
+  }
+};
+
+TEST(LexerSpecTest, CanonicalizationDisjoint) {
+  SexpLexer L;
+  Result<CanonicalLexer> C = L.Spec.canonicalize();
+  ASSERT_TRUE(C.ok()) << C.error();
+  // All rules pairwise disjoint, including against the skip regex.
+  std::vector<RegexId> Rs = C->allRegexes();
+  for (size_t I = 0; I < Rs.size(); ++I)
+    for (size_t J = I + 1; J < Rs.size(); ++J)
+      EXPECT_TRUE(L.A.disjoint(Rs[I], Rs[J]));
+}
+
+TEST(LexerSpecTest, KeywordsCutIdentifiers) {
+  RegexArena A;
+  TokenSet Toks;
+  LexerSpec Spec(A, Toks);
+  TokenId Let = Spec.rule("let", "let");
+  TokenId Id = Spec.rule("[a-z]+", "id");
+  Result<CanonicalLexer> C = Spec.canonicalize();
+  ASSERT_TRUE(C.ok()) << C.error();
+  // "let" is no longer in the id rule's language.
+  EXPECT_FALSE(A.matches(C->tokenRegex(A, Id), "let"));
+  EXPECT_TRUE(A.matches(C->tokenRegex(A, Id), "lets"));
+  EXPECT_TRUE(A.matches(C->tokenRegex(A, Let), "let"));
+}
+
+TEST(LexerSpecTest, MergesDuplicateTokensAndSkips) {
+  RegexArena A;
+  TokenSet Toks;
+  LexerSpec Spec(A, Toks);
+  TokenId N = Spec.rule("[0-9]+", "num");
+  Spec.rule("0x[0-9a-f]+", "num"); // same token, second rule
+  Spec.skip(" ");
+  Spec.skip("\\n");
+  Result<CanonicalLexer> C = Spec.canonicalize();
+  ASSERT_TRUE(C.ok()) << C.error();
+  ASSERT_EQ(C->Rules.size(), 1u); // one canonical rule for 'num'
+  EXPECT_TRUE(A.matches(C->Rules[0].Re, "17"));
+  EXPECT_TRUE(A.matches(C->Rules[0].Re, "0xff"));
+  EXPECT_EQ(C->Rules[0].Tok, N);
+  EXPECT_TRUE(A.matches(C->SkipRe, " "));
+  EXPECT_TRUE(A.matches(C->SkipRe, "\n"));
+}
+
+TEST(LexerSpecTest, FullyShadowedRuleIsAnError) {
+  RegexArena A;
+  TokenSet Toks;
+  LexerSpec Spec(A, Toks);
+  Spec.rule("[a-z]+", "id");
+  Spec.rule("abc", "kw"); // completely inside id's language
+  Result<CanonicalLexer> C = Spec.canonicalize();
+  ASSERT_FALSE(C.ok());
+  EXPECT_NE(C.error().find("kw"), std::string::npos);
+}
+
+TEST(LexerSpecTest, EpsilonSubtracted) {
+  RegexArena A;
+  TokenSet Toks;
+  LexerSpec Spec(A, Toks);
+  Spec.rule("a*", "as"); // nullable rule
+  Result<CanonicalLexer> C = Spec.canonicalize();
+  ASSERT_TRUE(C.ok()) << C.error();
+  EXPECT_FALSE(A.nullable(C->Rules[0].Re));
+  EXPECT_TRUE(A.matches(C->Rules[0].Re, "aa"));
+}
+
+TEST(LexerInterpTest, SexpExample) {
+  SexpLexer L;
+  CanonicalLexer C = L.Spec.canonicalize().take();
+  auto Lexed = lexAll(L.A, C, "(ab c)\n(d)");
+  ASSERT_TRUE(Lexed.ok()) << Lexed.error();
+  std::vector<TokenId> Ids;
+  for (const Lexeme &T : *Lexed)
+    Ids.push_back(T.Tok);
+  EXPECT_EQ(Ids, (std::vector<TokenId>{L.Lpar, L.Atom, L.Atom, L.Rpar,
+                                       L.Lpar, L.Atom, L.Rpar}));
+  // Spans are correct.
+  EXPECT_EQ((*Lexed)[1].Begin, 1u);
+  EXPECT_EQ((*Lexed)[1].End, 3u);
+}
+
+TEST(LexerInterpTest, LongestMatch) {
+  RegexArena A;
+  TokenSet Toks;
+  LexerSpec Spec(A, Toks);
+  TokenId Eq = Spec.rule("=", "eq");
+  TokenId EqEq = Spec.rule("==", "eqeq");
+  CanonicalLexer C = Spec.canonicalize().take();
+  auto R = lexAll(A, C, "===");
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R->size(), 2u);
+  EXPECT_EQ((*R)[0].Tok, EqEq); // longest match first
+  EXPECT_EQ((*R)[1].Tok, Eq);
+}
+
+TEST(LexerInterpTest, ErrorPosition) {
+  SexpLexer L;
+  CanonicalLexer C = L.Spec.canonicalize().take();
+  auto R = lexAll(L.A, C, "ab !");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("offset 3"), std::string::npos);
+}
+
+TEST(LexerInterpTest, EmptyInput) {
+  SexpLexer L;
+  CanonicalLexer C = L.Spec.canonicalize().take();
+  auto R = lexAll(L.A, C, "");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R->empty());
+}
+
+TEST(CompiledLexerTest, AgreesWithInterpreter) {
+  SexpLexer L;
+  CanonicalLexer C = L.Spec.canonicalize().take();
+  CompiledLexer D(L.A, C);
+  Rng R(99);
+  static const char Chars[] = "abz() \n!()";
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::string In;
+    size_t Len = R.below(40);
+    for (size_t I = 0; I < Len; ++I)
+      In += Chars[R.below(sizeof(Chars) - 1)];
+    auto Ref = lexAll(L.A, C, In);
+    auto Got = D.lexAll(In);
+    ASSERT_EQ(Ref.ok(), Got.ok()) << "input: " << In;
+    if (Ref.ok()) {
+      EXPECT_EQ(*Ref, *Got) << "input: " << In;
+    }
+  }
+}
+
+TEST(CompiledLexerTest, RawIncludesSkips) {
+  SexpLexer L;
+  CanonicalLexer C = L.Spec.canonicalize().take();
+  CompiledLexer D(L.A, C);
+  uint32_t Pos = 0;
+  Lexeme T;
+  ASSERT_EQ(D.nextRaw("a b", Pos, T), LexStatus::Token);
+  EXPECT_EQ(T.Tok, L.Atom);
+  ASSERT_EQ(D.nextRaw("a b", Pos, T), LexStatus::Token);
+  EXPECT_EQ(T.Tok, NoToken); // the skip lexeme is visible raw
+  ASSERT_EQ(D.nextRaw("a b", Pos, T), LexStatus::Token);
+  EXPECT_EQ(T.Tok, L.Atom);
+  EXPECT_EQ(D.nextRaw("a b", Pos, T), LexStatus::Eof);
+}
+
+TEST(CompiledLexerTest, QuotedCsvFieldNeedsLookahead) {
+  // The csv case the paper singles out (§6): "" escapes need more than
+  // one character of lookahead; longest-match DFA handles it.
+  RegexArena A;
+  TokenSet Toks;
+  LexerSpec Spec(A, Toks);
+  TokenId Q = Spec.rule("\"(\"\"|[^\"])*\"", "quoted");
+  CanonicalLexer C = Spec.canonicalize().take();
+  CompiledLexer D(A, C);
+  auto R = D.lexAll("\"a\"\"b\"");
+  ASSERT_TRUE(R.ok()) << R.error();
+  ASSERT_EQ(R->size(), 1u); // one token covering the whole input
+  EXPECT_EQ((*R)[0].Tok, Q);
+  EXPECT_EQ((*R)[0].End, 6u);
+}
+
+TEST(CompiledLexerTest, StateCountIsReasonable) {
+  SexpLexer L;
+  CanonicalLexer C = L.Spec.canonicalize().take();
+  CompiledLexer D(L.A, C);
+  EXPECT_GT(D.numStates(), 1);
+  EXPECT_LT(D.numStates(), 32);
+  EXPECT_LE(D.numClasses(), 8);
+}
+
+} // namespace

@@ -1,0 +1,415 @@
+//===- tests/NormalizeTest.cpp - DGNF normalization tests ---------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfe/Combinators.h"
+#include "core/Expand.h"
+#include "core/Normalize.h"
+#include "core/Simplify.h"
+#include "core/Validate.h"
+#include "grammars/Grammars.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace flap;
+
+namespace {
+
+class NormalizeTest : public ::testing::Test {
+protected:
+  NormalizeTest() : L(Toks) {
+    Ta = Toks.intern("a");
+    Tb = Toks.intern("b");
+    Tc = Toks.intern("c");
+    Te = Toks.intern("e");
+  }
+
+  Grammar norm(Px P, NormalizeOptions Opts = {}) {
+    auto TC = L.check(P);
+    EXPECT_TRUE(TC.ok()) << (TC.ok() ? "" : TC.error());
+    auto G = normalize(L.Arena, P.Id, Opts);
+    EXPECT_TRUE(G.ok()) << (G.ok() ? "" : G.error());
+    return G.take();
+  }
+
+  TokenSet Toks;
+  Lang L;
+  TokenId Ta, Tb, Tc, Te;
+};
+
+//===----------------------------------------------------------------------===//
+// Base cases (Fig. 4 rules)
+//===----------------------------------------------------------------------===//
+
+TEST_F(NormalizeTest, Epsilon) {
+  Grammar G = norm(L.eps());
+  EXPECT_EQ(G.numNts(), 1u);
+  ASSERT_EQ(G.prodsOf(G.Start).size(), 1u);
+  EXPECT_TRUE(G.prodsOf(G.Start)[0].isEps());
+}
+
+TEST_F(NormalizeTest, Token) {
+  Grammar G = norm(L.tok(Ta));
+  ASSERT_EQ(G.prodsOf(G.Start).size(), 1u);
+  EXPECT_TRUE(G.prodsOf(G.Start)[0].isTok());
+  EXPECT_EQ(G.prodsOf(G.Start)[0].Tok, Ta);
+  EXPECT_TRUE(G.prodsOf(G.Start)[0].Tail.empty());
+}
+
+TEST_F(NormalizeTest, Bottom) {
+  Grammar G = norm(L.bot());
+  EXPECT_EQ(G.prodsOf(G.Start).size(), 0u);
+}
+
+TEST_F(NormalizeTest, Seq) {
+  // a·b: start → a n, n → b.
+  Grammar G = norm(L.seq(L.tok(Ta), L.tok(Tb)));
+  ASSERT_EQ(G.prodsOf(G.Start).size(), 1u);
+  const Production &P = G.prodsOf(G.Start)[0];
+  EXPECT_EQ(P.Tok, Ta);
+  ASSERT_EQ(P.Tail.size(), 1u);
+  ASSERT_TRUE(P.Tail[0].isNt());
+  const Production &Q = G.prodsOf(P.Tail[0].Idx)[0];
+  EXPECT_EQ(Q.Tok, Tb);
+}
+
+TEST_F(NormalizeTest, Alt) {
+  Grammar G = norm(L.alt(L.tok(Ta), L.tok(Tb)));
+  ASSERT_EQ(G.prodsOf(G.Start).size(), 2u);
+  std::vector<TokenId> Heads = {G.prodsOf(G.Start)[0].Tok,
+                                G.prodsOf(G.Start)[1].Tok};
+  std::sort(Heads.begin(), Heads.end());
+  EXPECT_EQ(Heads, (std::vector<TokenId>{Ta, Tb}));
+}
+
+TEST_F(NormalizeTest, FixStar) {
+  // a* = μx. ε | a·x normalizes to x → ε, x → a x.
+  Grammar G = norm(
+      L.fix([&](Px X) { return L.alt(L.eps(), L.seq(L.tok(Ta), X)); }));
+  ASSERT_EQ(G.prodsOf(G.Start).size(), 2u);
+  EXPECT_NE(G.epsProd(G.Start), nullptr);
+  const Production *P = G.tokProd(G.Start, Ta);
+  ASSERT_NE(P, nullptr);
+  ASSERT_EQ(P->Tail.size(), 1u);
+  EXPECT_EQ(P->Tail[0].Idx, G.Start); // ties the knot back to itself
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's running example (Fig. 3d / Fig. 5 / appendix A)
+//===----------------------------------------------------------------------===//
+
+TEST_F(NormalizeTest, SexpMatchesPaperFig3d) {
+  TokenId Lp = Toks.intern("lpar"), Rp = Toks.intern("rpar"),
+          At = Toks.intern("atom");
+  Px Sexp = L.fix([&](Px Self) {
+    Px Sexps = L.fix(
+        [&](Px Ss) { return L.alt(L.eps(), L.seq(Self, Ss)); });
+    return L.alt(L.seq(L.seq(L.tok(Lp), Sexps), L.tok(Rp)), L.tok(At));
+  });
+  Grammar G = norm(Sexp);
+
+  // Fig. 3d: 3 nonterminals (sexp, sexps, rpar), 6 productions.
+  EXPECT_EQ(G.numNts(), 3u);
+  EXPECT_EQ(G.numProductions(), 6u);
+
+  // sexp ::= lpar sexps rpar | atom
+  ASSERT_EQ(G.prodsOf(G.Start).size(), 2u);
+  const Production *PL = G.tokProd(G.Start, Lp);
+  ASSERT_NE(PL, nullptr);
+  ASSERT_EQ(PL->Tail.size(), 2u);
+  NtId Sexps = PL->Tail[0].Idx, Rpar = PL->Tail[1].Idx;
+  EXPECT_NE(G.tokProd(G.Start, At), nullptr);
+
+  // rpar ::= rpar
+  ASSERT_EQ(G.prodsOf(Rpar).size(), 1u);
+  EXPECT_EQ(G.prodsOf(Rpar)[0].Tok, Rp);
+
+  // sexps ::= lpar sexps rpar sexps | atom sexps | ε
+  ASSERT_EQ(G.prodsOf(Sexps).size(), 3u);
+  EXPECT_NE(G.epsProd(Sexps), nullptr);
+  const Production *SL = G.tokProd(Sexps, Lp);
+  ASSERT_NE(SL, nullptr);
+  std::vector<NtId> TailNts;
+  for (const Sym &S : SL->Tail)
+    if (S.isNt())
+      TailNts.push_back(S.Idx);
+  EXPECT_EQ(TailNts, (std::vector<NtId>{Sexps, Rpar, Sexps}));
+  const Production *SA = G.tokProd(Sexps, At);
+  ASSERT_NE(SA, nullptr);
+
+  EXPECT_TRUE(validateDgnf(G, Toks).ok());
+}
+
+TEST_F(NormalizeTest, WithoutAliasCollapseKeepsUnitNts) {
+  // Appendix A: without the optimization the derivation retains the
+  // intermediate n3 (an alias of sexps), giving a bigger grammar.
+  TokenId Lp = Toks.intern("lpar"), Rp = Toks.intern("rpar"),
+          At = Toks.intern("atom");
+  Px Sexp = L.fix([&](Px Self) {
+    Px Sexps = L.fix(
+        [&](Px Ss) { return L.alt(L.eps(), L.seq(Self, Ss)); });
+    return L.alt(L.seq(L.seq(L.tok(Lp), Sexps), L.tok(Rp)), L.tok(At));
+  });
+  NormalizeOptions Opts;
+  Opts.CollapseVarAliases = false;
+  Grammar G = norm(Sexp, Opts);
+  EXPECT_GT(G.numNts(), 3u);
+  // Still DGNF and still the same language.
+  EXPECT_TRUE(validateDgnf(G, Toks).ok()) << G.str(Toks);
+}
+
+//===----------------------------------------------------------------------===//
+// §2.5 examples (1)-(4): the DGNF validator classifies them
+//===----------------------------------------------------------------------===//
+
+Grammar example1() {
+  // n ::= a n1 n2 | b ; n1 ::= c ; n2 ::= e  — in DGNF.
+  Grammar G;
+  NtId N = G.addNt("n"), N1 = G.addNt("n1"), N2 = G.addNt("n2");
+  G.Start = N;
+  G.Prods[N].push_back(
+      Production::tok(0, {Sym::nt(N1), Sym::nt(N2)}));
+  G.Prods[N].push_back(Production::tok(1));
+  G.Prods[N1].push_back(Production::tok(2));
+  G.Prods[N2].push_back(Production::tok(3));
+  return G;
+}
+
+TEST(DgnfExamplesTest, Example1IsDgnf) {
+  TokenSet Toks;
+  for (const char *N : {"a", "b", "c", "e"})
+    Toks.intern(N);
+  EXPECT_TRUE(validateDgnf(example1(), Toks).ok());
+}
+
+TEST(DgnfExamplesTest, Example3ViolatesDeterminism) {
+  // n ::= a n1 | a n2 — two productions on 'a'.
+  TokenSet Toks;
+  TokenId Ta = Toks.intern("a");
+  Toks.intern("c");
+  Toks.intern("e");
+  Grammar G;
+  NtId N = G.addNt("n"), N1 = G.addNt("n1"), N2 = G.addNt("n2");
+  G.Start = N;
+  G.Prods[N].push_back(Production::tok(Ta, {Sym::nt(N1)}));
+  G.Prods[N].push_back(Production::tok(Ta, {Sym::nt(N2)}));
+  G.Prods[N1].push_back(Production::tok(1));
+  G.Prods[N2].push_back(Production::tok(2));
+  Status S = validateDgnf(G, Toks);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.error().find("Determinism"), std::string::npos);
+}
+
+TEST(DgnfExamplesTest, Example4ViolatesGuardedEps) {
+  // n ::= a n1 n2 ; n1 ::= c | ε ; n2 ::= c — the subtle case.
+  TokenSet Toks;
+  TokenId Ta = Toks.intern("a"), Tc = Toks.intern("c");
+  Grammar G;
+  NtId N = G.addNt("n"), N1 = G.addNt("n1"), N2 = G.addNt("n2");
+  G.Start = N;
+  G.Prods[N].push_back(Production::tok(Ta, {Sym::nt(N1), Sym::nt(N2)}));
+  G.Prods[N1].push_back(Production::tok(Tc));
+  G.Prods[N1].push_back(Production::eps());
+  G.Prods[N2].push_back(Production::tok(Tc));
+  Status S = validateDgnf(G, Toks);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.error().find("Guarded"), std::string::npos);
+}
+
+TEST(DgnfExamplesTest, GuardedEpsThroughNesting) {
+  // The follower relation must see *nested* adjacency: n ::= a m n2,
+  // m ::= b n1, n1 ::= ε | c, n2 ::= c. After expanding m, n1 is
+  // adjacent to n2 — same conflict as example (4), one level deep.
+  TokenSet Toks;
+  TokenId Ta = Toks.intern("a"), Tb = Toks.intern("b"),
+          Tc = Toks.intern("c");
+  Grammar G;
+  NtId N = G.addNt("n"), M = G.addNt("m"), N1 = G.addNt("n1"),
+       N2 = G.addNt("n2");
+  G.Start = N;
+  G.Prods[N].push_back(Production::tok(Ta, {Sym::nt(M), Sym::nt(N2)}));
+  G.Prods[M].push_back(Production::tok(Tb, {Sym::nt(N1)}));
+  G.Prods[N1].push_back(Production::eps());
+  G.Prods[N1].push_back(Production::tok(Tc));
+  G.Prods[N2].push_back(Production::tok(Tc));
+  Status S = validateDgnf(G, Toks);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.error().find("Guarded"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Theorem 3.7: normalization of well-typed expressions yields DGNF
+//===----------------------------------------------------------------------===//
+
+TEST(Theorem37Test, AllBenchmarkGrammarsNormalizeToDgnf) {
+  for (const auto &Def : allBenchmarkGrammars()) {
+    auto TC = Def->L->check(Def->Root);
+    ASSERT_TRUE(TC.ok()) << Def->Name << ": " << TC.error();
+    auto G = normalize(Def->L->Arena, Def->Root.Id);
+    ASSERT_TRUE(G.ok()) << Def->Name << ": " << G.error();
+    EXPECT_TRUE(validateDgnf(*G, *Def->Toks).ok())
+        << Def->Name << ": " << validateDgnf(*G, *Def->Toks).error();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Theorem 3.8 (soundness) and Theorem 3.1 (unique derivations), bounded
+//===----------------------------------------------------------------------===//
+
+class SoundnessTest : public NormalizeTest {
+protected:
+  /// Checks L(normalize(g)) == ⟦g⟧ up to MaxLen, and that every word has
+  /// exactly one derivation (Theorem 3.1).
+  void checkSoundness(Px P, unsigned MaxLen) {
+    Grammar G = norm(P);
+    ASSERT_TRUE(validateDgnf(G, Toks).ok())
+        << validateDgnf(G, Toks).error() << "\n"
+        << G.str(Toks);
+    WordCounts Expanded;
+    ASSERT_TRUE(expandWords(G, MaxLen, Expanded));
+    auto Denoted = denotationWords(L.Arena, P.Id, MaxLen);
+    std::vector<std::vector<TokenId>> ExpandedWords;
+    for (const auto &[W, Count] : Expanded) {
+      EXPECT_EQ(Count, 1u) << "word has multiple derivations";
+      ExpandedWords.push_back(W);
+    }
+    EXPECT_EQ(ExpandedWords, Denoted);
+  }
+};
+
+TEST_F(SoundnessTest, Star) {
+  checkSoundness(
+      L.fix([&](Px X) { return L.alt(L.eps(), L.seq(L.tok(Ta), X)); }), 6);
+}
+
+TEST_F(SoundnessTest, SeqAltMix) {
+  checkSoundness(L.seq(L.alt(L.tok(Ta), L.tok(Tb)),
+                       L.alt(L.tok(Tc), L.eps())),
+                 4);
+}
+
+TEST_F(SoundnessTest, Sexp) {
+  TokenId Lp = Toks.intern("lpar"), Rp = Toks.intern("rpar"),
+          At = Toks.intern("atom");
+  Px Sexp = L.fix([&](Px Self) {
+    Px Sexps = L.fix(
+        [&](Px Ss) { return L.alt(L.eps(), L.seq(Self, Ss)); });
+    return L.alt(L.seq(L.seq(L.tok(Lp), Sexps), L.tok(Rp)), L.tok(At));
+  });
+  checkSoundness(Sexp, 7);
+}
+
+TEST_F(SoundnessTest, NestedFix) {
+  // μx. a·(μy. ε | b·y)·c | e — inner star under an outer fix.
+  Px P = L.fix([&](Px X) {
+    Px Inner =
+        L.fix([&](Px Y) { return L.alt(L.eps(), L.seq(L.tok(Tb), Y)); });
+    return L.alt(L.seq(L.seq(L.tok(Ta), Inner), L.tok(Tc)), L.tok(Te));
+  });
+  checkSoundness(P, 6);
+}
+
+TEST_F(SoundnessTest, MutualNestingUsesOuterVar) {
+  // The paper's tricky case: the inner fix body references the outer
+  // variable (like sexps referencing sexp).
+  Px P = L.fix([&](Px X) {
+    Px Inner = L.fix(
+        [&](Px Y) { return L.alt(L.eps(), L.seq(X, Y)); });
+    return L.alt(L.seq(L.seq(L.tok(Ta), Inner), L.tok(Tb)), L.tok(Tc));
+  });
+  checkSoundness(P, 6);
+}
+
+TEST_F(SoundnessTest, BottomFix) {
+  // μx. a·x — empty language; expansion yields nothing.
+  Px P = L.fix([&](Px X) { return L.seq(L.tok(Ta), X); });
+  Grammar G = norm(P);
+  WordCounts W;
+  ASSERT_TRUE(expandWords(G, 8, W));
+  EXPECT_TRUE(W.empty());
+  EXPECT_TRUE(denotationWords(L.Arena, P.Id, 8).empty());
+}
+
+TEST_F(NormalizeTest, TrimRemovesUnreachable) {
+  Grammar G;
+  NtId S = G.addNt("s"), U = G.addNt("unused");
+  G.Start = S;
+  G.Prods[S].push_back(Production::tok(0));
+  G.Prods[U].push_back(Production::tok(1));
+  Grammar T = trimUnreachable(G);
+  EXPECT_EQ(T.numNts(), 1u);
+  EXPECT_EQ(T.numProductions(), 1u);
+  EXPECT_EQ(T.Names[T.Start], "s");
+}
+
+} // namespace
+
+namespace {
+
+TEST(ExpansionCountTest, AmbiguousGrammarHasMultipleDerivations) {
+  // n ::= a n1 | a n2 ; n1 ::= b ; n2 ::= b — "ab" derives two ways.
+  // (Not DGNF; expandWords counts derivations regardless, which is how
+  // Theorem 3.1 tests detect ambiguity.)
+  TokenSet Toks;
+  TokenId Ta = Toks.intern("a"), Tb = Toks.intern("b");
+  Grammar G;
+  NtId N = G.addNt("n"), N1 = G.addNt("n1"), N2 = G.addNt("n2");
+  G.Start = N;
+  G.Prods[N].push_back(Production::tok(Ta, {Sym::nt(N1)}));
+  G.Prods[N].push_back(Production::tok(Ta, {Sym::nt(N2)}));
+  G.Prods[N1].push_back(Production::tok(Tb));
+  G.Prods[N2].push_back(Production::tok(Tb));
+  WordCounts W;
+  ASSERT_TRUE(expandWords(G, 3, W));
+  ASSERT_EQ(W.size(), 1u);
+  std::vector<TokenId> Ab = {Ta, Tb};
+  EXPECT_EQ(W[Ab], 2u);
+}
+
+TEST(ExpansionCountTest, FrontierCapReportsIncomplete) {
+  // a* with a huge length bound under a tiny form cap: must report
+  // incompleteness rather than silently truncating.
+  TokenSet Toks;
+  TokenId Ta = Toks.intern("a");
+  Grammar G;
+  NtId N = G.addNt("n");
+  G.Start = N;
+  G.Prods[N].push_back(Production::eps());
+  G.Prods[N].push_back(Production::tok(Ta, {Sym::nt(N)}));
+  WordCounts W;
+  EXPECT_FALSE(expandWords(G, 60, W, /*MaxForms=*/8));
+  WordCounts W2;
+  EXPECT_TRUE(expandWords(G, 6, W2));
+  EXPECT_EQ(W2.size(), 7u); // ε, a, aa, ..., a^6
+}
+
+TEST(NormalizeSharedTest, SharedFixNormalizesOnce) {
+  // The regression behind the normalization memo: one μ-node reached
+  // through two parents must keep Determinism.
+  TokenSet Toks;
+  Lang L(Toks);
+  TokenId Ta = Toks.intern("a"), Tb = Toks.intern("b"),
+          Tc = Toks.intern("c");
+  Px Star = L.fix([&](Px X) {
+    return L.alt(L.eps(), L.seq(L.tok(Ta), X));
+  });
+  // Both branches embed the *same* Star node after distinct guards.
+  Px Root = L.alt(L.seq(L.tok(Tb), Star), L.seq(L.tok(Tc), Star));
+  ASSERT_TRUE(L.check(Root).ok());
+  auto G = normalize(L.Arena, Root.Id);
+  ASSERT_TRUE(G.ok()) << G.error();
+  EXPECT_TRUE(validateDgnf(*G, Toks).ok())
+      << validateDgnf(*G, Toks).error();
+  // The star subgrammar appears once (shared), not twice.
+  WordCounts W;
+  ASSERT_TRUE(expandWords(*G, 4, W));
+  for (const auto &[Word, Count] : W)
+    EXPECT_EQ(Count, 1u);
+}
+
+} // namespace

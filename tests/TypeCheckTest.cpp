@@ -1,0 +1,216 @@
+//===- tests/TypeCheckTest.cpp - K&Y type system tests ------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfe/Combinators.h"
+#include "cfe/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace flap;
+
+namespace {
+
+/// Fixture with three tokens a/b/c.
+class TypeCheckTest : public ::testing::Test {
+protected:
+  TypeCheckTest() : L(Toks) {
+    Ta = Toks.intern("a");
+    Tb = Toks.intern("b");
+    Tc = Toks.intern("c");
+  }
+
+  Result<TypeInfo> check(Px P) { return L.check(P); }
+
+  TokenSet Toks;
+  Lang L;
+  TokenId Ta, Tb, Tc;
+};
+
+TEST_F(TypeCheckTest, BaseTypes) {
+  Px Eps = L.eps();
+  auto R = check(Eps);
+  ASSERT_TRUE(R.ok());
+  const TpType &Te = R->of(Eps.Id);
+  EXPECT_TRUE(Te.Null);
+  EXPECT_TRUE(Te.First.empty());
+  EXPECT_TRUE(Te.FLast.empty());
+
+  Px Pa = L.tok(Ta);
+  auto R2 = check(Pa);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_FALSE(R2->of(Pa.Id).Null);
+  EXPECT_TRUE(R2->of(Pa.Id).First.test(Ta));
+  EXPECT_FALSE(R2->of(Pa.Id).First.test(Tb));
+
+  Px Bot = L.bot();
+  auto R3 = check(Bot);
+  ASSERT_TRUE(R3.ok());
+  EXPECT_FALSE(R3->of(Bot.Id).Null);
+  EXPECT_TRUE(R3->of(Bot.Id).First.empty());
+}
+
+TEST_F(TypeCheckTest, SeqType) {
+  Px P = L.seq(L.tok(Ta), L.tok(Tb));
+  auto R = check(P);
+  ASSERT_TRUE(R.ok()) << R.error();
+  const TpType &T = R->of(P.Id);
+  EXPECT_FALSE(T.Null);
+  EXPECT_TRUE(T.First.test(Ta));
+  EXPECT_FALSE(T.First.test(Tb)); // left is not nullable
+}
+
+TEST_F(TypeCheckTest, SeqFirstIncludesRightWhenLeftNullableInType) {
+  // τ1·τ2 First: b appears via a nullable *right* under alt shape:
+  // (a · (b | ε)) — FLast includes b.
+  Px P = L.seq(L.tok(Ta), L.alt(L.tok(Tb), L.eps()));
+  auto R = check(P);
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_TRUE(R->of(P.Id).FLast.test(Tb));
+}
+
+TEST_F(TypeCheckTest, AltType) {
+  Px P = L.alt(L.tok(Ta), L.tok(Tb));
+  auto R = check(P);
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_TRUE(R->of(P.Id).First.test(Ta));
+  EXPECT_TRUE(R->of(P.Id).First.test(Tb));
+}
+
+TEST_F(TypeCheckTest, RejectsOverlappingAlternatives) {
+  // a·b ∨ a·c: both Firsts are {a} — violates #.
+  Px P = L.alt(L.seq(L.tok(Ta), L.tok(Tb)), L.seq(L.tok(Ta), L.tok(Tc)));
+  auto R = check(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("apart"), std::string::npos);
+  EXPECT_NE(R.error().find("{a}"), std::string::npos);
+}
+
+TEST_F(TypeCheckTest, RejectsDoublyNullableAlternatives) {
+  auto R = check(L.alt(L.eps(), L.star(L.tok(Ta))));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("nullable"), std::string::npos);
+}
+
+TEST_F(TypeCheckTest, RejectsNullableLeftOfSeq) {
+  // (a | ε) · b — τ1 is nullable, ⊛ fails.
+  auto R = check(L.seq(L.alt(L.tok(Ta), L.eps()), L.tok(Tb)));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("separable"), std::string::npos);
+}
+
+TEST_F(TypeCheckTest, RejectsFLastFirstOverlap) {
+  // (a · b?) · b: FLast(left) = {b} meets First(right) = {b}.
+  Px Left = L.seq(L.tok(Ta), L.alt(L.tok(Tb), L.eps()));
+  auto R = check(L.seq(Left, L.tok(Tb)));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("FLast"), std::string::npos);
+}
+
+TEST_F(TypeCheckTest, RejectsLeftRecursion) {
+  // μx. x·a — the variable is used before any token is consumed.
+  auto R = check(L.fix([&](Px Self) { return L.seq(Self, L.tok(Ta)); }));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("unguarded"), std::string::npos);
+}
+
+TEST_F(TypeCheckTest, AcceptsRightRecursion) {
+  // μx. ε | a·x — a*.
+  auto Star = L.fix([&](Px Self) {
+    return L.alt(L.eps(), L.seq(L.tok(Ta), Self));
+  });
+  auto R = check(Star);
+  ASSERT_TRUE(R.ok()) << R.error();
+  const TpType &T = R->of(Star.Id);
+  EXPECT_TRUE(T.Null);
+  EXPECT_TRUE(T.First.test(Ta));
+  EXPECT_TRUE(T.FLast.test(Ta)); // "a" can follow a complete "a"
+}
+
+TEST_F(TypeCheckTest, GuardedRecursionThroughSeq) {
+  // μx. a · x | b — x is guarded by a, legal via the Γ,Δ shuffle.
+  auto P = L.fix([&](Px Self) {
+    return L.alt(L.seq(L.tok(Ta), Self), L.tok(Tb));
+  });
+  auto R = check(P);
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_FALSE(R->of(P.Id).Null);
+}
+
+TEST_F(TypeCheckTest, SexpTypeMatchesPaper) {
+  // μ sexp. (lpar · (μ sexps. ε ∨ sexp·sexps) · rpar) ∨ atom
+  TokenId Lp = Toks.intern("lpar"), Rp = Toks.intern("rpar"),
+          At = Toks.intern("atom");
+  Px Sexp = L.fix([&](Px Self) {
+    Px Sexps = L.fix(
+        [&](Px Ss) { return L.alt(L.eps(), L.seq(Self, Ss)); });
+    return L.alt(L.seq(L.seq(L.tok(Lp), Sexps), L.tok(Rp)), L.tok(At));
+  });
+  auto R = check(Sexp);
+  ASSERT_TRUE(R.ok()) << R.error();
+  const TpType &T = R->of(Sexp.Id);
+  EXPECT_FALSE(T.Null);
+  EXPECT_TRUE(T.First.test(Lp));
+  EXPECT_TRUE(T.First.test(At));
+  EXPECT_FALSE(T.First.test(Rp));
+}
+
+TEST_F(TypeCheckTest, NestedFixTypeInference) {
+  // μx. a · (μy. ε | b·y) — type: non-null, First {a}, FLast {b}.
+  auto P = L.fix([&](Px X) {
+    Px Inner =
+        L.fix([&](Px Y) { return L.alt(L.eps(), L.seq(L.tok(Tb), Y)); });
+    return L.seq(L.tok(Ta), Inner);
+  });
+  auto R = check(P);
+  ASSERT_TRUE(R.ok()) << R.error();
+  const TpType &T = R->of(P.Id);
+  EXPECT_FALSE(T.Null);
+  EXPECT_TRUE(T.First.test(Ta));
+  EXPECT_FALSE(T.First.test(Tb));
+  EXPECT_TRUE(T.FLast.test(Tb));
+}
+
+TEST_F(TypeCheckTest, BottomFixIsTyped) {
+  // μx. a·x — never terminates but is well-typed (empty language).
+  auto P = L.fix([&](Px Self) { return L.seq(L.tok(Ta), Self); });
+  auto R = check(P);
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_FALSE(R->of(P.Id).Null);
+}
+
+TEST_F(TypeCheckTest, UnboundVariableRejected) {
+  Px Bad = {L.Arena.var(L.Arena.freshVar()), 1};
+  auto R = check(Bad);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("unbound"), std::string::npos);
+}
+
+TEST_F(TypeCheckTest, MapIsTransparent) {
+  Px P = L.map(L.tok(Ta),
+               [](ParseContext &, Value *) { return Value::unit(); });
+  auto R = check(P);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R->of(P.Id).First.test(Ta));
+}
+
+TEST_F(TypeCheckTest, CombinatorHelpersAreTyped) {
+  // star / plus / count / foldr / keepLeft / keepRight / pairUp / all.
+  Px Pa = L.tok(Ta);
+  EXPECT_TRUE(check(L.star(Pa)).ok());
+  EXPECT_TRUE(check(L.plus(Pa)).ok());
+  EXPECT_TRUE(check(L.count(Pa)).ok());
+  EXPECT_TRUE(check(L.keepLeft(Pa, L.tok(Tb))).ok());
+  EXPECT_TRUE(check(L.keepRight(Pa, L.tok(Tb))).ok());
+  EXPECT_TRUE(check(L.pairUp(Pa, L.tok(Tb))).ok());
+  EXPECT_TRUE(check(L.all({Pa, L.tok(Tb), L.tok(Tc)},
+                          [](ParseContext &, Value *) {
+                            return Value::unit();
+                          }))
+                  .ok());
+}
+
+} // namespace
