@@ -79,10 +79,18 @@ std::vector<NamedEngine> flapbench::fig11Engines(EngineSet &E) {
                                         Ctx.get())
                        .ok();
                  }});
-  // (d) flap: the staged fused machine.
-  Out.push_back({"flap", [&E, Fresh](std::string_view In) {
+  // (d) flap: the staged fused machine, run-skip accelerated, reusing a
+  // scratch across parses (the allocation-free hot entry point).
+  auto Scratch = std::make_shared<ParseScratch>();
+  Out.push_back({"flap", [&E, Fresh, Scratch](std::string_view In) {
                    auto Ctx = Fresh();
-                   return E.P.M.parse(In, Ctx.get()).ok();
+                   return E.P.M.parse(In, *Scratch, Ctx.get()).ok();
+                 }});
+  // (d') the same machine through the pre-PR byte-at-a-time table walk —
+  // the recorded baseline the run-skip speedup is measured against.
+  Out.push_back({"flap(prePR)", [&E, Fresh](std::string_view In) {
+                   auto Ctx = Fresh();
+                   return E.P.M.parseLegacy(In, Ctx.get()).ok();
                  }});
   // (g) normalized but unfused.
   Out.push_back({"normalized", [&E, Fresh](std::string_view In) {
@@ -118,8 +126,12 @@ std::vector<NamedEngine> flapbench::recognitionEngines(EngineSet &E) {
                    auto Toks = E.Lex->lexAll(In);
                    return Toks.ok() && recognizeRdTokens(E.TT, *Toks);
                  }});
-  Out.push_back({"flap", [&E](std::string_view In) {
-                   return E.P.M.recognize(In);
+  auto Scratch = std::make_shared<ParseScratch>();
+  Out.push_back({"flap", [&E, Scratch](std::string_view In) {
+                   return E.P.M.recognize(In, *Scratch);
+                 }});
+  Out.push_back({"flap(prePR)", [&E](std::string_view In) {
+                   return E.P.M.recognizeLegacy(In);
                  }});
   Out.push_back({"normalized", [&E](std::string_view In) {
                    return E.Unfused->recognize(In);

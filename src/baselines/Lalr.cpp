@@ -318,9 +318,8 @@ Result<Value> LalrParser::parse(const std::vector<Lexeme> &Toks,
 
   if (Values.size() == 1)
     return Values.pop();
-  ValueList L;
-  while (Values.size())
-    L.insert(L.begin(), Values.pop());
+  // One O(n) copy bottom-to-top (pop-and-insert-front was O(n²)).
+  ValueList L(Values.data(), Values.data() + Values.size());
   return Value::list(std::move(L));
 }
 

@@ -134,9 +134,8 @@ public:
                         Look.lexeme().Begin));
     if (Values.size() == 1)
       return Values.pop();
-    ValueList L;
-    while (Values.size())
-      L.insert(L.begin(), Values.pop());
+    // One O(n) copy bottom-to-top (pop-and-insert-front was O(n²)).
+    ValueList L(Values.data(), Values.data() + Values.size());
     return Value::list(std::move(L));
   }
 
@@ -266,9 +265,8 @@ Result<Value> flap::parseAspTokens(const TokenTables &T,
                       Toks[Pos].Begin));
   if (Values.size() == 1)
     return Values.pop();
-  ValueList L;
-  while (Values.size())
-    L.insert(L.begin(), Values.pop());
+  // One O(n) copy bottom-to-top (pop-and-insert-front was O(n²)).
+  ValueList L(Values.data(), Values.data() + Values.size());
   return Value::list(std::move(L));
 }
 

@@ -116,6 +116,10 @@ public:
   size_t size() const { return Stack.size(); }
   void clear() { Stack.clear(); }
 
+  /// The values bottom-to-top (oldest first). Engines collect final
+  /// results with one O(n) copy instead of popping one value at a time.
+  const Value *data() const { return Stack.data(); }
+
 private:
   std::vector<Value> Stack;
 };

@@ -12,6 +12,7 @@
 
 #include <cassert>
 #include <map>
+#include <unordered_map>
 
 using namespace flap;
 
@@ -20,6 +21,22 @@ namespace {
 /// A machine state: the memoization index of Fig. 10 — the current set of
 /// ⟨regex, continuation⟩ pairs.
 using ItemSet = std::vector<std::pair<RegexId, int32_t>>;
+
+/// FNV-1a over the item pairs; states are interned once per distinct set,
+/// so hashing replaces the former O(log n) ordered-map comparisons in the
+/// staging loop (Table 2 compile time).
+struct ItemSetHash {
+  size_t operator()(const ItemSet &S) const {
+    uint64_t H = 1469598103934665603ull;
+    for (const auto &[Re, K] : S) {
+      H = (H ^ static_cast<uint64_t>(static_cast<uint32_t>(Re))) *
+          1099511628211ull;
+      H = (H ^ static_cast<uint64_t>(static_cast<uint32_t>(K))) *
+          1099511628211ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
 
 } // namespace
 
@@ -41,30 +58,42 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
   bool HaveSkip = F.SkipRe != NoRegex && F.SkipRe != Arena.empty();
 
   // Continuations: one per fused production, plus one sentinel for the
-  // trailing-skip matcher.
+  // trailing-skip matcher. Tails are flattened into one contiguous pool
+  // so the residual loop never chases a per-continuation vector.
+  auto AddCont = [&M](TokenId PushTok, const std::vector<Sym> &Tail,
+                      bool SelfSkip) -> int32_t {
+    int32_t ContId = static_cast<int32_t>(M.Conts.size());
+    CompiledParser::Cont K;
+    K.PushTok = PushTok;
+    K.SelfSkip = SelfSkip;
+    K.TailOff = static_cast<uint32_t>(M.TailPool.size());
+    K.TailLen = static_cast<uint32_t>(Tail.size());
+    M.TailPool.insert(M.TailPool.end(), Tail.begin(), Tail.end());
+    M.Conts.push_back(K);
+    return ContId;
+  };
+
   std::vector<ItemSet> NtStartItems(F.numNts());
   for (NtId N = 0; N < F.numNts(); ++N)
     for (const FusedProd &P : F.Nts[N].Prods) {
-      int32_t ContId = static_cast<int32_t>(M.Conts.size());
       bool SelfSkip = P.isSkip() && P.Tail.size() == 1 &&
                       P.Tail[0].isNt() && P.Tail[0].Idx == N;
-      M.Conts.push_back({P.FromTok, P.Tail, SelfSkip});
+      int32_t ContId = AddCont(P.FromTok, P.Tail, SelfSkip);
       NtStartItems[N].push_back({P.Re, ContId});
     }
   int32_t TrailCont = -1;
-  if (HaveSkip) {
-    TrailCont = static_cast<int32_t>(M.Conts.size());
-    M.Conts.push_back({NoToken, {}});
-  }
+  if (HaveSkip)
+    TrailCont = AddCont(NoToken, {}, false);
 
   // Memoized state generation — "there is at most one generated function
   // S_{F_n,k} for any particular F_n and k" (§5.4). Transitions are
   // first computed per *byte* (rows of 256), each state deriving along
   // its own derivative-class partition (Owens et al.); a compression
   // pass below folds equivalent bytes into global classes.
-  std::map<ItemSet, int32_t> StateIds;
+  std::unordered_map<ItemSet, int32_t, ItemSetHash> StateIds;
   std::vector<ItemSet> States;
-  std::vector<int32_t> Rows; // States.size() * 256
+  std::vector<int32_t> AcceptRaw; // pre-renumbering accepting cont or -1
+  std::vector<int32_t> Rows;      // States.size() * 256
   bool Overflow = false;
   auto InternState = [&](ItemSet Items) -> int32_t {
     auto It = StateIds.find(Items);
@@ -88,7 +117,7 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
         Acc = K;
       }
     }
-    M.AcceptCont.push_back(Acc);
+    AcceptRaw.push_back(Acc);
     Rows.resize(States.size() * 256, CompiledParser::Dead);
     return Id;
   };
@@ -150,14 +179,105 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
       return Err(format("staged parser exceeds %zu states", MaxStates));
   }
 
+  // Fused accept/transition encoding: renumber states into tiers —
+  // [0, NumSelfSkip) accept an F2 whitespace continuation, then
+  // [NumSelfSkip, NumAccept) accept a regular continuation, then the
+  // rest. Per-byte acceptance and the end-of-lexeme "rescan in place?"
+  // decision become register compares; the dependent AcceptCont load
+  // leaves the per-byte loop entirely.
+  const size_t NumStates = States.size();
+  auto TierOf = [&](size_t S) {
+    int32_t A = AcceptRaw[S];
+    if (A < 0)
+      return 2;
+    return M.Conts[A].SelfSkip ? 0 : 1;
+  };
+  std::vector<int32_t> Perm(NumStates);
+  int32_t NextId = 0;
+  for (int Tier = 0; Tier < 3; ++Tier) {
+    for (size_t S = 0; S < NumStates; ++S)
+      if (TierOf(S) == Tier)
+        Perm[S] = NextId++;
+    if (Tier == 0)
+      M.NumSelfSkip = NextId;
+    if (Tier == 1)
+      M.NumAccept = NextId;
+  }
+
+  std::vector<int32_t> PRows(NumStates * 256, CompiledParser::Dead);
+  for (size_t S = 0; S < NumStates; ++S)
+    for (int C = 0; C < 256; ++C) {
+      int32_t D = Rows[S * 256 + C];
+      PRows[static_cast<size_t>(Perm[S]) * 256 + C] = D < 0 ? D : Perm[D];
+    }
+  M.AcceptCont.assign(NumStates, -1);
+  for (size_t S = 0; S < NumStates; ++S)
+    M.AcceptCont[static_cast<size_t>(Perm[S])] = AcceptRaw[S];
+  for (auto &Nt : M.Nts)
+    Nt.StartState = Perm[Nt.StartState];
+  if (M.SkipState >= 0)
+    M.SkipState = Perm[M.SkipState];
+
+  // Run-state skip metadata: the byte set on which each state loops to
+  // itself (identifier/number/whitespace/string interiors).
+  M.Skip.resize(NumStates);
+  for (size_t S = 0; S < NumStates; ++S) {
+    for (int C = 0; C < 256; ++C)
+      if (PRows[S * 256 + C] == static_cast<int32_t>(S))
+        M.Skip[S].set(static_cast<unsigned char>(C));
+    M.Skip[S].finalize();
+  }
+
+  // Packed symbol pools + state-indexed accept metadata. Stack entries
+  // and tails carry the nonterminal's start state inline, so the
+  // residual loop pops work items without touching NtInfo.
+  assert(F.numNts() < (1u << 15) && "packed NtId overflows 15 bits");
+  assert(NumStates < (1u << 16) && "packed start state overflows 16 bits");
+  std::vector<uint32_t> ContPOff(M.Conts.size()), ContPLen(M.Conts.size());
+  std::vector<uint32_t> ContNOff(M.Conts.size()), ContNLen(M.Conts.size());
+  for (size_t C = 0; C < M.Conts.size(); ++C) {
+    const CompiledParser::Cont &K = M.Conts[C];
+    ContPOff[C] = static_cast<uint32_t>(M.PackedPool.size());
+    ContNOff[C] = static_cast<uint32_t>(M.NtPool.size());
+    for (uint32_t J = 0; J < K.TailLen; ++J) {
+      const Sym &S = M.TailPool[K.TailOff + J];
+      if (S.isNt()) {
+        M.PackedPool.push_back(M.packNt(S.Idx));
+        M.NtPool.push_back(M.packNt(S.Idx));
+      } else {
+        assert((S.Idx & CompiledParser::ActBit) == 0 &&
+               "action id collides with the packed-symbol tag bit");
+        M.PackedPool.push_back(
+            CompiledParser::packAct(static_cast<ActionId>(S.Idx)));
+      }
+    }
+    ContPLen[C] = static_cast<uint32_t>(M.PackedPool.size()) - ContPOff[C];
+    ContNLen[C] = static_cast<uint32_t>(M.NtPool.size()) - ContNOff[C];
+  }
+  M.AccTok.assign(M.NumAccept, NoToken);
+  M.AccTailOff.assign(M.NumAccept, 0);
+  M.AccTailLen.assign(M.NumAccept, 0);
+  M.AccNtOff.assign(M.NumAccept, 0);
+  M.AccNtLen.assign(M.NumAccept, 0);
+  for (size_t S = 0; S < NumStates; ++S) {
+    int32_t A = AcceptRaw[S];
+    if (A < 0)
+      continue;
+    int32_t NewS = Perm[S];
+    M.AccTok[NewS] = M.Conts[A].PushTok;
+    M.AccTailOff[NewS] = ContPOff[A];
+    M.AccTailLen[NewS] = ContPLen[A];
+    M.AccNtOff[NewS] = ContNOff[A];
+    M.AccNtLen[NewS] = ContNLen[A];
+  }
+
   // Character-class compression (§5.5): bytes with identical columns
   // across every state form one class.
   std::map<std::vector<int32_t>, int> ColumnIds;
-  const size_t NumStates = States.size();
   for (int C = 0; C < 256; ++C) {
     std::vector<int32_t> Col(NumStates);
     for (size_t S = 0; S < NumStates; ++S)
-      Col[S] = Rows[S * 256 + C];
+      Col[S] = PRows[S * 256 + C];
     auto It =
         ColumnIds.emplace(std::move(Col), static_cast<int>(ColumnIds.size()))
             .first;
@@ -175,12 +295,12 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
   M.Trans16.assign(NumStates * 256, static_cast<int16_t>(-1));
   for (size_t S = 0; S < NumStates; ++S)
     for (int C = 0; C < 256; ++C)
-      M.Trans16[S * 256 + C] = static_cast<int16_t>(Rows[S * 256 + C]);
+      M.Trans16[S * 256 + C] = static_cast<int16_t>(PRows[S * 256 + C]);
   if (NumStates <= 255) {
     M.Trans8.assign(NumStates * 256, CompiledParser::Dead8);
     for (size_t S = 0; S < NumStates; ++S)
       for (int C = 0; C < 256; ++C) {
-        int32_t D = Rows[S * 256 + C];
+        int32_t D = PRows[S * 256 + C];
         if (D >= 0)
           M.Trans8[S * 256 + C] = static_cast<uint8_t>(D);
       }
@@ -195,13 +315,258 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
 namespace {
 
 struct ScanResult {
+  int32_t BestState; ///< accepting state id in [NumSelfSkip, NumAccept), or -1
+  size_t BestEnd;    ///< end of the accepted lexeme
+  size_t Base;       ///< scan base after in-place F2 whitespace rescans
+};
+
+/// Table-width traits: the scan and residual loop are instantiated once
+/// per width, so no `Small ?` branch or pointer re-selection survives
+/// into the per-scan path.
+struct Tab8 {
+  using Cell = uint8_t;
+  static const Cell *table(const CompiledParser &M) {
+    return M.Trans8.data();
+  }
+  static bool dead(Cell V) { return V == CompiledParser::Dead8; }
+};
+struct Tab16 {
+  using Cell = int16_t;
+  static const Cell *table(const CompiledParser &M) {
+    return M.Trans16.data();
+  }
+  static bool dead(Cell V) { return V < 0; }
+};
+
+/// The per-nonterminal longest-match scan. Per byte: one table load, one
+/// dead test, one register compare against NumAccept. Two accelerations
+/// divert from the byte loop:
+///
+///   - a transition that stays in the same state hands the run to the
+///     bulk classifier (RunSkip.h), guarded by a one-byte lookahead so
+///     length-1 runs pay nothing extra;
+///   - a finished lexeme whose best state is in the self-skip tier is F2
+///     whitespace — the machine would select a continuation that rescans
+///     this same nonterminal, so the scan restarts in place instead of
+///     returning through the residual loop.
+template <typename Tab>
+inline ScanResult scan(const typename Tab::Cell *T, const SkipSet *Skip,
+                       int32_t NumSelfSkip, int32_t NumAccept,
+                       uint32_t Start, const char *S, size_t Pos,
+                       size_t Len) {
+  uint32_t Cur = Start;
+  int32_t Bs = -1;
+  size_t BestEnd = Pos, I = Pos;
+  while (I < Len) {
+    typename Tab::Cell Next =
+        T[Cur * 256 + static_cast<unsigned char>(S[I])];
+    if (Tab::dead(Next)) {
+      if (static_cast<uint32_t>(Bs) < static_cast<uint32_t>(NumSelfSkip)) {
+        Pos = BestEnd;
+        I = BestEnd;
+        Cur = Start;
+        Bs = -1;
+        continue;
+      }
+      return {Bs, BestEnd, Pos};
+    }
+    ++I;
+    if (static_cast<uint32_t>(Next) == Cur) {
+      // Self-loop taken: the state is unchanged across the whole run, so
+      // acceptance is decided once and BestEnd jumps to the run's end.
+      const SkipSet &SS = Skip[Cur];
+      if (I < Len && SS.test(static_cast<unsigned char>(S[I])))
+        I = skipRun(SS, S, I + 1, Len);
+      if (static_cast<int32_t>(Cur) < NumAccept) {
+        Bs = static_cast<int32_t>(Cur);
+        BestEnd = I;
+      }
+      continue;
+    }
+    Cur = static_cast<uint32_t>(Next);
+    if (static_cast<int32_t>(Cur) < NumAccept) {
+      Bs = static_cast<int32_t>(Cur);
+      BestEnd = I;
+    }
+  }
+  // Input exhausted. A best match in the self-skip tier is F2
+  // whitespace: consume it and rescan the remaining suffix — which may
+  // still hold a shorter token match — exactly like the dead-transition
+  // path above. The tail call compiles to a jump; each rescan starts
+  // past a nonempty lexeme, so this terminates.
+  if (static_cast<uint32_t>(Bs) < static_cast<uint32_t>(NumSelfSkip)) {
+    if (BestEnd < Len)
+      return scan<Tab>(T, Skip, NumSelfSkip, NumAccept, Start, S, BestEnd,
+                       Len);
+    Pos = BestEnd;
+    Bs = -1;
+  }
+  return {Bs, BestEnd, Pos};
+}
+
+template <typename Tab>
+size_t matchTrailingSkipT(const CompiledParser &M, std::string_view Input,
+                          size_t Pos) {
+  if (M.SkipState < 0)
+    return Pos;
+  const size_t Len = Input.size();
+  const typename Tab::Cell *T = Tab::table(M);
+  while (Pos < Len) {
+    ScanResult R = scan<Tab>(T, M.Skip.data(), M.NumSelfSkip, M.NumAccept,
+                             static_cast<uint32_t>(M.SkipState),
+                             Input.data(), Pos, Len);
+    if (R.BestState < 0 || R.BestEnd == Pos)
+      break;
+    Pos = R.BestEnd;
+  }
+  return Pos;
+}
+
+/// Final-value collection: one O(n) copy of the stack bottom-to-top (the
+/// former pop-and-insert-front loop was O(n²) on list-valued roots).
+Result<Value> collectValues(ValueStack &Values) {
+  if (Values.size() == 1)
+    return Values.pop();
+  ValueList L(Values.data(), Values.data() + Values.size());
+  Values.clear();
+  return Value::list(std::move(L));
+}
+
+/// The residual loop, instantiated per table width. Work items are
+/// packed symbols: a matched continuation whose tail starts with a
+/// nonterminal continues into it directly (the generated code's direct
+/// tail call) instead of a stack round-trip.
+template <typename Tab>
+Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
+                        std::string_view Input, ParseScratch &Scr,
+                        void *User) {
+  ParseContext Ctx{Input, User};
+  Scr.reset();
+  ValueStack &Values = Scr.Values;
+  std::vector<uint32_t> &Stack = Scr.Stack;
+  Stack.push_back(M.packNt(StartNt));
+  size_t Pos = 0;
+  const size_t Len = Input.size();
+  const char *S = Input.data();
+  const typename Tab::Cell *T = Tab::table(M);
+  const SkipSet *Skip = M.Skip.data();
+  const int32_t NumSelfSkip = M.NumSelfSkip;
+  const int32_t NumAccept = M.NumAccept;
+  const uint32_t *Pool = M.PackedPool.data();
+
+  while (!Stack.empty()) {
+    uint32_t E = Stack.back();
+    Stack.pop_back();
+    for (;;) {
+      if (E & CompiledParser::ActBit) {
+        Values.apply(
+            M.Actions->get(static_cast<ActionId>(E & ~CompiledParser::ActBit)),
+            Ctx);
+        break;
+      }
+      // The residual loop: branch on characters only.
+      ScanResult R = scan<Tab>(T, Skip, NumSelfSkip, NumAccept,
+                               E & 0xffffu, S, Pos, Len);
+      Pos = R.Base;
+      if (R.BestState >= 0) {
+        const int32_t Bs = R.BestState;
+        TokenId Tok = M.AccTok[Bs];
+        if (Tok != NoToken)
+          Values.push(Value::token(Tok, static_cast<uint32_t>(Pos),
+                                   static_cast<uint32_t>(R.BestEnd)));
+        Pos = R.BestEnd;
+        uint32_t TL = M.AccTailLen[Bs], TO = M.AccTailOff[Bs];
+        if (TL != 0) {
+          for (uint32_t J = TL; J-- > 1;)
+            Stack.push_back(Pool[TO + J]);
+          E = Pool[TO]; // direct continuation into the first tail symbol
+          continue;
+        }
+        break;
+      }
+      NtId N = CompiledParser::packedNt(E);
+      int32_t EpsChain = M.Nts[N].EpsChain;
+      if (EpsChain >= 0) {
+        const std::vector<ActionId> &Chain = M.EpsChains[EpsChain];
+        if (Chain.empty()) {
+          Values.push(Value::unit());
+        } else {
+          for (ActionId A : Chain)
+            Values.apply(M.Actions->get(A), Ctx);
+        }
+        break;
+      }
+      if (!M.NtExpected[N].empty())
+        return Err(format("parse error at offset %zu: expected %s",
+                          Pos, M.NtExpected[N].c_str()));
+      return Err(format("parse error at offset %zu in '%s'", Pos,
+                        M.NtNames[N].c_str()));
+    }
+  }
+
+  Pos = matchTrailingSkipT<Tab>(M, Input, Pos);
+  if (Pos != Len)
+    return Err(format("parse error: trailing input at offset %zu", Pos));
+  return collectValues(Values);
+}
+
+template <typename Tab>
+bool recognizeImpl(const CompiledParser &M, std::string_view Input,
+                   ParseScratch &Scr) {
+  std::vector<uint32_t> &Stack = Scr.Stack;
+  Stack.clear();
+  Stack.push_back(M.packNt(M.Start));
+  size_t Pos = 0;
+  const size_t Len = Input.size();
+  const char *S = Input.data();
+  const typename Tab::Cell *T = Tab::table(M);
+  const SkipSet *Skip = M.Skip.data();
+  const int32_t NumSelfSkip = M.NumSelfSkip;
+  const int32_t NumAccept = M.NumAccept;
+  const uint32_t *Pool = M.NtPool.data(); // markers pre-filtered out
+
+  while (!Stack.empty()) {
+    uint32_t E = Stack.back();
+    Stack.pop_back();
+    for (;;) {
+      ScanResult R = scan<Tab>(T, Skip, NumSelfSkip, NumAccept,
+                               E & 0xffffu, S, Pos, Len);
+      Pos = R.Base;
+      if (R.BestState >= 0) {
+        const int32_t Bs = R.BestState;
+        Pos = R.BestEnd;
+        uint32_t NL = M.AccNtLen[Bs], NO = M.AccNtOff[Bs];
+        if (NL != 0) {
+          for (uint32_t J = NL; J-- > 1;)
+            Stack.push_back(Pool[NO + J]);
+          E = Pool[NO];
+          continue;
+        }
+        break;
+      }
+      if (M.Nts[CompiledParser::packedNt(E)].EpsChain >= 0)
+        break;
+      return false;
+    }
+  }
+  return matchTrailingSkipT<Tab>(M, Input, Pos) == Len;
+}
+
+//===--------------------------------------------------------------------===//
+// Pre-run-skip reference kernels (the machine as of the first staging
+// implementation): byte-at-a-time walk with a dependent AcceptCont load
+// per byte. Differential-testing oracle + recorded perf baseline.
+//===--------------------------------------------------------------------===//
+
+struct LegacyScan {
   int32_t Best;
   size_t BestEnd;
 };
 
-/// The per-nonterminal longest-match scan over the uint8 table.
-inline ScanResult scan8(const uint8_t *T, const int32_t *Acc, int32_t Start,
-                        const char *S, size_t Pos, size_t Len) {
+
+inline LegacyScan scanLegacy8(const uint8_t *T, const int32_t *Acc,
+                              int32_t Start, const char *S, size_t Pos,
+                              size_t Len) {
   uint32_t Cur = static_cast<uint32_t>(Start);
   int32_t Best = -1;
   size_t BestEnd = Pos, I = Pos;
@@ -220,9 +585,9 @@ inline ScanResult scan8(const uint8_t *T, const int32_t *Acc, int32_t Start,
   return {Best, BestEnd};
 }
 
-/// Fallback for machines with more than 255 states.
-inline ScanResult scan16(const int16_t *T, const int32_t *Acc, int32_t Start,
-                         const char *S, size_t Pos, size_t Len) {
+inline LegacyScan scanLegacy16(const int16_t *T, const int32_t *Acc,
+                               int32_t Start, const char *S, size_t Pos,
+                               size_t Len) {
   int32_t Cur = Start;
   int32_t Best = -1;
   size_t BestEnd = Pos, I = Pos;
@@ -241,19 +606,23 @@ inline ScanResult scan16(const int16_t *T, const int32_t *Acc, int32_t Start,
   return {Best, BestEnd};
 }
 
-} // namespace
+LegacyScan scanLegacy(const CompiledParser &M, bool Small, int32_t Start,
+                      const char *S, size_t Pos, size_t Len) {
+  return Small ? scanLegacy8(M.Trans8.data(), M.AcceptCont.data(), Start,
+                             S, Pos, Len)
+               : scanLegacy16(M.Trans16.data(), M.AcceptCont.data(), Start,
+                              S, Pos, Len);
+}
 
-size_t CompiledParser::matchTrailingSkip(std::string_view Input,
-                                         size_t Pos) const {
-  if (SkipState < 0)
+size_t matchTrailingSkipLegacy(const CompiledParser &M,
+                               std::string_view Input, size_t Pos) {
+  if (M.SkipState < 0)
     return Pos;
   const size_t Len = Input.size();
-  const bool Small = !Trans8.empty();
+  const bool Small = !M.Trans8.empty();
   while (Pos < Len) {
-    ScanResult R = Small ? scan8(Trans8.data(), AcceptCont.data(),
-                                 SkipState, Input.data(), Pos, Len)
-                         : scan16(Trans16.data(), AcceptCont.data(),
-                                  SkipState, Input.data(), Pos, Len);
+    LegacyScan R =
+        scanLegacy(M, Small, M.SkipState, Input.data(), Pos, Len);
     if (R.Best < 0 || R.BestEnd == Pos)
       break;
     Pos = R.BestEnd;
@@ -261,20 +630,31 @@ size_t CompiledParser::matchTrailingSkip(std::string_view Input,
   return Pos;
 }
 
-Result<Value> CompiledParser::parseFrom(NtId StartNt,
-                                        std::string_view Input,
+} // namespace
+
+Result<Value> CompiledParser::parseFrom(NtId StartNt, std::string_view Input,
+                                        ParseScratch &Scratch,
                                         void *User) const {
   assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  return Trans8.empty() ? parseImpl<Tab16>(*this, StartNt, Input, Scratch, User)
+                        : parseImpl<Tab8>(*this, StartNt, Input, Scratch, User);
+}
+
+bool CompiledParser::recognize(std::string_view Input,
+                               ParseScratch &Scratch) const {
+  return Trans8.empty() ? recognizeImpl<Tab16>(*this, Input, Scratch)
+                        : recognizeImpl<Tab8>(*this, Input, Scratch);
+}
+
+Result<Value> CompiledParser::parseLegacy(std::string_view Input,
+                                          void *User) const {
   ParseContext Ctx{Input, User};
   ValueStack Values;
   std::vector<Sym> Stack;
-  Stack.push_back(Sym::nt(StartNt));
+  Stack.push_back(Sym::nt(Start));
   size_t Pos = 0;
   const size_t Len = Input.size();
   const bool Small = !Trans8.empty();
-  const uint8_t *T8 = Trans8.data();
-  const int16_t *T16 = Trans16.data();
-  const int32_t *Acc = AcceptCont.data();
 
   while (!Stack.empty()) {
     Sym S = Stack.back();
@@ -284,17 +664,11 @@ Result<Value> CompiledParser::parseFrom(NtId StartNt,
       continue;
     }
     const NtInfo &Info = Nts[S.Idx];
-
-    // The residual loop: branch on characters only. Skip lexemes rescan
-    // the same nonterminal in place.
     int32_t Best;
     size_t BestEnd;
     while (true) {
-      ScanResult R = Small
-                         ? scan8(T8, Acc, Info.StartState, Input.data(),
-                                 Pos, Len)
-                         : scan16(T16, Acc, Info.StartState, Input.data(),
-                                  Pos, Len);
+      LegacyScan R =
+          scanLegacy(*this, Small, Info.StartState, Input.data(), Pos, Len);
       Best = R.Best;
       BestEnd = R.BestEnd;
       if (Best >= 0 && Conts[Best].SelfSkip) {
@@ -303,15 +677,15 @@ Result<Value> CompiledParser::parseFrom(NtId StartNt,
       }
       break;
     }
-
     if (Best >= 0) {
       const Cont &K = Conts[Best];
       if (K.PushTok != NoToken)
         Values.push(Value::token(K.PushTok, static_cast<uint32_t>(Pos),
                                  static_cast<uint32_t>(BestEnd)));
       Pos = BestEnd;
-      for (size_t J = K.Tail.size(); J-- > 0;)
-        Stack.push_back(K.Tail[J]);
+      const Sym *T = tail(K);
+      for (uint32_t J = K.TailLen; J-- > 0;)
+        Stack.push_back(T[J]);
       continue;
     }
     if (Info.EpsChain >= 0) {
@@ -324,35 +698,22 @@ Result<Value> CompiledParser::parseFrom(NtId StartNt,
       }
       continue;
     }
-    if (!NtExpected[S.Idx].empty())
-      return Err(format("parse error at offset %zu: expected %s%s",
-                        Pos, NtExpected[S.Idx].c_str(),
-                        Nts[S.Idx].EpsChain >= 0 ? " (or nothing)" : ""));
     return Err(format("parse error at offset %zu in '%s'", Pos,
                       NtNames[S.Idx].c_str()));
   }
 
-  Pos = matchTrailingSkip(Input, Pos);
+  Pos = matchTrailingSkipLegacy(*this, Input, Pos);
   if (Pos != Len)
     return Err(format("parse error: trailing input at offset %zu", Pos));
-
-  if (Values.size() == 1)
-    return Values.pop();
-  ValueList L;
-  while (Values.size())
-    L.insert(L.begin(), Values.pop());
-  return Value::list(std::move(L));
+  return collectValues(Values);
 }
 
-bool CompiledParser::recognize(std::string_view Input) const {
-  std::vector<uint32_t> Stack; // nonterminal ids only; markers skipped
+bool CompiledParser::recognizeLegacy(std::string_view Input) const {
+  std::vector<uint32_t> Stack;
   Stack.push_back(Start);
   size_t Pos = 0;
   const size_t Len = Input.size();
   const bool Small = !Trans8.empty();
-  const uint8_t *T8 = Trans8.data();
-  const int16_t *T16 = Trans16.data();
-  const int32_t *Acc = AcceptCont.data();
 
   while (!Stack.empty()) {
     uint32_t N = Stack.back();
@@ -361,11 +722,8 @@ bool CompiledParser::recognize(std::string_view Input) const {
     int32_t Best;
     size_t BestEnd;
     while (true) {
-      ScanResult R = Small
-                         ? scan8(T8, Acc, Info.StartState, Input.data(),
-                                 Pos, Len)
-                         : scan16(T16, Acc, Info.StartState, Input.data(),
-                                  Pos, Len);
+      LegacyScan R =
+          scanLegacy(*this, Small, Info.StartState, Input.data(), Pos, Len);
       Best = R.Best;
       BestEnd = R.BestEnd;
       if (Best >= 0 && Conts[Best].SelfSkip) {
@@ -377,14 +735,15 @@ bool CompiledParser::recognize(std::string_view Input) const {
     if (Best >= 0) {
       const Cont &K = Conts[Best];
       Pos = BestEnd;
-      for (size_t J = K.Tail.size(); J-- > 0;)
-        if (K.Tail[J].isNt())
-          Stack.push_back(K.Tail[J].Idx);
+      const Sym *T = tail(K);
+      for (uint32_t J = K.TailLen; J-- > 0;)
+        if (T[J].isNt())
+          Stack.push_back(T[J].Idx);
       continue;
     }
     if (Info.EpsChain >= 0)
       continue;
     return false;
   }
-  return matchTrailingSkip(Input, Pos) == Len;
+  return matchTrailingSkipLegacy(*this, Input, Pos) == Len;
 }

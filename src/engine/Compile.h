@@ -13,13 +13,33 @@
 /// like flap memoizes generated functions. All grammar-dependent
 /// computation (derivatives, nullability, emptiness, character classes)
 /// happens here, at compile time; the residual parse loop branches only
-/// on input characters through a dense class-compressed transition table,
-/// with no token materialization, no indirect calls and no allocation
-/// outside semantic actions.
+/// on input characters, with no token materialization, no indirect calls
+/// and no allocation outside semantic actions.
+///
+/// Execution-tier layout (this is the hot path of the whole repository):
+///
+///   - *Fused accept/transition encoding*: states are renumbered into
+///     tiers — self-skip-accepting first, then other accepting, then the
+///     rest — so the scan loop decides "is this state accepting?" and
+///     "is this lexeme F2 whitespace to rescan in place?" with register
+///     compares instead of dependent AcceptCont/Cont loads. Accept
+///     metadata (token, tail) is resolved once per lexeme with direct
+///     state-indexed loads.
+///   - *Run-state skipping*: states that self-loop over a byte class
+///     carry a SkipSet (see RunSkip.h); the scan consumes whole runs
+///     16 bytes at a time instead of walking the table per byte.
+///   - *Table-width templating*: the scan and the residual loop are
+///     instantiated once per table width (uint8 for <= 255 states, int16
+///     otherwise); the width is selected once per parse, not per scan.
+///   - *Allocation-free residual loop*: continuation tails live in one
+///     contiguous TailPool (offset/length per continuation), and the
+///     symbol/value stacks come from a caller-provided ParseScratch that
+///     amortizes to zero allocation across parses.
 ///
 /// The same tables drive the C++ source emitter (src/codegen), whose
-/// output mirrors the §5.5 generated-code excerpt; the state count is the
-/// "Output Functions" column of Table 1.
+/// output mirrors the §5.5 generated-code excerpt — including the same
+/// run-skip loops; the state count is the "Output Functions" column of
+/// Table 1.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +48,7 @@
 
 #include "cfe/Action.h"
 #include "core/Fuse.h"
+#include "engine/RunSkip.h"
 #include "support/Result.h"
 
 #include <string>
@@ -36,34 +57,79 @@
 
 namespace flap {
 
+/// Reusable per-parse working memory. Parsing never shrinks capacity, so
+/// a scratch reused across parses makes the residual loop allocation-free
+/// after warm-up (semantic actions may still allocate). One scratch per
+/// thread; a fresh default-constructed scratch is always valid. Stack
+/// entries are the machine's packed symbols (see CompiledParser::packNt).
+struct ParseScratch {
+  std::vector<uint32_t> Stack;
+  ValueStack Values;
+
+  void reset() {
+    Stack.clear();
+    Values.clear();
+  }
+};
+
 /// A fully staged, token-free parser.
 class CompiledParser {
 public:
   /// A continuation selected by a completed match: optionally push the
-  /// matched span as a token value, then parse Tail.
+  /// matched span as a token value, then parse the tail, which lives at
+  /// TailPool[TailOff, TailOff+TailLen).
   struct Cont {
     TokenId PushTok = NoToken; ///< NoToken: skip production, push nothing
-    std::vector<Sym> Tail;
     /// F2 whitespace production n → r_skip n: the machine re-scans the
     /// same nonterminal in place instead of a stack round-trip (the
     /// generated code's direct tail call, §5.5).
     bool SelfSkip = false;
+    uint32_t TailOff = 0;
+    uint32_t TailLen = 0;
   };
+
+  /// The flattened tail of \p K, oldest symbol first.
+  const Sym *tail(const Cont &K) const { return TailPool.data() + K.TailOff; }
 
   /// Runs the parser, evaluating semantic actions. Absorbs trailing skip
   /// input; fails unless the entire input is consumed.
   Result<Value> parse(std::string_view Input, void *User = nullptr) const {
-    return parseFrom(Start, Input, User);
+    ParseScratch Scratch;
+    return parseFrom(Start, Input, Scratch, User);
+  }
+
+  /// Scratch-reusing variant: the hot entry point for servers and benches.
+  Result<Value> parse(std::string_view Input, ParseScratch &Scratch,
+                      void *User = nullptr) const {
+    return parseFrom(Start, Input, Scratch, User);
   }
 
   /// Parses starting from an arbitrary nonterminal — the machine is one
   /// table set shared by every entry point (paper §8).
   Result<Value> parseFrom(NtId StartNt, std::string_view Input,
-                          void *User = nullptr) const;
+                          void *User = nullptr) const {
+    ParseScratch Scratch;
+    return parseFrom(StartNt, Input, Scratch, User);
+  }
+  Result<Value> parseFrom(NtId StartNt, std::string_view Input,
+                          ParseScratch &Scratch, void *User = nullptr) const;
 
   /// Recognition only: no values, no actions. Used by the ablation bench
   /// to price the value machinery.
-  bool recognize(std::string_view Input) const;
+  bool recognize(std::string_view Input) const {
+    ParseScratch Scratch;
+    return recognize(Input, Scratch);
+  }
+  bool recognize(std::string_view Input, ParseScratch &Scratch) const;
+
+  /// Pre-run-skip reference loop: byte-at-a-time table walk with a
+  /// dependent AcceptCont load per byte and per-parse stack allocation —
+  /// the machine as it was before run-skip acceleration. Kept as the
+  /// differential-testing oracle for the accelerated kernels and as the
+  /// recorded perf baseline (bench/Fig11Throughput --json).
+  Result<Value> parseLegacy(std::string_view Input,
+                            void *User = nullptr) const;
+  bool recognizeLegacy(std::string_view Input) const;
 
   /// Number of machine states = generated functions (Table 1, "Output
   /// Functions").
@@ -87,10 +153,52 @@ public:
   /// (every benchmark grammar): fits L1, sentinel Dead8 = 0xff.
   std::vector<uint8_t> Trans8;
   static constexpr uint8_t Dead8 = 0xff;
+  /// State ids are tiered: [0, NumSelfSkip) accept a SelfSkip (F2
+  /// whitespace) continuation, [NumSelfSkip, NumAccept) accept a regular
+  /// continuation, the rest do not accept. Both per-byte acceptance and
+  /// the end-of-lexeme "rescan in place?" decision are register compares
+  /// — no table load.
+  int32_t NumSelfSkip = 0;
+  int32_t NumAccept = 0;
   /// [State] → continuation selected when this state is reached with the
-  /// longest match so far, or -1.
+  /// longest match so far, or -1. Consulted by the code generator, the
+  /// legacy kernels and tests; the accelerated loop uses the
+  /// state-indexed Acc* arrays below instead.
   std::vector<int32_t> AcceptCont;
+  /// [State] → set of bytes on which the state loops to itself; empty
+  /// for states with no self-loop. Drives run skipping.
+  std::vector<SkipSet> Skip;
   std::vector<Cont> Conts;
+  /// All continuation tails, flattened back-to-back (oldest first).
+  std::vector<Sym> TailPool;
+
+  //===--------------------------------------------------------------===//
+  // State-indexed accept metadata ([0, NumAccept) entries): the scan
+  // resolves a finished lexeme with direct loads off the best state id,
+  // no AcceptCont→Conts pointer chase.
+  //===--------------------------------------------------------------===//
+
+  /// Token pushed for the lexeme, or NoToken (skip production).
+  std::vector<TokenId> AccTok;
+  /// Packed continuation tail in PackedPool (parse loop).
+  std::vector<uint32_t> AccTailOff, AccTailLen;
+  /// Packed nonterminals-only tail in NtPool (recognize loop).
+  std::vector<uint32_t> AccNtOff, AccNtLen;
+
+  /// Packed symbols: bit 31 set → action marker (low 31 bits ActionId);
+  /// clear → nonterminal, bits 16..30 the NtId and bits 0..15 its scan
+  /// start state (so popping a work item needs no NtInfo load).
+  static constexpr uint32_t ActBit = 0x80000000u;
+  static uint32_t packAct(ActionId A) {
+    return ActBit | static_cast<uint32_t>(A);
+  }
+  uint32_t packNt(NtId N) const {
+    return (static_cast<uint32_t>(N) << 16) |
+           static_cast<uint32_t>(Nts[N].StartState);
+  }
+  static NtId packedNt(uint32_t E) { return (E >> 16) & 0x7fffu; }
+  std::vector<uint32_t> PackedPool; ///< full tails, packed
+  std::vector<uint32_t> NtPool;     ///< tails restricted to nonterminals
 
   struct NtInfo {
     int32_t StartState = -1;
@@ -112,9 +220,6 @@ public:
   const ActionTable *Actions = nullptr;
 
   static constexpr int32_t Dead = -1;
-
-private:
-  size_t matchTrailingSkip(std::string_view Input, size_t Pos) const;
 };
 
 /// Stages the fused grammar into a CompiledParser. \p MaxStates bounds

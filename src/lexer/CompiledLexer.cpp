@@ -11,8 +11,25 @@
 
 #include <cassert>
 #include <map>
+#include <unordered_map>
 
 using namespace flap;
+
+namespace {
+
+/// FNV-1a over a rule-derivative vector (the lexer's analogue of the
+/// staging interner's hash).
+struct RuleVecHash {
+  size_t operator()(const std::vector<RegexId> &V) const {
+    uint64_t H = 1469598103934665603ull;
+    for (RegexId R : V)
+      H = (H ^ static_cast<uint64_t>(static_cast<uint32_t>(R))) *
+          1099511628211ull;
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace
 
 CompiledLexer::CompiledLexer(RegexArena &Arena, const CanonicalLexer &Lexer) {
   // Rule vector: Return rules in order, then the Skip rule.
@@ -27,8 +44,9 @@ CompiledLexer::CompiledLexer(RegexArena &Arena, const CanonicalLexer &Lexer) {
   // Subset construction over rule-derivative vectors. Each state derives
   // along its own derivative-class partition (Owens et al.); transitions
   // are first stored per byte, then compressed into global classes.
-  std::map<std::vector<RegexId>, int32_t> StateIds;
+  std::unordered_map<std::vector<RegexId>, int32_t, RuleVecHash> StateIds;
   std::vector<std::vector<RegexId>> States;
+  std::vector<int32_t> AcceptRaw;
   std::vector<int32_t> Rows; // States.size() * 256
   auto InternState = [&](std::vector<RegexId> V) -> int32_t {
     auto It = StateIds.find(V);
@@ -46,7 +64,7 @@ CompiledLexer::CompiledLexer(RegexArena &Arena, const CanonicalLexer &Lexer) {
         Acc = static_cast<int32_t>(R);
       }
     }
-    Accept.push_back(Acc);
+    AcceptRaw.push_back(Acc);
     Rows.resize(States.size() * 256, Dead);
     return Id;
   };
@@ -75,9 +93,45 @@ CompiledLexer::CompiledLexer(RegexArena &Arena, const CanonicalLexer &Lexer) {
     }
   }
 
+  // Accept-prefix renumbering (same encoding as the staged machine):
+  // accepting states take ids [0, NumAccept), so the scan's per-byte
+  // acceptance test is a register compare, and the matched rule is read
+  // once per lexeme.
+  const size_t NumStates = States.size();
+  std::vector<int32_t> Perm(NumStates);
+  int32_t NextId = 0;
+  for (size_t S = 0; S < NumStates; ++S)
+    if (AcceptRaw[S] >= 0)
+      Perm[S] = NextId++;
+  NumAccept = NextId;
+  for (size_t S = 0; S < NumStates; ++S)
+    if (AcceptRaw[S] < 0)
+      Perm[S] = NextId++;
+  {
+    std::vector<int32_t> PRows(NumStates * 256, Dead);
+    for (size_t S = 0; S < NumStates; ++S)
+      for (int C = 0; C < 256; ++C) {
+        int32_t D = Rows[S * 256 + C];
+        PRows[static_cast<size_t>(Perm[S]) * 256 + C] = D < 0 ? D : Perm[D];
+      }
+    Rows.swap(PRows);
+  }
+  Accept.assign(NumStates, -1);
+  for (size_t S = 0; S < NumStates; ++S)
+    Accept[static_cast<size_t>(Perm[S])] = AcceptRaw[S];
+  Start = Perm[Start];
+
+  // Run-state skip metadata: lexeme-interior self-loops.
+  Skip.resize(NumStates);
+  for (size_t S = 0; S < NumStates; ++S) {
+    for (int C = 0; C < 256; ++C)
+      if (Rows[S * 256 + C] == static_cast<int32_t>(S))
+        Skip[S].set(static_cast<unsigned char>(C));
+    Skip[S].finalize();
+  }
+
   // Byte-column compression into equivalence classes.
   std::map<std::vector<int32_t>, int> ColumnIds;
-  const size_t NumStates = States.size();
   for (int C = 0; C < 256; ++C) {
     std::vector<int32_t> Col(NumStates);
     for (size_t S = 0; S < NumStates; ++S)
@@ -111,9 +165,14 @@ LexStatus CompiledLexer::nextRaw(std::string_view Input, uint32_t &Pos,
   if (Pos >= N)
     return LexStatus::Eof;
 
-  int32_t BestRule = -1;
+  // Longest-match scan with the staged machine's accelerations: per-byte
+  // acceptance is a compare against the accepting prefix (the Accept
+  // load happens once, after the scan), and self-loop runs are consumed
+  // by the bulk classifier.
+  int32_t BestState = -1;
   uint32_t BestEnd = Pos;
-  uint32_t I = Pos;
+  size_t I = Pos;
+  const SkipSet *SkipTab = Skip.data();
   if (!Trans8.empty()) {
     const uint8_t *T = Trans8.data();
     uint32_t State = static_cast<uint32_t>(Start);
@@ -121,33 +180,51 @@ LexStatus CompiledLexer::nextRaw(std::string_view Input, uint32_t &Pos,
       uint8_t Next = T[State * 256 + static_cast<unsigned char>(Input[I])];
       if (Next == Dead8)
         break;
-      State = Next;
       ++I;
-      int32_t Acc = Accept[State];
-      if (Acc >= 0) {
-        BestRule = Acc;
-        BestEnd = I;
+      if (Next == State) {
+        const SkipSet &SS = SkipTab[State];
+        if (I < N && SS.test(static_cast<unsigned char>(Input[I])))
+          I = skipRun(SS, Input.data(), I + 1, N);
+        if (static_cast<int32_t>(State) < NumAccept) {
+          BestState = static_cast<int32_t>(State);
+          BestEnd = static_cast<uint32_t>(I);
+        }
+        continue;
+      }
+      State = Next;
+      if (static_cast<int32_t>(State) < NumAccept) {
+        BestState = static_cast<int32_t>(State);
+        BestEnd = static_cast<uint32_t>(I);
       }
     }
   } else {
     const int16_t *T = Trans16.data();
-    int32_t State = Start;
+    uint32_t State = static_cast<uint32_t>(Start);
     while (I < N) {
       int32_t Next = T[State * 256 + static_cast<unsigned char>(Input[I])];
       if (Next == Dead)
         break;
-      State = Next;
       ++I;
-      int32_t Acc = Accept[State];
-      if (Acc >= 0) {
-        BestRule = Acc;
-        BestEnd = I;
+      if (static_cast<uint32_t>(Next) == State) {
+        const SkipSet &SS = SkipTab[State];
+        if (I < N && SS.test(static_cast<unsigned char>(Input[I])))
+          I = skipRun(SS, Input.data(), I + 1, N);
+        if (static_cast<int32_t>(State) < NumAccept) {
+          BestState = static_cast<int32_t>(State);
+          BestEnd = static_cast<uint32_t>(I);
+        }
+        continue;
+      }
+      State = static_cast<uint32_t>(Next);
+      if (static_cast<int32_t>(State) < NumAccept) {
+        BestState = static_cast<int32_t>(State);
+        BestEnd = static_cast<uint32_t>(I);
       }
     }
   }
-  if (BestRule < 0)
+  if (BestState < 0)
     return LexStatus::Error;
-  Out = {Toks[BestRule], Pos, BestEnd};
+  Out = {Toks[Accept[BestState]], Pos, BestEnd};
   Pos = BestEnd;
   return LexStatus::Token;
 }

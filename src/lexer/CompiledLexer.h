@@ -17,6 +17,7 @@
 #ifndef FLAP_LEXER_COMPILEDLEXER_H
 #define FLAP_LEXER_COMPILEDLEXER_H
 
+#include "engine/RunSkip.h"
 #include "lexer/LexerSpec.h"
 #include "regex/Alphabet.h"
 
@@ -64,8 +65,15 @@ private:
   /// Compact hot table when the DFA has ≤255 states (fits L1).
   std::vector<uint8_t> Trans8;
   static constexpr uint8_t Dead8 = 0xff;
+  /// Accepting states are renumbered into the id prefix [0, NumAccept),
+  /// so the scan tests acceptance with a compare, not an Accept load.
+  int32_t NumAccept = 0;
   /// Accepting rule index per state (index into Toks), or -1.
   std::vector<int32_t> Accept;
+  /// Per-state self-loop byte sets: lexeme interiors (identifiers,
+  /// numbers, whitespace, string bodies) are consumed by the bulk
+  /// run-skip classifier instead of the byte-at-a-time walk.
+  std::vector<SkipSet> Skip;
   /// Token returned by rule I; NoToken for the skip rule.
   std::vector<TokenId> Toks;
   int32_t Start = 0;

@@ -1,0 +1,238 @@
+//===- tests/RunSkipDiffTest.cpp - Kernel differential fuzzing ----------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The accelerated execution tier (run-skip bulk skipping, fused
+/// accept/transition encoding, table-width templated kernels, the
+/// allocation-free residual loop) must be observationally invisible:
+/// every kernel — scan8, scan16, and the pre-run-skip legacy walk — must
+/// produce byte-identical accept/reject decisions and identical `Value`
+/// trees against the Fig. 9 fused interpreter, the unstaged executable
+/// specification. Inputs deliberately straddle the skip kernels' 8-byte
+/// word and 16-byte SIMD block widths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Compile.h"
+#include "engine/FusedInterp.h"
+#include "engine/Pipeline.h"
+#include "engine/RunSkip.h"
+#include "grammars/Grammars.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace flap;
+
+namespace {
+
+/// Machines under differential test for one grammar: the 8-bit kernel,
+/// the machine with Trans8 suppressed (forcing the 16-bit kernel), and
+/// the legacy byte-at-a-time walk.
+struct Rig {
+  std::shared_ptr<GrammarDef> Def;
+  FlapParser P;
+  CompiledParser Wide; ///< copy with Trans8 cleared → scan16 path
+  ParseScratch Scratch;
+
+  explicit Rig(std::shared_ptr<GrammarDef> D) : Def(std::move(D)) {
+    auto R = compileFlap(Def);
+    if (!R.ok()) {
+      ADD_FAILURE() << "compile failed: " << R.error();
+      return;
+    }
+    P = R.take();
+    Wide = P.M;
+    Wide.Trans8.clear();
+  }
+
+  void *fresh(std::shared_ptr<void> &C) {
+    if (Def->NewCtx)
+      C = Def->NewCtx();
+    return C.get();
+  }
+
+  /// Runs every engine on \p In; asserts pairwise agreement of success
+  /// and semantic values. Returns the accelerated machine's verdict.
+  bool check(std::string_view In) {
+    std::shared_ptr<void> C1, C2, C3, C4;
+    Result<Value> Narrow = P.M.parse(In, Scratch, fresh(C1));
+    Result<Value> Wide16 = Wide.parse(In, fresh(C2));
+    Result<Value> Legacy = P.M.parseLegacy(In, fresh(C3));
+    Result<Value> Spec =
+        parseFusedInterp(*Def->Re, P.F, Def->L->Actions, In, fresh(C4));
+
+    EXPECT_EQ(Narrow.ok(), Spec.ok())
+        << Def->Name << ": staged vs interpreter on '" << In << "'";
+    EXPECT_EQ(Narrow.ok(), Wide16.ok())
+        << Def->Name << ": scan8 vs scan16 on '" << In << "'";
+    EXPECT_EQ(Narrow.ok(), Legacy.ok())
+        << Def->Name << ": run-skip vs legacy walk on '" << In << "'";
+    if (Narrow.ok() && Spec.ok() && Wide16.ok() && Legacy.ok()) {
+      EXPECT_EQ(*Narrow, *Spec) << Def->Name << " value vs spec";
+      EXPECT_EQ(*Narrow, *Wide16) << Def->Name << " value vs scan16";
+      EXPECT_EQ(*Narrow, *Legacy) << Def->Name << " value vs legacy";
+    }
+    bool Rec = P.M.recognize(In, Scratch);
+    EXPECT_EQ(Rec, Narrow.ok()) << Def->Name << ": recognize vs parse";
+    EXPECT_EQ(P.M.recognizeLegacy(In), Rec)
+        << Def->Name << ": recognizeLegacy vs recognize";
+    return Narrow.ok();
+  }
+};
+
+TEST(RunSkipDiffTest, SkipRunMatchesNaiveLoop) {
+  // The kernel contract, on every block-width boundary and with the
+  // stop byte at every offset.
+  SkipSet S;
+  for (unsigned char C : std::string_view("abcxyz0123456789 \t\n"))
+    S.set(C);
+  S.finalize();
+  Rng R(7);
+  for (int Len = 0; Len <= 70; ++Len) {
+    for (int Stop = 0; Stop <= Len; ++Stop) {
+      std::string In;
+      for (int I = 0; I < Len; ++I)
+        In += (I == Stop) ? '!' : "a0 z9\t"[R.below(6)];
+      for (size_t From = 0; From < 2u && From <= In.size(); ++From) {
+        size_t Naive = From;
+        while (Naive < In.size() &&
+               S.test(static_cast<unsigned char>(In[Naive])))
+          ++Naive;
+        EXPECT_EQ(skipRun(S, In.data(), From, In.size()), Naive)
+            << "len=" << Len << " stop=" << Stop << " from=" << From;
+      }
+    }
+  }
+}
+
+TEST(RunSkipDiffTest, SkipSetRangeDecomposition) {
+  SkipSet Digits;
+  for (unsigned char C = '0'; C <= '9'; ++C)
+    Digits.set(C);
+  Digits.finalize();
+  EXPECT_EQ(Digits.NumRanges, 1);
+  EXPECT_EQ(Digits.Lo[0], '0');
+  EXPECT_EQ(Digits.Hi[0], '9');
+
+  // A maximally fragmented set must fall back to the bitmap kernel.
+  SkipSet Odd;
+  for (int C = 1; C < 40; C += 2)
+    Odd.set(static_cast<unsigned char>(C));
+  Odd.finalize();
+  EXPECT_EQ(Odd.NumRanges, 0);
+  EXPECT_FALSE(Odd.empty());
+}
+
+TEST(RunSkipDiffTest, RunsStraddlingBlockWidths) {
+  // Atom and whitespace runs of every length around the 8-byte word and
+  // 16-byte SIMD boundaries, scanned by every kernel.
+  Rig R(makeSexpGrammar());
+  for (int L = 1; L <= 40; ++L) {
+    std::string Atom(L, 'a');
+    std::string Ws(L, ' ');
+    R.check("(" + Atom + ")");
+    R.check("(" + Ws + Atom + Ws + ")");
+    R.check(Atom);
+    R.check("(" + Atom + " " + Atom + ")");
+    // Run ending exactly at end-of-input, and input ending mid-run.
+    R.check(Atom + Ws);
+    R.check("(" + Atom); // reject: unclosed
+  }
+}
+
+TEST(RunSkipDiffTest, JsonStringAndNumberRuns) {
+  Rig R(makeJsonGrammar());
+  for (int L = 1; L <= 40; ++L) {
+    std::string Key(L, 'k');
+    std::string Num(L, '7');
+    R.check("{\"" + Key + "\": 1}");
+    R.check("[" + Num + "]");
+    R.check("[-" + Num + "." + Num + "]");
+    R.check("[\"" + std::string(L, ' ') + "\"]"); // spaces inside a string
+  }
+}
+
+TEST(RunSkipDiffTest, EofInsideSkipAttemptStillFindsTokenMatch) {
+  // Adversarial lexer: the skip regex continues past its accept with a
+  // byte that also starts a token (" (-!)?" vs dash "-"). Ending the
+  // input inside the speculative skip attempt ("x -") forces the scan
+  // to rescan the suffix after the committed whitespace — the in-place
+  // F2 rescan must behave identically at end-of-input and on a dead
+  // transition.
+  auto Def = std::make_shared<GrammarDef>("skipdash");
+  Lang &L = *Def->L;
+  TokenId Atom = Def->Lexer->rule("[a-z]+", "atom");
+  TokenId Dash = Def->Lexer->rule("-", "dash");
+  Def->Lexer->skip(" (-!)?");
+  Def->Root = L.map(
+      L.seq(L.tok(Atom), L.alt(L.eps(), L.tok(Dash))),
+      [](ParseContext &, Value *) { return Value::unit(); }, "ignore");
+  Rig R(Def);
+  EXPECT_TRUE(R.check("x -"));  // EOF inside " -!" attempt; dash matches
+  EXPECT_TRUE(R.check("x -!")); // whole " -!" is whitespace; eps branch
+  EXPECT_TRUE(R.check("x "));   // EOF exactly at the whitespace accept
+  EXPECT_TRUE(R.check("x- "));
+  R.check("x -! -");            // ws, then EOF inside a second attempt
+  R.check("x !");               // reject identically everywhere
+}
+
+TEST(RunSkipDiffTest, AllGrammarsOnGeneratedCorpora) {
+  for (auto &Def : allBenchmarkGrammars()) {
+    Rig R(Def);
+    for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+      Workload W = genWorkload(Def->Name, Seed, 4000 + Seed * 3000);
+      EXPECT_TRUE(R.check(W.Input)) << Def->Name << " seed " << Seed;
+    }
+  }
+}
+
+TEST(RunSkipDiffTest, MutationFuzz) {
+  // Random byte edits: every kernel must still agree, accept or reject.
+  Rng Rand(42);
+  for (auto &Def : allBenchmarkGrammars()) {
+    Rig R(Def);
+    Workload W = genWorkload(Def->Name, 9, 3000);
+    for (int Round = 0; Round < 60; ++Round) {
+      std::string In = W.Input;
+      int Edits = 1 + static_cast<int>(Rand.below(3));
+      for (int E = 0; E < Edits; ++E) {
+        size_t At = Rand.below(In.size());
+        switch (Rand.below(3)) {
+        case 0:
+          In[At] = static_cast<char>(Rand.below(128));
+          break;
+        case 1:
+          In.erase(At, 1 + Rand.below(4));
+          break;
+        default:
+          In.insert(At, 1 + Rand.below(3),
+                    "(){}[]\", \n0a"[Rand.below(12)]);
+          break;
+        }
+        if (In.empty())
+          In = "x";
+      }
+      R.check(In);
+    }
+  }
+}
+
+TEST(RunSkipDiffTest, TruncationSweep) {
+  // Every prefix boundary near the start and end of a small corpus —
+  // exercises end-of-input inside runs, inside lexemes, and inside
+  // trailing whitespace.
+  for (auto &Def : allBenchmarkGrammars()) {
+    Rig R(Def);
+    Workload W = genWorkload(Def->Name, 5, 600);
+    size_t N = W.Input.size();
+    for (size_t Cut = 0; Cut <= N; Cut += (Cut < 40 || N - Cut < 40) ? 1 : 13)
+      R.check(std::string_view(W.Input).substr(0, Cut));
+  }
+}
+
+} // namespace
