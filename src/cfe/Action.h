@@ -32,9 +32,28 @@
 namespace flap {
 
 /// Per-parse environment visible to actions.
+///
+/// In whole-buffer parses Input is the entire document and Base is 0. In
+/// streaming parses (engine/Stream.h) Input is the currently addressable
+/// window — the bounded carry buffer — and Base is the absolute stream
+/// offset of Input[0]. Lexeme spans always carry *absolute* offsets, so
+/// actions must resolve them through text()/at() instead of indexing
+/// Input directly; the streaming parser guarantees the window covers
+/// every span reachable from an action's arguments at apply time.
 struct ParseContext {
   std::string_view Input;
   void *User = nullptr;
+  uint64_t Base = 0;
+
+  /// The input byte at absolute offset \p AbsOff.
+  char at(uint64_t AbsOff) const {
+    return Input[static_cast<size_t>(AbsOff - Base)];
+  }
+  /// The text covered by \p L (absolute span → window view).
+  std::string_view text(const Lexeme &L) const {
+    return Input.substr(static_cast<size_t>(L.Begin - Base),
+                        L.End - L.Begin);
+  }
 };
 
 /// Index into an ActionTable; NoAction means "no action attached".

@@ -7,6 +7,7 @@
 
 #include "engine/Compile.h"
 
+#include "engine/ScanKernel.h"
 #include "regex/Alphabet.h"
 #include "support/StrUtil.h"
 
@@ -52,6 +53,16 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
                                           const ActionTable &Actions,
                                           const TokenSet *Tokens,
                                           size_t MaxStates) {
+  // Packed-symbol width guards (see CompiledParser::packNt): NtId is
+  // packed into 15 bits and a scan start state into 16 bits; the hot
+  // tables store state ids as int16. A grammar or specialization bound
+  // exceeding either width must fail gracefully here — a silent wrap
+  // would corrupt every packed symbol the residual loop pops.
+  if (F.numNts() > CompiledParser::MaxPackedNts)
+    return Err(format("grammar has %zu nonterminals; packed symbols hold "
+                      "an NtId in 15 bits (max %zu)",
+                      F.numNts(), CompiledParser::MaxPackedNts));
+
   CompiledParser M;
   M.Start = F.Start;
   M.Actions = &Actions;
@@ -94,11 +105,18 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
   std::vector<ItemSet> States;
   std::vector<int32_t> AcceptRaw; // pre-renumbering accepting cont or -1
   std::vector<int32_t> Rows;      // States.size() * 256
-  bool Overflow = false;
+  bool Overflow = false, WidthOverflow = false;
   auto InternState = [&](ItemSet Items) -> int32_t {
     auto It = StateIds.find(Items);
     if (It != StateIds.end())
       return It->second;
+    if (States.size() >= CompiledParser::MaxPackedStates) {
+      // Harder limit than MaxStates: state ids must fit the int16 hot
+      // table and the 16-bit packed start-state field regardless of how
+      // generous the caller's specialization bound is.
+      WidthOverflow = true;
+      return 0;
+    }
     if (States.size() >= MaxStates) {
       Overflow = true;
       return 0;
@@ -175,6 +193,11 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
         for (int C = Lo; C <= Hi; ++C)
           Rows[W * 256 + C] = Dst;
     }
+    if (WidthOverflow)
+      return Err(format("staged parser exceeds %zu states; state ids no "
+                        "longer fit the 16-bit transition tables and the "
+                        "packed start-state field",
+                        CompiledParser::MaxPackedStates));
     if (Overflow)
       return Err(format("staged parser exceeds %zu states", MaxStates));
   }
@@ -231,8 +254,10 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
   // Packed symbol pools + state-indexed accept metadata. Stack entries
   // and tails carry the nonterminal's start state inline, so the
   // residual loop pops work items without touching NtInfo.
-  assert(F.numNts() < (1u << 15) && "packed NtId overflows 15 bits");
-  assert(NumStates < (1u << 16) && "packed start state overflows 16 bits");
+  assert(F.numNts() <= CompiledParser::MaxPackedNts &&
+         "packed NtId overflows 15 bits"); // guarded at entry
+  assert(NumStates <= CompiledParser::MaxPackedStates &&
+         "packed start state overflows 16 bits"); // guarded in InternState
   std::vector<uint32_t> ContPOff(M.Conts.size()), ContPLen(M.Conts.size());
   std::vector<uint32_t> ContNOff(M.Conts.size()), ContNLen(M.Conts.size());
   for (size_t C = 0; C < M.Conts.size(); ++C) {
@@ -289,14 +314,19 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
     for (size_t S = 0; S < NumStates; ++S)
       M.Trans[S * M.NumCls + Cls] = Col[S];
 
-  // The byte-indexed hot-loop table (int16: the MaxStates bound keeps
-  // state ids within range).
-  static_assert((1u << 15) - 1 >= (1u << 14), "int16 state space");
+  // The byte-indexed hot-loop table (int16: the MaxPackedStates guard
+  // keeps state ids within range).
+  static_assert(CompiledParser::MaxPackedStates <= (1u << 15),
+                "int16 state space");
   M.Trans16.assign(NumStates * 256, static_cast<int16_t>(-1));
   for (size_t S = 0; S < NumStates; ++S)
     for (int C = 0; C < 256; ++C)
       M.Trans16[S * 256 + C] = static_cast<int16_t>(PRows[S * 256 + C]);
-  if (NumStates <= 255) {
+  // 8-bit table selection: ids [0, NumStates) must leave 0xff free for
+  // the Dead8 sentinel, so the cutoff is 255 states (max id 254) — a
+  // machine with 256 reachable states would alias state id 255 with
+  // Dead8 and must take the int16 table.
+  if (NumStates <= CompiledParser::MaxSmallStates) {
     M.Trans8.assign(NumStates * 256, CompiledParser::Dead8);
     for (size_t S = 0; S < NumStates; ++S)
       for (int C = 0; C < 256; ++C) {
@@ -314,41 +344,26 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
 
 namespace {
 
+using scankernel::Tab16;
+using scankernel::Tab8;
+
 struct ScanResult {
-  int32_t BestState; ///< accepting state id in [NumSelfSkip, NumAccept), or -1
-  size_t BestEnd;    ///< end of the accepted lexeme
-  size_t Base;       ///< scan base after in-place F2 whitespace rescans
+  int32_t Bs;     ///< accepting state id in [NumSelfSkip, NumAccept), or -1
+  size_t BestEnd; ///< end of the accepted lexeme
+  size_t Base;    ///< scan base after in-place F2 whitespace rescans
 };
 
-/// Table-width traits: the scan and residual loop are instantiated once
-/// per width, so no `Small ?` branch or pointer re-selection survives
-/// into the per-scan path.
-struct Tab8 {
-  using Cell = uint8_t;
-  static const Cell *table(const CompiledParser &M) {
-    return M.Trans8.data();
-  }
-  static bool dead(Cell V) { return V == CompiledParser::Dead8; }
-};
-struct Tab16 {
-  using Cell = int16_t;
-  static const Cell *table(const CompiledParser &M) {
-    return M.Trans16.data();
-  }
-  static bool dead(Cell V) { return V < 0; }
-};
-
-/// The per-nonterminal longest-match scan. Per byte: one table load, one
-/// dead test, one register compare against NumAccept. Two accelerations
-/// divert from the byte loop:
-///
-///   - a transition that stays in the same state hands the run to the
-///     bulk classifier (RunSkip.h), guarded by a one-byte lookahead so
-///     length-1 runs pay nothing extra;
-///   - a finished lexeme whose best state is in the self-skip tier is F2
-///     whitespace — the machine would select a continuation that rescans
-///     this same nonterminal, so the scan restarts in place instead of
-///     returning through the residual loop.
+/// Whole-buffer scan. This is the Final=true projection of the resumable
+/// kernel in ScanKernel.h, kept as a literal loop rather than a call into
+/// scanCore: every indirection we tried (by-reference register file,
+/// by-value state struct, scalar reference parameters) cost GCC 12
+/// 3-5% of recognition throughput to register-allocation churn, and the
+/// whole-buffer path is the perf-gated hot loop of the repository.
+/// scankernel::scanCore is the same automaton with suspension points;
+/// the two must stay in lockstep — the chunked differential fuzzer
+/// (tests/StreamDiffTest.cpp) asserts byte-identical behaviour at every
+/// split point, and tests/RunSkipDiffTest.cpp pins both to the Fig. 9
+/// interpreter.
 template <typename Tab>
 inline ScanResult scan(const typename Tab::Cell *T, const SkipSet *Skip,
                        int32_t NumSelfSkip, int32_t NumAccept,
@@ -372,8 +387,6 @@ inline ScanResult scan(const typename Tab::Cell *T, const SkipSet *Skip,
     }
     ++I;
     if (static_cast<uint32_t>(Next) == Cur) {
-      // Self-loop taken: the state is unchanged across the whole run, so
-      // acceptance is decided once and BestEnd jumps to the run's end.
       const SkipSet &SS = Skip[Cur];
       if (I < Len && SS.test(static_cast<unsigned char>(S[I])))
         I = skipRun(SS, S, I + 1, Len);
@@ -389,11 +402,6 @@ inline ScanResult scan(const typename Tab::Cell *T, const SkipSet *Skip,
       BestEnd = I;
     }
   }
-  // Input exhausted. A best match in the self-skip tier is F2
-  // whitespace: consume it and rescan the remaining suffix — which may
-  // still hold a shorter token match — exactly like the dead-transition
-  // path above. The tail call compiles to a jump; each rescan starts
-  // past a nonempty lexeme, so this terminates.
   if (static_cast<uint32_t>(Bs) < static_cast<uint32_t>(NumSelfSkip)) {
     if (BestEnd < Len)
       return scan<Tab>(T, Skip, NumSelfSkip, NumAccept, Start, S, BestEnd,
@@ -415,7 +423,7 @@ size_t matchTrailingSkipT(const CompiledParser &M, std::string_view Input,
     ScanResult R = scan<Tab>(T, M.Skip.data(), M.NumSelfSkip, M.NumAccept,
                              static_cast<uint32_t>(M.SkipState),
                              Input.data(), Pos, Len);
-    if (R.BestState < 0 || R.BestEnd == Pos)
+    if (R.Bs < 0 || R.BestEnd == Pos)
       break;
     Pos = R.BestEnd;
   }
@@ -465,11 +473,11 @@ Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
         break;
       }
       // The residual loop: branch on characters only.
-      ScanResult R = scan<Tab>(T, Skip, NumSelfSkip, NumAccept,
-                               E & 0xffffu, S, Pos, Len);
+      ScanResult R = scan<Tab>(T, Skip, NumSelfSkip, NumAccept, E & 0xffffu,
+                               S, Pos, Len);
       Pos = R.Base;
-      if (R.BestState >= 0) {
-        const int32_t Bs = R.BestState;
+      if (R.Bs >= 0) {
+        const int32_t Bs = R.Bs;
         TokenId Tok = M.AccTok[Bs];
         if (Tok != NoToken)
           Values.push(Value::token(Tok, static_cast<uint32_t>(Pos),
@@ -529,11 +537,11 @@ bool recognizeImpl(const CompiledParser &M, std::string_view Input,
     uint32_t E = Stack.back();
     Stack.pop_back();
     for (;;) {
-      ScanResult R = scan<Tab>(T, Skip, NumSelfSkip, NumAccept,
-                               E & 0xffffu, S, Pos, Len);
+      ScanResult R = scan<Tab>(T, Skip, NumSelfSkip, NumAccept, E & 0xffffu,
+                               S, Pos, Len);
       Pos = R.Base;
-      if (R.BestState >= 0) {
-        const int32_t Bs = R.BestState;
+      if (R.Bs >= 0) {
+        const int32_t Bs = R.Bs;
         Pos = R.BestEnd;
         uint32_t NL = M.AccNtLen[Bs], NO = M.AccNtOff[Bs];
         if (NL != 0) {
@@ -698,6 +706,12 @@ Result<Value> CompiledParser::parseLegacy(std::string_view Input,
       }
       continue;
     }
+    // Same diagnostics as the accelerated loop: expected-token sets and
+    // absolute offsets must not drift between kernels (the differential
+    // fuzzer compares error strings verbatim).
+    if (!NtExpected[S.Idx].empty())
+      return Err(format("parse error at offset %zu: expected %s", Pos,
+                        NtExpected[S.Idx].c_str()));
     return Err(format("parse error at offset %zu in '%s'", Pos,
                       NtNames[S.Idx].c_str()));
   }

@@ -149,10 +149,18 @@ public:
   /// table. One dependent load per input byte — the table analogue of
   /// the generated code's direct branching.
   std::vector<int16_t> Trans16;
-  /// Compact variant used when the machine has at most 255 states
-  /// (every benchmark grammar): fits L1, sentinel Dead8 = 0xff.
+  /// Compact variant used when the machine has at most MaxSmallStates
+  /// states (every benchmark grammar): fits L1, sentinel Dead8 = 0xff.
   std::vector<uint8_t> Trans8;
   static constexpr uint8_t Dead8 = 0xff;
+  /// 8-bit table cutoff: state ids must leave 0xff free for Dead8, so at
+  /// most 255 states (max id 254) may select Trans8. A 256-state machine
+  /// would alias state id 255 with the sentinel.
+  static constexpr size_t MaxSmallStates = 255;
+  /// Width limits enforced by compileFused (packNt packs an NtId into 15
+  /// bits and a start state into 16; Trans16 stores ids as int16).
+  static constexpr size_t MaxPackedNts = 0x7fff;
+  static constexpr size_t MaxPackedStates = size_t(1) << 15;
   /// State ids are tiered: [0, NumSelfSkip) accept a SelfSkip (F2
   /// whitespace) continuation, [NumSelfSkip, NumAccept) accept a regular
   /// continuation, the rest do not accept. Both per-byte acceptance and

@@ -26,6 +26,7 @@
 #include "core/Grammar.h"
 #include "core/Normalize.h"
 #include "engine/Compile.h"
+#include "engine/Stream.h"
 #include "lexer/LexerSpec.h"
 #include "support/Result.h"
 
@@ -107,6 +108,18 @@ struct FlapParser {
     if (It == Entries.end())
       return Err("unknown entry point '" + Name + "'");
     return M.parseFrom(It->second, Input, User);
+  }
+
+  /// A push-style streaming parse over the same machine (engine/
+  /// Stream.h): feed chunks, finish, take the value. The FlapParser must
+  /// outlive the returned StreamParser.
+  StreamParser stream(void *User = nullptr) const {
+    StreamOptions O;
+    O.User = User;
+    return StreamParser(M, O);
+  }
+  StreamParser stream(const StreamOptions &O) const {
+    return StreamParser(M, O);
   }
 };
 

@@ -1,0 +1,191 @@
+//===- engine/ScanKernel.h - Resumable longest-match scan ------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-nonterminal longest-match scan of the staged machine, in a
+/// *resumable* form shared by the whole-buffer entry points
+/// (src/engine/Compile.cpp) and the push-style streaming parser
+/// (src/engine/Stream.cpp).
+///
+/// The scan's complete register file is a ScanState: the current DFA
+/// state, the lexeme base (advanced in place over committed F2
+/// whitespace), the best accepting state and its end, and the read
+/// cursor. scanCore() advances those registers over the addressable
+/// window and reports one of
+///
+///   - Match: a longest match is decided (Bs, [Base, BestEnd));
+///   - Fail:  no production matches at Base (after absorbing any
+///            committed whitespace) — the caller falls back to the
+///            nonterminal's ε/lookahead chain or reports an error;
+///   - More:  the window ended before the longest match was decided
+///            (only when Final = false). The registers stay valid: the
+///            caller may re-enter the kernel with more bytes appended to
+///            the window, and the scan continues mid-lexeme — including
+///            mid-run inside the SIMD skip kernels, which are exactly
+///            equivalent to stepping the DFA byte-at-a-time.
+///
+/// The Final flag is a template parameter so a whole-buffer
+/// instantiation folds every More path away. Note the perf-gated
+/// whole-buffer entry points in Compile.cpp nevertheless keep their own
+/// literal copy of the Final=true loop: routing them through this kernel
+/// (in any shape we tried — by-reference state, by-value state, scalar
+/// reference parameters) cost GCC 12 register-allocation churn worth
+/// 3-5% of recognition throughput. The two loops must stay in lockstep;
+/// tests/StreamDiffTest.cpp asserts byte-identical behaviour at every
+/// chunk split point and tests/RunSkipDiffTest.cpp pins both to the
+/// Fig. 9 interpreter.
+///
+/// All positions in a ScanState are window-relative; streaming callers
+/// maintain the window-base-to-absolute-offset mapping and rebase the
+/// state when they compact the carry buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_ENGINE_SCANKERNEL_H
+#define FLAP_ENGINE_SCANKERNEL_H
+
+#include "engine/Compile.h"
+#include "engine/RunSkip.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flap {
+namespace scankernel {
+
+/// Table-width traits: the scan and residual loop are instantiated once
+/// per width, so no `Small ?` branch or pointer re-selection survives
+/// into the per-scan path.
+struct Tab8 {
+  using Cell = uint8_t;
+  static const Cell *table(const CompiledParser &M) { return M.Trans8.data(); }
+  static bool dead(Cell V) { return V == CompiledParser::Dead8; }
+};
+struct Tab16 {
+  using Cell = int16_t;
+  static const Cell *table(const CompiledParser &M) { return M.Trans16.data(); }
+  static bool dead(Cell V) { return V < 0; }
+};
+
+/// The scan's complete register file; see the file comment. A suspended
+/// scan (More) is resumed by re-entering scanStep() with the same state
+/// and a longer window.
+struct ScanState {
+  uint32_t Start;  ///< the nonterminal's start state (for in-place rescans)
+  uint32_t Cur;    ///< current DFA state
+  int32_t Bs;      ///< best accepting state in [0, NumAccept), or -1
+  size_t Base;     ///< lexeme base, advanced over committed F2 whitespace
+  size_t BestEnd;  ///< end of the best match
+  size_t I;        ///< read cursor (first unconsumed byte)
+};
+
+/// Initial registers for scanning a nonterminal whose start state is
+/// \p Start at window position \p Pos.
+inline ScanState scanBegin(uint32_t Start, size_t Pos) {
+  return {Start, Start, -1, Pos, Pos, Pos};
+}
+
+enum class ScanOutcome : uint8_t { Match, Fail, More };
+
+/// The scan loop proper. Per byte: one table load, one dead test, one
+/// register compare against NumAccept. Two accelerations divert from
+/// the byte loop:
+///
+///   - a transition that stays in the same state hands the run to the
+///     bulk classifier (RunSkip.h), guarded by a one-byte lookahead so
+///     length-1 runs pay nothing extra;
+///   - a finished lexeme whose best state is in the self-skip tier is F2
+///     whitespace — the machine would select a continuation that rescans
+///     this same nonterminal, so the scan restarts in place instead of
+///     returning through the residual loop.
+///
+/// With Final = false, running out of window suspends (More) instead of
+/// treating the window end as end of input; the end-of-input self-skip
+/// commitment below must not run early, because one more byte could
+/// extend either the whitespace run or a longer token match.
+///
+/// \returns the outcome; the final register file is stored to \p St.
+/// \p St is an out-parameter (not in/out) so the hot loop runs entirely
+/// on the by-value registers.
+template <typename Tab, bool Final>
+inline ScanOutcome scanCore(const typename Tab::Cell *T, const SkipSet *Skip,
+                            int32_t NumSelfSkip, int32_t NumAccept,
+                            uint32_t Start, uint32_t Cur, int32_t Bs,
+                            size_t Base, size_t BestEnd, size_t I,
+                            const char *S, size_t Len, ScanState &St) {
+  while (I < Len) {
+    typename Tab::Cell Next =
+        T[Cur * 256 + static_cast<unsigned char>(S[I])];
+    if (Tab::dead(Next)) {
+      if (static_cast<uint32_t>(Bs) < static_cast<uint32_t>(NumSelfSkip)) {
+        // Committed F2 whitespace: consume it and rescan in place.
+        Base = BestEnd;
+        I = BestEnd;
+        Cur = Start;
+        Bs = -1;
+        continue;
+      }
+      St = {Start, Cur, Bs, Base, BestEnd, I};
+      return Bs >= 0 ? ScanOutcome::Match : ScanOutcome::Fail;
+    }
+    ++I;
+    if (static_cast<uint32_t>(Next) == Cur) {
+      // Self-loop taken: the state is unchanged across the whole run, so
+      // acceptance is decided once and BestEnd jumps to the run's end.
+      const SkipSet &SS = Skip[Cur];
+      if (I < Len && SS.test(static_cast<unsigned char>(S[I])))
+        I = skipRun(SS, S, I + 1, Len);
+      if (static_cast<int32_t>(Cur) < NumAccept) {
+        Bs = static_cast<int32_t>(Cur);
+        BestEnd = I;
+      }
+      continue;
+    }
+    Cur = static_cast<uint32_t>(Next);
+    if (static_cast<int32_t>(Cur) < NumAccept) {
+      Bs = static_cast<int32_t>(Cur);
+      BestEnd = I;
+    }
+  }
+  // Window exhausted.
+  if (!Final) {
+    St = {Start, Cur, Bs, Base, BestEnd, I};
+    return ScanOutcome::More;
+  }
+  // End of input. A best match in the self-skip tier is F2 whitespace:
+  // consume it and rescan the remaining suffix — which may still hold a
+  // shorter token match — exactly like the dead-transition path above.
+  // The tail call compiles to a jump; each rescan starts past a nonempty
+  // lexeme, so this terminates.
+  if (static_cast<uint32_t>(Bs) < static_cast<uint32_t>(NumSelfSkip)) {
+    if (BestEnd < Len)
+      return scanCore<Tab, Final>(T, Skip, NumSelfSkip, NumAccept, Start,
+                                  Start, -1, BestEnd, BestEnd, BestEnd, S,
+                                  Len, St);
+    Base = BestEnd;
+    Bs = -1;
+  }
+  St = {Start, Cur, Bs, Base, BestEnd, I};
+  return Bs >= 0 ? ScanOutcome::Match : ScanOutcome::Fail;
+}
+
+/// Resumable entry point for streaming callers: runs scanCore from the
+/// register file in \p St and stores the updated file back on exit, so a
+/// More outcome can be re-entered after the window grows.
+template <typename Tab, bool Final>
+inline ScanOutcome scanStep(const typename Tab::Cell *T, const SkipSet *Skip,
+                            int32_t NumSelfSkip, int32_t NumAccept,
+                            ScanState &St, const char *S, size_t Len) {
+  return scanCore<Tab, Final>(T, Skip, NumSelfSkip, NumAccept, St.Start,
+                              St.Cur, St.Bs, St.Base, St.BestEnd, St.I, S,
+                              Len, St);
+}
+
+} // namespace scankernel
+} // namespace flap
+
+#endif // FLAP_ENGINE_SCANKERNEL_H

@@ -1,0 +1,318 @@
+//===- engine/Stream.cpp - Push-style streaming parser ------------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Stream.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace flap;
+using scankernel::ScanOutcome;
+using scankernel::Tab16;
+using scankernel::Tab8;
+
+StreamParser::StreamParser(const CompiledParser &Machine, StreamOptions Opts)
+    : M(&Machine), StartNt(Opts.Start == NoNt ? Machine.Start : Opts.Start),
+      User(Opts.User), Recognize(Opts.Recognize) {
+  assert(StartNt < M->Nts.size() && "entry nonterminal out of range");
+  Stack.push_back(M->packNt(StartNt));
+}
+
+void StreamParser::reset() {
+  Ph = Phase::Run;
+  Buf.clear();
+  WinBase = 0;
+  Pos = 0;
+  MidScan = false;
+  Stack.clear();
+  Stack.push_back(M->packNt(StartNt));
+  Values.clear();
+  NumVals = 0;
+  Retain.clear();
+  ErrMsg.clear();
+  Out = Value();
+  CarryHW = 0;
+}
+
+/// Same collection as the whole-buffer loop: one O(n) copy bottom-to-top.
+static Value collectStreamValues(ValueStack &Values) {
+  if (Values.size() == 1)
+    return Values.pop();
+  ValueList L(Values.data(), Values.data() + Values.size());
+  Values.clear();
+  return Value::list(std::move(L));
+}
+
+inline void StreamParser::applyAction(ActionId A, ParseContext &Ctx) {
+  const Action &Act = M->Actions->get(A);
+  // Watermark of the result: tokens among the popped arguments (or
+  // nested in structures built from them) are the only input references
+  // the result can hold, so min over the retained arguments is a safe
+  // bound. A scalar result provably holds none and releases the carry.
+  // The sparse representation makes the common case — an action over
+  // scalar arguments producing a scalar — a single compare.
+  assert(NumVals == Values.size() && "value count out of sync");
+  const size_t NewLen = NumVals - static_cast<size_t>(Act.Arity);
+  uint64_t Min = NoRetain;
+  while (!Retain.empty() && Retain.back().Idx >= NewLen) {
+    Min = std::min(Min, Retain.back().W);
+    Retain.pop_back();
+  }
+  Values.apply(Act, Ctx);
+  NumVals = NewLen + 1;
+  if (Min != NoRetain) {
+    const Value &R = Values.data()[NewLen];
+    if (!(R.isUnit() || R.isBool() || R.isInt() || R.isReal() ||
+          R.isString()))
+      pushRetain(NewLen, Min);
+  }
+}
+
+void StreamParser::compact() {
+  uint64_t KeepAbs = WinBase + (MidScan ? Sc.Base : Pos);
+  if (!Retain.empty())
+    KeepAbs = std::min(KeepAbs, Retain.back().RunMin);
+  size_t Cut = static_cast<size_t>(KeepAbs - WinBase);
+  if (Cut != 0) {
+    Buf.erase(0, Cut);
+    WinBase += Cut;
+    Pos -= Cut;
+    if (MidScan) {
+      Sc.Base -= Cut;
+      Sc.BestEnd -= Cut;
+      Sc.I -= Cut;
+    }
+  }
+  // Sampled after the cut: what remains is exactly the carry crossing
+  // into the next chunk (carryBytes()), not the just-fed chunk.
+  if (Buf.size() > CarryHW)
+    CarryHW = Buf.size();
+}
+
+StreamStatus StreamParser::failParse(NtId N) {
+  // Byte-identical diagnostics to the whole-buffer loop, with absolute
+  // stream offsets (%zu and %llu print the same digits).
+  unsigned long long Off = WinBase + Pos;
+  if (!M->NtExpected[N].empty())
+    ErrMsg = format("parse error at offset %llu: expected %s", Off,
+                    M->NtExpected[N].c_str());
+  else
+    ErrMsg = format("parse error at offset %llu in '%s'", Off,
+                    M->NtNames[N].c_str());
+  Ph = Phase::Fail;
+  return StreamStatus::Error;
+}
+
+StreamStatus StreamParser::failTrailing() {
+  ErrMsg = format("parse error: trailing input at offset %llu",
+                  static_cast<unsigned long long>(WinBase + Pos));
+  Ph = Phase::Fail;
+  return StreamStatus::Error;
+}
+
+StreamStatus StreamParser::complete() {
+  Out = Recognize ? Value::unit() : collectStreamValues(Values);
+  NumVals = 0;
+  Retain.clear();
+  Ph = Phase::Done;
+  return StreamStatus::Done;
+}
+
+/// The residual loop with suspension points — the streaming counterpart
+/// of parseImpl/recognizeImpl in Compile.cpp, with the same direct
+/// continuation into a matched tail's first symbol. A suspension (More)
+/// re-pushes the in-flight work item and parks the scan registers in
+/// Sc; the next pump pops it back and resumes the scan where the window
+/// ended.
+template <typename Tab, bool Vals, bool Final>
+StreamStatus StreamParser::pumpT() {
+  const char *S = Buf.data();
+  const size_t Len = Buf.size();
+  const typename Tab::Cell *T = Tab::table(*M);
+  const SkipSet *Skip = M->Skip.data();
+  const int32_t NumSelfSkip = M->NumSelfSkip;
+  const int32_t NumAccept = M->NumAccept;
+  const uint32_t *Pool = Vals ? M->PackedPool.data() : M->NtPool.data();
+  ParseContext Ctx{std::string_view(S, Len), User, WinBase};
+
+  if (Ph == Phase::Run) {
+    bool Resume = MidScan;
+    // The scan registers live in a pump-local state; the member Sc is
+    // only written on suspension (and read on resume), keeping the
+    // per-lexeme path as store-free as the whole-buffer loop's.
+    scankernel::ScanState LSc;
+    while (Resume || !Stack.empty()) {
+      uint32_t E = Stack.back();
+      Stack.pop_back();
+      for (;;) {
+        ScanOutcome O;
+        if (Resume) {
+          // Re-enter the suspended scan with the grown window.
+          Resume = false;
+          MidScan = false;
+          LSc = Sc;
+          O = scankernel::scanStep<Tab, Final>(T, Skip, NumSelfSkip,
+                                               NumAccept, LSc, S, Len);
+        } else {
+          if (E & CompiledParser::ActBit) {
+            if (Vals)
+              applyAction(
+                  static_cast<ActionId>(E & ~CompiledParser::ActBit), Ctx);
+            break;
+          }
+          LSc = scankernel::scanBegin(E & 0xffffu, Pos);
+          O = scankernel::scanStep<Tab, Final>(T, Skip, NumSelfSkip,
+                                               NumAccept, LSc, S, Len);
+        }
+        if (O == ScanOutcome::Match) {
+          const int32_t Bs = LSc.Bs;
+          if (Vals) {
+            TokenId Tok = M->AccTok[Bs];
+            if (Tok != NoToken) {
+              Values.push(Value::token(
+                  Tok, static_cast<uint32_t>(WinBase + LSc.Base),
+                  static_cast<uint32_t>(WinBase + LSc.BestEnd)));
+              pushRetain(NumVals++, WinBase + LSc.Base);
+            }
+          }
+          Pos = LSc.BestEnd;
+          uint32_t TL = Vals ? M->AccTailLen[Bs] : M->AccNtLen[Bs];
+          uint32_t TO = Vals ? M->AccTailOff[Bs] : M->AccNtOff[Bs];
+          if (TL != 0) {
+            for (uint32_t J = TL; J-- > 1;)
+              Stack.push_back(Pool[TO + J]);
+            E = Pool[TO]; // direct continuation into the first tail symbol
+            continue;
+          }
+          break;
+        }
+        if (O == ScanOutcome::More) {
+          Stack.push_back(E); // resume pops it back
+          Sc = LSc;
+          MidScan = true;
+          return StreamStatus::NeedData;
+        }
+        // Fail: the scan absorbed any committed F2 whitespace into Base.
+        Pos = LSc.Base;
+        NtId N = CompiledParser::packedNt(E);
+        int32_t EpsChain = M->Nts[N].EpsChain;
+        if (EpsChain < 0) {
+          Stack.push_back(E); // keep the failing item for diagnostics
+          return failParse(N);
+        }
+        if (Vals) {
+          const std::vector<ActionId> &Chain = M->EpsChains[EpsChain];
+          if (Chain.empty()) {
+            Values.push(Value::unit()); // scalar: no retain entry
+            ++NumVals;
+          } else {
+            for (ActionId A : Chain)
+              applyAction(A, Ctx);
+          }
+        }
+        break;
+      }
+    }
+    Ph = Phase::Trail;
+  }
+
+  // Phase::Trail — absorb trailing skip input, then end the stream.
+  assert(Ph == Phase::Trail && "pump entered in a terminal phase");
+  for (;;) {
+    if (!MidScan) {
+      if (M->SkipState < 0 || Pos == Len) {
+        if (Pos < Len)
+          return failTrailing();
+        if (!Final)
+          return StreamStatus::NeedData;
+        return complete();
+      }
+      Sc = scankernel::scanBegin(static_cast<uint32_t>(M->SkipState), Pos);
+      MidScan = true;
+    }
+    ScanOutcome O = scankernel::scanStep<Tab, Final>(
+        T, Skip, NumSelfSkip, NumAccept, Sc, S, Len);
+    if (O == ScanOutcome::More)
+      return StreamStatus::NeedData;
+    MidScan = false;
+    if (O == ScanOutcome::Match && Sc.BestEnd > Pos) {
+      Pos = Sc.BestEnd;
+      continue; // rescan: more trailing skip may follow
+    }
+    // No further skip match is possible at Pos.
+    if (Pos < Len)
+      return failTrailing();
+    if (!Final)
+      return StreamStatus::NeedData;
+    return complete();
+  }
+}
+
+template <bool Final> StreamStatus StreamParser::pump() {
+  if (M->Trans8.empty())
+    return Recognize ? pumpT<Tab16, false, Final>()
+                     : pumpT<Tab16, true, Final>();
+  return Recognize ? pumpT<Tab8, false, Final>()
+                   : pumpT<Tab8, true, Final>();
+}
+
+StreamStatus StreamParser::feed(std::string_view Chunk) {
+  if (Ph == Phase::Fail)
+    return StreamStatus::Error;
+  if (Ph == Phase::Done) {
+    if (Chunk.empty())
+      return StreamStatus::Done;
+    ErrMsg = "feed() after finish()";
+    Ph = Phase::Fail;
+    return StreamStatus::Error;
+  }
+  // Token spans (and Lexeme offsets generally) are uint32: one stream is
+  // limited to 4 GiB, like a whole-buffer parse. Fail gracefully instead
+  // of letting absolute offsets wrap (the same guard discipline as the
+  // packed-symbol widths in compileFused).
+  if (WinBase + Buf.size() + Chunk.size() > uint64_t(UINT32_MAX)) {
+    ErrMsg = "stream exceeds the 32-bit offset space (4 GiB)";
+    Ph = Phase::Fail;
+    return StreamStatus::Error;
+  }
+  if (!Chunk.empty())
+    Buf.append(Chunk.data(), Chunk.size());
+  StreamStatus St = pump</*Final=*/false>();
+  compact();
+  return St;
+}
+
+StreamStatus StreamParser::finish() {
+  if (Ph == Phase::Fail)
+    return StreamStatus::Error;
+  if (Ph == Phase::Done)
+    return StreamStatus::Done;
+  StreamStatus St = pump</*Final=*/true>();
+  assert(St != StreamStatus::NeedData && "final pump cannot suspend");
+  if (St == StreamStatus::Done) {
+    // The stream is fully consumed; drop the carry (keeping offset() and
+    // streamedBytes() pointing at the end of the stream).
+    WinBase += Buf.size();
+    Pos = 0;
+    Buf.clear();
+    Buf.shrink_to_fit();
+  }
+  return St;
+}
+
+Result<Value> StreamParser::take() {
+  switch (Ph) {
+  case Phase::Done:
+    return std::move(Out);
+  case Phase::Fail:
+    return Err(ErrMsg);
+  default:
+    return Err("stream parse not finished (call finish())");
+  }
+}

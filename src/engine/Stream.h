@@ -1,0 +1,184 @@
+//===- engine/Stream.h - Push-style streaming parser ------------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A push-style streaming front end over the staged fused machine
+/// (à la libfsp's fsp_parse_chunk): input arrives in arbitrary chunks
+/// via feed(), the parse suspends mid-lexeme — and mid-run inside the
+/// SIMD skip kernels — whenever a chunk ends, and finish() closes the
+/// stream. Servers parse straight off sockets without buffering whole
+/// documents.
+///
+/// What makes this a refactor rather than a rewrite (and the reason the
+/// paper's design is uniquely suited to it): the fused machine keeps
+/// *all* lexing state in a handful of registers — no token buffer, no
+/// memo table. A suspension is therefore just a saved ScanState
+/// (ScanKernel.h) plus the residual loop's symbol stack, which already
+/// lives in ParseScratch form.
+///
+/// Memory model — the carry buffer:
+///
+///   - Between chunks the parser retains only the *unconsumed window*:
+///     bytes from the in-progress lexeme's base onward, plus any earlier
+///     bytes still reachable from semantic values (see below). For the
+///     benchmark grammars this is tens of bytes, independent of stream
+///     length.
+///   - Semantic actions may read the text of token spans reachable from
+///     their arguments (ParseContext::text / at). The parser tracks a
+///     conservative *retain watermark* per value-stack entry: a token
+///     value retains its span; an action result retains the minimum of
+///     its arguments' watermarks unless the result is a scalar
+///     (unit/bool/int/real/string), which provably holds no input
+///     references. The carry is therefore bounded by the span of the
+///     oldest *live* (not yet reduced) value — for a stream of
+///     documents (ndjson, csv rows, pgn games) that is one document,
+///     independent of stream length. A single bracket structure
+///     spanning the whole stream (one giant s-expression) retains back
+///     to its opening token: its delimiter token sits on the value
+///     stack until the matching close, and the parser cannot know the
+///     closing action won't read it.
+///   - Actions must not stash absolute offsets in user context and
+///     dereference them in a *later* action; spans are only addressable
+///     while a value referencing them is live on the value stack.
+///
+/// Offsets: all reported offsets — token spans in values, error
+/// messages, offset() — are absolute stream offsets, identical to a
+/// whole-buffer parse of the concatenated chunks (the chunked
+/// differential fuzzer asserts byte-identical values and error strings
+/// at every split point). Token spans are uint32, so one stream is
+/// limited to 4 GiB, like a whole-buffer parse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_ENGINE_STREAM_H
+#define FLAP_ENGINE_STREAM_H
+
+#include "engine/Compile.h"
+#include "engine/ScanKernel.h"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flap {
+
+/// Outcome of a feed()/finish() call.
+enum class StreamStatus : uint8_t {
+  NeedData, ///< parse suspended cleanly; feed more input or finish()
+  Done,     ///< finish() completed; take() yields the value
+  Error     ///< parse failed; take() yields the diagnostic
+};
+
+struct StreamOptions {
+  /// Entry nonterminal; NoNt uses the machine's start symbol (the
+  /// machine is one table set shared by every entry point, §8).
+  NtId Start = NoNt;
+  /// Opaque pointer exposed to actions as ParseContext::User.
+  void *User = nullptr;
+  /// Recognition only: no values, no actions (the streaming analogue of
+  /// CompiledParser::recognize).
+  bool Recognize = false;
+};
+
+/// A resumable parse over one input stream. Not thread-safe; one
+/// instance per stream (reset() recycles buffers for the next stream).
+class StreamParser {
+public:
+  /// \p M must outlive the parser.
+  explicit StreamParser(const CompiledParser &M, StreamOptions Opts = {});
+
+  /// Consumes \p Chunk. NeedData means the parse is suspended waiting
+  /// for more input; Error means it failed (take() has the diagnostic —
+  /// errors surface as soon as they are decidable, not at finish()).
+  StreamStatus feed(std::string_view Chunk);
+
+  /// Ends the stream: runs the suspended scan to end-of-input, absorbs
+  /// trailing skip input, and completes the parse.
+  StreamStatus finish();
+
+  /// After finish(): the semantic value (or unit in Recognize mode), or
+  /// the parse error. Calling take() before finish() returns an error.
+  Result<Value> take();
+
+  StreamStatus status() const {
+    return Ph == Phase::Done   ? StreamStatus::Done
+           : Ph == Phase::Fail ? StreamStatus::Error
+                               : StreamStatus::NeedData;
+  }
+
+  /// Absolute stream offset of the next unconsumed byte (the in-progress
+  /// lexeme's base while suspended mid-lexeme).
+  uint64_t offset() const { return WinBase + (MidScan ? Sc.Base : Pos); }
+
+  /// Total bytes fed so far.
+  uint64_t streamedBytes() const { return WinBase + Buf.size(); }
+
+  /// Bytes currently carried across chunk boundaries.
+  size_t carryBytes() const { return Buf.size(); }
+
+  /// Largest carry ever held — the streaming memory high-water mark.
+  size_t carryHighWater() const { return CarryHW; }
+
+  /// Restarts the parser for a new stream, reusing allocated buffers
+  /// (the streaming analogue of a reused ParseScratch).
+  void reset();
+
+private:
+  enum class Phase : uint8_t { Run, Trail, Done, Fail };
+
+  template <typename Tab, bool Vals, bool Final> StreamStatus pumpT();
+  template <bool Final> StreamStatus pump();
+  inline void applyAction(ActionId A, ParseContext &Ctx);
+  /// Records that the value at value-stack index \p Idx retains input
+  /// from absolute offset \p W on. Only called with a real watermark.
+  inline void pushRetain(size_t Idx, uint64_t W) {
+    uint64_t Min = Retain.empty() ? W : std::min(W, Retain.back().RunMin);
+    Retain.push_back({Idx, W, Min});
+  }
+  void compact();
+  StreamStatus failParse(NtId N);
+  StreamStatus failTrailing();
+  StreamStatus complete();
+
+  const CompiledParser *M;
+  NtId StartNt;
+  void *User;
+  bool Recognize;
+
+  Phase Ph = Phase::Run;
+  std::string Buf;       ///< the window: carry + current chunk
+  uint64_t WinBase = 0;  ///< absolute stream offset of Buf[0]
+  size_t Pos = 0;        ///< window-relative parse position
+  bool MidScan = false;  ///< a scan is suspended in Sc
+  scankernel::ScanState Sc{};
+  std::vector<uint32_t> Stack; ///< packed symbols (CompiledParser::packNt)
+  ValueStack Values;
+  size_t NumVals = 0; ///< Values.size(), tracked to keep size() (a
+                      ///< division on vector<Value>) off the hot path
+  /// Sparse retain watermarks: one entry per value-stack slot that may
+  /// still reference input (a token value, or a non-scalar action result
+  /// built from one) — scalar results carry no entry at all, so the
+  /// count-grammar hot path pays one compare per action, not a vector
+  /// mutation. Idx is strictly increasing (stack discipline); RunMin
+  /// caches the min over this entry and everything below, giving
+  /// compact() an O(1) query.
+  struct RetainEnt {
+    size_t Idx;      ///< value-stack index this entry describes
+    uint64_t W;      ///< smallest absolute offset that value may reference
+    uint64_t RunMin; ///< min over this entry and everything below it
+  };
+  std::vector<RetainEnt> Retain;
+  static constexpr uint64_t NoRetain = ~uint64_t(0);
+  std::string ErrMsg;
+  Value Out;
+  size_t CarryHW = 0;
+};
+
+} // namespace flap
+
+#endif // FLAP_ENGINE_STREAM_H

@@ -44,7 +44,7 @@ Value mkBin(int64_t Op, Value L, Value R) {
 }
 
 std::string lexemeText(ParseContext &Ctx, const Lexeme &L) {
-  return std::string(Ctx.Input.substr(L.Begin, L.End - L.Begin));
+  return std::string(Ctx.text(L));
 }
 
 int64_t evalAst(ParseContext &Ctx, const Value &Node,

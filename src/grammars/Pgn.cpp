@@ -54,8 +54,7 @@ std::shared_ptr<GrammarDef> flap::makePgnGrammar() {
         [](ParseContext &Ctx, Value *Args) {
           if (auto *C = static_cast<PgnCtx *>(Ctx.User)) {
             const Lexeme &R = Args[0].asToken();
-            std::string_view T =
-                Ctx.Input.substr(R.Begin, R.End - R.Begin);
+            std::string_view T = Ctx.text(R);
             if (T == "1-0")
               ++C->White;
             else if (T == "0-1")

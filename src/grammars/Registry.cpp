@@ -12,7 +12,7 @@ using namespace flap;
 int64_t flap::spanInt(ParseContext &Ctx, const Lexeme &L) {
   int64_t V = 0;
   for (uint32_t I = L.Begin; I < L.End; ++I) {
-    char C = Ctx.Input[I];
+    char C = Ctx.at(I);
     if (C < '0' || C > '9')
       break;
     V = V * 10 + (C - '0');

@@ -7,6 +7,7 @@
 
 #include "lexer/CompiledLexer.h"
 
+#include "engine/ScanKernel.h"
 #include "support/StrUtil.h"
 
 #include <cassert>
@@ -254,4 +255,99 @@ Result<std::vector<Lexeme>> CompiledLexer::lexAll(std::string_view Input) const 
       break;
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// StreamLexer — push-style chunked lexing
+//===----------------------------------------------------------------------===//
+
+/// The longest-match scan over the current window, via the resumable
+/// kernel (the lexer DFA is the staged machine with no self-skip tier,
+/// so NumSelfSkip = 0; the accept-prefix renumbering is the same). A
+/// More outcome parks the registers in the members; Final decides
+/// end-of-input like nextRaw does.
+template <typename Tab, bool Final>
+Status StreamLexer::pumpT(std::vector<Lexeme> &Out,
+                          const typename Tab::Cell *T) {
+  const char *S = Buf.data();
+  const size_t Len = Buf.size();
+  for (;;) {
+    if (!MidScan) {
+      if (Pos >= Len)
+        return Status::success();
+      State = static_cast<uint32_t>(L->Start);
+      BestState = -1;
+      BestEnd = Pos;
+      I = Pos;
+      MidScan = true;
+    }
+    scankernel::ScanState Sc{static_cast<uint32_t>(L->Start), State,
+                             BestState, Pos, BestEnd, I};
+    scankernel::ScanOutcome O = scankernel::scanStep<Tab, Final>(
+        T, L->Skip.data(), /*NumSelfSkip=*/0, L->NumAccept, Sc, S, Len);
+    State = Sc.Cur;
+    BestState = Sc.Bs;
+    BestEnd = Sc.BestEnd;
+    I = Sc.I;
+    if (O == scankernel::ScanOutcome::More)
+      return Status::success(); // suspended mid-lexeme
+    MidScan = false;
+    if (O == scankernel::ScanOutcome::Fail)
+      return Err(format("lexing failed at offset %llu (no rule matches)",
+                        static_cast<unsigned long long>(WinBase + Pos)));
+    TokenId Tok = L->Toks[L->Accept[BestState]];
+    if (Tok != NoToken)
+      Out.push_back({Tok, static_cast<uint32_t>(WinBase + Pos),
+                     static_cast<uint32_t>(WinBase + BestEnd)});
+    Pos = BestEnd;
+  }
+}
+
+template <bool Final> Status StreamLexer::pump(std::vector<Lexeme> &Out) {
+  if (L->Trans8.empty())
+    return pumpT<flap::scankernel::Tab16, Final>(Out, L->Trans16.data());
+  return pumpT<flap::scankernel::Tab8, Final>(Out, L->Trans8.data());
+}
+
+Status StreamLexer::feed(std::string_view Chunk, std::vector<Lexeme> &Out) {
+  if (Finished)
+    return Err("feed() after finish()");
+  // Lexeme offsets are uint32: fail gracefully before they can wrap.
+  if (WinBase + Buf.size() + Chunk.size() > uint64_t(UINT32_MAX))
+    return Err("stream exceeds the 32-bit offset space (4 GiB)");
+  if (!Chunk.empty())
+    Buf.append(Chunk.data(), Chunk.size());
+  Status St = pump</*Final=*/false>(Out);
+  // Carry only the in-progress lexeme: drop everything before its base.
+  if (Pos > 0) {
+    Buf.erase(0, Pos);
+    WinBase += Pos;
+    if (MidScan) {
+      BestEnd -= Pos;
+      I -= Pos;
+    }
+    Pos = 0;
+  }
+  return St;
+}
+
+Status StreamLexer::finish(std::vector<Lexeme> &Out) {
+  if (Finished)
+    return Status::success();
+  Status St = pump</*Final=*/true>(Out);
+  Finished = true;
+  Buf.clear();
+  return St;
+}
+
+void StreamLexer::reset() {
+  Buf.clear();
+  WinBase = 0;
+  Pos = 0;
+  MidScan = false;
+  State = 0;
+  BestState = -1;
+  BestEnd = 0;
+  I = 0;
+  Finished = false;
 }

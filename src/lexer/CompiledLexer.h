@@ -21,6 +21,7 @@
 #include "lexer/LexerSpec.h"
 #include "regex/Alphabet.h"
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -55,6 +56,7 @@ public:
   int numClasses() const { return Alpha.NumClasses; }
 
 private:
+  friend class StreamLexer;
   static constexpr int32_t Dead = -1;
 
   Alphabet Alpha;
@@ -77,6 +79,52 @@ private:
   /// Token returned by rule I; NoToken for the skip rule.
   std::vector<TokenId> Toks;
   int32_t Start = 0;
+};
+
+/// Push-style streaming lexer over a CompiledLexer (the unfused
+/// engines' analogue of engine/Stream.h): input arrives in arbitrary
+/// chunks, the longest-match scan suspends mid-lexeme — its registers
+/// are a DFA state, the lexeme base and the best match — and only the
+/// in-progress lexeme's bytes are carried across chunk boundaries.
+/// Emitted lexemes carry absolute stream offsets, identical to
+/// lexAll() over the concatenated chunks.
+class StreamLexer {
+public:
+  /// \p L must outlive the lexer.
+  explicit StreamLexer(const CompiledLexer &L) : L(&L) {}
+
+  /// Consumes \p Chunk, appending every *completed* non-skip lexeme to
+  /// \p Out (a lexeme completes once the longest match is decided —
+  /// which may require the first bytes of a later chunk). Fails when no
+  /// rule matches, with the same diagnostic lexAll() gives.
+  Status feed(std::string_view Chunk, std::vector<Lexeme> &Out);
+
+  /// Ends the stream: decides the suspended match (end-of-input is now
+  /// a hard lexeme boundary) and emits what remains.
+  Status finish(std::vector<Lexeme> &Out);
+
+  /// Absolute stream offset of the current lexeme's base.
+  uint64_t offset() const { return WinBase + Pos; }
+  /// Bytes carried across chunk boundaries.
+  size_t carryBytes() const { return Buf.size(); }
+
+  void reset();
+
+private:
+  template <typename Tab, bool Final>
+  Status pumpT(std::vector<Lexeme> &Out, const typename Tab::Cell *T);
+  template <bool Final> Status pump(std::vector<Lexeme> &Out);
+
+  const CompiledLexer *L;
+  std::string Buf;      ///< window: in-progress lexeme bytes + chunk
+  uint64_t WinBase = 0; ///< absolute stream offset of Buf[0]
+  size_t Pos = 0;       ///< window-relative lexeme base
+  bool MidScan = false; ///< scan suspended in the registers below
+  uint32_t State = 0;   ///< current DFA state
+  int32_t BestState = -1;
+  size_t BestEnd = 0;
+  size_t I = 0; ///< read cursor
+  bool Finished = false;
 };
 
 } // namespace flap

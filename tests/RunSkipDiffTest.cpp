@@ -77,6 +77,17 @@ struct Rig {
       EXPECT_EQ(*Narrow, *Wide16) << Def->Name << " value vs scan16";
       EXPECT_EQ(*Narrow, *Legacy) << Def->Name << " value vs legacy";
     }
+    // Diagnostics must not drift between kernels either: the legacy walk
+    // reports the same absolute offsets and expected-token sets as the
+    // run-skip fast path (the streaming parser is pinned to these same
+    // strings by tests/StreamDiffTest.cpp).
+    if (!Narrow.ok() && !Wide16.ok())
+      EXPECT_EQ(Narrow.error(), Wide16.error())
+          << Def->Name << ": scan8 vs scan16 diagnostics on '" << In << "'";
+    if (!Narrow.ok() && !Legacy.ok())
+      EXPECT_EQ(Narrow.error(), Legacy.error())
+          << Def->Name << ": run-skip vs legacy diagnostics on '" << In
+          << "'";
     bool Rec = P.M.recognize(In, Scratch);
     EXPECT_EQ(Rec, Narrow.ok()) << Def->Name << ": recognize vs parse";
     EXPECT_EQ(P.M.recognizeLegacy(In), Rec)

@@ -1,0 +1,313 @@
+//===- tests/StreamDiffTest.cpp - Chunked streaming differential fuzzing ------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The push-style streaming parser (engine/Stream.h) must be
+/// observationally identical to a whole-buffer parse of the concatenated
+/// chunks, for *every* way of cutting the input: byte-identical `Value`
+/// results (token spans carry absolute stream offsets), identical error
+/// strings with absolute offsets, and identical accept/reject decisions
+/// in recognize mode. Cuts deliberately land inside lexemes, inside
+/// committed and uncommitted F2 whitespace, and inside runs consumed by
+/// the 8-byte word / 16-byte SIMD skip kernels — the suspension must be
+/// invisible no matter which kernel the run straddles.
+///
+/// The streaming lexer (lexer/CompiledLexer.h StreamLexer) gets the same
+/// treatment against lexAll().
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Pipeline.h"
+#include "engine/Stream.h"
+#include "grammars/Grammars.h"
+#include "lexer/CompiledLexer.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace flap;
+
+namespace {
+
+/// One grammar under chunked differential test.
+struct StreamRig {
+  std::shared_ptr<GrammarDef> Def;
+  FlapParser P;
+
+  explicit StreamRig(std::shared_ptr<GrammarDef> D) : Def(std::move(D)) {
+    auto R = compileFlap(Def);
+    if (!R.ok()) {
+      ADD_FAILURE() << "compile failed: " << R.error();
+      return;
+    }
+    P = R.take();
+  }
+
+  void *fresh(std::shared_ptr<void> &C) {
+    if (Def->NewCtx)
+      C = Def->NewCtx();
+    return C.get();
+  }
+
+  /// Streams \p In cut at the (sorted, in-range) offsets \p Cuts.
+  Result<Value> streamParse(std::string_view In,
+                            const std::vector<size_t> &Cuts,
+                            size_t *CarryHW = nullptr) {
+    std::shared_ptr<void> C;
+    StreamOptions O;
+    O.User = fresh(C);
+    StreamParser SP(P.M, O);
+    size_t Prev = 0;
+    for (size_t Cut : Cuts) {
+      SP.feed(In.substr(Prev, Cut - Prev));
+      Prev = Cut;
+    }
+    SP.feed(In.substr(Prev));
+    SP.finish();
+    if (CarryHW)
+      *CarryHW = SP.carryHighWater();
+    // On success every byte was consumed (errors reject later chunks).
+    if (SP.status() == StreamStatus::Done)
+      EXPECT_EQ(SP.streamedBytes(), In.size());
+    return SP.take();
+  }
+
+  /// Whole-buffer vs streamed-at-Cuts: same verdict, same value, same
+  /// error string; recognize-mode stream agrees too.
+  bool checkSplits(std::string_view In, const std::vector<size_t> &Cuts) {
+    std::shared_ptr<void> C;
+    Result<Value> Whole = P.M.parse(In, fresh(C));
+    Result<Value> Str = streamParse(In, Cuts);
+    EXPECT_EQ(Whole.ok(), Str.ok())
+        << Def->Name << ": stream vs whole on '" << In << "' (" << Cuts.size()
+        << " cuts)";
+    if (Whole.ok() && Str.ok()) {
+      EXPECT_EQ(*Whole, *Str) << Def->Name << " value drift on '" << In
+                              << "'";
+    } else if (!Whole.ok() && !Str.ok()) {
+      EXPECT_EQ(Whole.error(), Str.error())
+          << Def->Name << " error drift on '" << In << "'";
+    }
+
+    StreamOptions RO;
+    RO.Recognize = true;
+    StreamParser SR(P.M, RO);
+    size_t Prev = 0;
+    for (size_t Cut : Cuts) {
+      SR.feed(In.substr(Prev, Cut - Prev));
+      Prev = Cut;
+    }
+    SR.feed(In.substr(Prev));
+    EXPECT_EQ(SR.finish() == StreamStatus::Done, Whole.ok())
+        << Def->Name << ": streaming recognize vs parse on '" << In << "'";
+    return Whole.ok();
+  }
+
+  /// Every two-way split of \p In, plus every-byte chunks.
+  void sweepAllSplits(std::string_view In) {
+    for (size_t Cut = 0; Cut <= In.size(); ++Cut)
+      checkSplits(In, {Cut});
+    std::vector<size_t> Every;
+    for (size_t Cut = 1; Cut < In.size(); ++Cut)
+      Every.push_back(Cut);
+    checkSplits(In, Every);
+  }
+};
+
+TEST(StreamDiffTest, AllGrammarsAllTwoWaySplits) {
+  for (auto &Def : allBenchmarkGrammars()) {
+    StreamRig R(Def);
+    Workload W = genWorkload(Def->Name, 11, 400);
+    R.sweepAllSplits(W.Input);
+  }
+}
+
+TEST(StreamDiffTest, SplitsInsideSimdRunSkipBlocks) {
+  // Atom and whitespace runs long enough that the scan is inside the
+  // 16-byte SIMD classifier (and the 8-byte word kernel) when the chunk
+  // ends: every cut of every run length around both block widths.
+  StreamRig R(makeSexpGrammar());
+  for (int Run : {7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 40}) {
+    std::string Atom(static_cast<size_t>(Run), 'a');
+    std::string Ws(static_cast<size_t>(Run), ' ');
+    for (const std::string &In :
+         {"(" + Atom + " " + Atom + ")", "(" + Ws + Atom + Ws + ")",
+          Atom + Ws, "(" + Atom /* reject: unclosed */}) {
+      for (size_t Cut = 0; Cut <= In.size(); ++Cut)
+        R.checkSplits(In, {Cut});
+    }
+  }
+}
+
+TEST(StreamDiffTest, RandomMultiWaySplits) {
+  Rng Rand(2026);
+  for (auto &Def : allBenchmarkGrammars()) {
+    StreamRig R(Def);
+    for (uint64_t Seed = 1; Seed <= 2; ++Seed) {
+      Workload W = genWorkload(Def->Name, Seed, 3000 + Seed * 2000);
+      for (int Round = 0; Round < 8; ++Round) {
+        std::vector<size_t> Cuts;
+        size_t At = 0;
+        while (At < W.Input.size()) {
+          // Mix of tiny (1-8B) and medium (up to 512B) chunks.
+          At += 1 + Rand.below(Rand.chance(1, 3) ? 8 : 512);
+          if (At < W.Input.size())
+            Cuts.push_back(At);
+        }
+        EXPECT_TRUE(R.checkSplits(W.Input, Cuts))
+            << Def->Name << " seed " << Seed;
+      }
+    }
+  }
+}
+
+TEST(StreamDiffTest, ErrorsIdenticalAtEverySplit) {
+  // Corrupted inputs must fail with byte-identical diagnostics (absolute
+  // offsets, expected-token sets) no matter where the chunks end — the
+  // error may even be raised by an earlier feed() call.
+  Rng Rand(7);
+  for (auto &Def : allBenchmarkGrammars()) {
+    StreamRig R(Def);
+    Workload W = genWorkload(Def->Name, 13, 300);
+    for (int Round = 0; Round < 12; ++Round) {
+      std::string In = W.Input;
+      size_t At = Rand.below(In.size());
+      switch (Rand.below(3)) {
+      case 0:
+        In[At] = static_cast<char>(1 + Rand.below(127));
+        break;
+      case 1:
+        In.erase(At, 1 + Rand.below(3));
+        break;
+      default:
+        In.insert(At, 1 + Rand.below(2), "(){}[]\"!,;"[Rand.below(10)]);
+        break;
+      }
+      for (size_t Cut = 0; Cut <= In.size(); Cut += 3)
+        R.checkSplits(In, {Cut});
+    }
+  }
+}
+
+TEST(StreamDiffTest, CarryStaysBoundedOnDocumentStreams) {
+  // Streams of independent documents (the server scenario) must not
+  // accumulate carry: the watermark releases every document's bytes as
+  // its value reduces to a scalar. The bound is the longest single
+  // document plus the suspended lexeme, far below the stream length.
+  for (const char *Name : {"json", "csv", "pgn"}) {
+    std::shared_ptr<GrammarDef> Def;
+    for (auto &G : allBenchmarkGrammars())
+      if (G->Name == Name)
+        Def = G;
+    StreamRig R(Def);
+    Workload W = genWorkload(Name, 3, 64 * 1024);
+    size_t CarryHW = 0;
+    std::vector<size_t> Cuts;
+    for (size_t At = 1024; At < W.Input.size(); At += 1024)
+      Cuts.push_back(At);
+    Result<Value> V = R.streamParse(W.Input, Cuts, &CarryHW);
+    ASSERT_TRUE(V.ok()) << Name << ": " << V.error();
+    EXPECT_LT(CarryHW, W.Input.size() / 4)
+        << Name << " carry high-water grew with the stream";
+  }
+}
+
+TEST(StreamDiffTest, ResetReusesTheParser) {
+  StreamRig R(makeJsonGrammar());
+  StreamParser SP(R.P.M);
+  for (int Doc = 0; Doc < 3; ++Doc) {
+    Workload W = genWorkload("json", 20 + static_cast<uint64_t>(Doc), 500);
+    for (size_t At = 0; At < W.Input.size(); At += 13)
+      SP.feed(std::string_view(W.Input).substr(At, 13));
+    ASSERT_EQ(SP.finish(), StreamStatus::Done) << SP.take().error();
+    Result<Value> Str = SP.take();
+    Result<Value> Whole = R.P.M.parse(W.Input);
+    ASSERT_TRUE(Str.ok() && Whole.ok());
+    EXPECT_EQ(*Whole, *Str);
+    SP.reset();
+  }
+}
+
+TEST(StreamDiffTest, FeedAfterFinishFails) {
+  StreamRig R(makeSexpGrammar());
+  StreamParser SP(R.P.M);
+  EXPECT_EQ(SP.feed("(a b)"), StreamStatus::NeedData);
+  EXPECT_EQ(SP.finish(), StreamStatus::Done);
+  EXPECT_EQ(SP.feed("(c)"), StreamStatus::Error);
+}
+
+TEST(StreamDiffTest, StreamLexerMatchesLexAll) {
+  for (auto &Def : allBenchmarkGrammars()) {
+    auto PR = compileFlap(Def);
+    ASSERT_TRUE(PR.ok()) << PR.error();
+    FlapParser P = PR.take();
+    CompiledLexer Lex(*Def->Re, P.Canon);
+    Workload W = genWorkload(Def->Name, 17, 600);
+    Result<std::vector<Lexeme>> Whole = Lex.lexAll(W.Input);
+
+    for (size_t Step : {size_t(1), size_t(3), size_t(7), size_t(64)}) {
+      StreamLexer SL(Lex);
+      std::vector<Lexeme> Toks;
+      Status St = Status::success();
+      for (size_t At = 0; At < W.Input.size() && St.ok(); At += Step)
+        St = SL.feed(std::string_view(W.Input).substr(At, Step), Toks);
+      if (St.ok())
+        St = SL.finish(Toks);
+      ASSERT_EQ(Whole.ok(), St.ok()) << Def->Name << " step " << Step;
+      if (!Whole.ok())
+        continue;
+      ASSERT_EQ(Whole->size(), Toks.size()) << Def->Name << " step " << Step;
+      for (size_t K = 0; K < Toks.size(); ++K) {
+        EXPECT_EQ((*Whole)[K].Tok, Toks[K].Tok);
+        EXPECT_EQ((*Whole)[K].Begin, Toks[K].Begin);
+        EXPECT_EQ((*Whole)[K].End, Toks[K].End);
+      }
+    }
+  }
+}
+
+TEST(StreamDiffTest, StreamLexerErrorOffsets) {
+  auto Def = makeSexpGrammar();
+  auto PR = compileFlap(Def);
+  ASSERT_TRUE(PR.ok());
+  FlapParser P = PR.take();
+  CompiledLexer Lex(*Def->Re, P.Canon);
+  const std::string In = "(abc !def)"; // '!' matches no rule, offset 5
+  Result<std::vector<Lexeme>> Whole = Lex.lexAll(In);
+  ASSERT_FALSE(Whole.ok());
+  for (size_t Cut = 0; Cut <= In.size(); ++Cut) {
+    StreamLexer SL(Lex);
+    std::vector<Lexeme> Toks;
+    Status St = SL.feed(std::string_view(In).substr(0, Cut), Toks);
+    if (St.ok())
+      St = SL.feed(std::string_view(In).substr(Cut), Toks);
+    if (St.ok())
+      St = SL.finish(Toks);
+    ASSERT_FALSE(St.ok()) << "cut " << Cut;
+    EXPECT_EQ(St.error(), Whole.error()) << "cut " << Cut;
+  }
+}
+
+TEST(StreamDiffTest, MultiEntryStreaming) {
+  // Streaming from a non-default entry point: same machine, same tables
+  // (paper §8), entry selected via StreamOptions::Start.
+  auto Def = makeJsonGrammar();
+  StreamRig R(Def);
+  // The machine's own start; exercising the options path.
+  StreamOptions O;
+  O.Start = R.P.M.Start;
+  StreamParser SP(R.P.M, O);
+  const std::string In = "{\"k\": [1, 2, {}]}";
+  for (char C : In)
+    SP.feed(std::string_view(&C, 1));
+  ASSERT_EQ(SP.finish(), StreamStatus::Done);
+  Result<Value> Whole = R.P.M.parse(In);
+  ASSERT_TRUE(Whole.ok());
+  EXPECT_EQ(*Whole, *SP.take());
+}
+
+} // namespace
