@@ -104,6 +104,63 @@ void BM_PipelineCompile(benchmark::State &State) {
 }
 BENCHMARK(BM_PipelineCompile);
 
+//===--------------------------------------------------------------------===//
+// Action-dispatch micro-panel: the per-marker cost of the three dispatch
+// mechanisms on a synthetic marker stream (a counting fold: push a
+// constant, add it into an accumulator — the dominant shape of the
+// benchmark grammars). Attributes the panel-A devirtualization win:
+//   - StdFunction: the retained legacy reference path (ActionTable::ref)
+//   - Switch:      the tagged micro-op dispatch (ValueStack::applyMicro)
+//   - FusedChain:  a pre-fused ε-chain block (ValueStack::runChain)
+//===--------------------------------------------------------------------===//
+
+struct DispatchRig {
+  ActionTable AT;
+  ActionId One, Add;
+  ParseContext Ctx{std::string_view(), nullptr, 0, nullptr};
+  ValueStack VS;
+
+  DispatchRig() {
+    One = AT.addConst(Value::integer(1), "one");
+    Add = AT.addAddArgs(2, 0, 1, "add");
+    VS.push(Value::integer(0)); // accumulator
+  }
+};
+
+void BM_ActionDispatchStdFunction(benchmark::State &State) {
+  DispatchRig R;
+  for (auto _ : State) {
+    R.VS.applyRef(R.AT.get(R.One), R.AT.ref(R.One), R.Ctx);
+    R.VS.applyRef(R.AT.get(R.Add), R.AT.ref(R.Add), R.Ctx);
+    benchmark::DoNotOptimize(R.VS.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_ActionDispatchStdFunction);
+
+void BM_ActionDispatchSwitch(benchmark::State &State) {
+  DispatchRig R;
+  for (auto _ : State) {
+    R.VS.applyMicro(R.AT, R.One, R.Ctx);
+    R.VS.applyMicro(R.AT, R.Add, R.Ctx);
+    benchmark::DoNotOptimize(R.VS.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_ActionDispatchSwitch);
+
+void BM_ActionDispatchFusedChain(benchmark::State &State) {
+  DispatchRig R;
+  const ActionId Chain[] = {R.One, R.Add, R.One, R.Add, R.One, R.Add,
+                            R.One, R.Add};
+  for (auto _ : State) {
+    R.VS.runChain(R.AT, Chain, 8, /*MaxGrow=*/1, R.Ctx);
+    benchmark::DoNotOptimize(R.VS.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 8);
+}
+BENCHMARK(BM_ActionDispatchFusedChain);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -21,6 +21,11 @@
 /// construction time (alt branches must agree; recursive parsers have
 /// width 1).
 ///
+/// Action registration prefers the *tagged* shapes of cfe/Action.h:
+/// mapConst / mapSelect / mapAddArgs / mapAddImm register switch-
+/// dispatched micro-ops, and map() takes a raw function pointer (a
+/// capture-less lambda converts implicitly) for everything else.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FLAP_CFE_COMBINATORS_H
@@ -31,6 +36,7 @@
 
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <string>
 
 namespace flap {
@@ -95,12 +101,51 @@ public:
   }
 
   /// Semantic action folding all of \p A's values into one. \p F receives
-  /// A.Width arguments.
-  Px map(Px A, ActionFn F, std::string Name = "act") {
+  /// A.Width arguments. Pass ReadsInput = false when \p F never touches
+  /// lexeme text (Ctx.text()/at()) — it lets the streaming parser drop
+  /// retain-watermark tracking for the whole grammar.
+  Px map(Px A, ActionFn F, std::string Name = "act",
+         bool ReadsInput = true) {
     assert(A.Width >= 0 && "cannot map over ⊥ alone");
-    return {Arena.map(A.Id, Actions.add(A.Width, std::move(F),
-                                        std::move(Name))),
-            1};
+    return mapAction(A, Actions.add(A.Width, F, std::move(Name),
+                                    ReadsInput));
+  }
+
+  /// Attaches an already-registered action (of arity A.Width) to \p A.
+  Px mapAction(Px A, ActionId Act) {
+    assert(A.Width >= 0 && "cannot map over ⊥ alone");
+    return {Arena.map(A.Id, Act), 1};
+  }
+
+  //===--------------------------------------------------------------===//
+  // Tagged maps — switch-dispatched micro-ops, no callable at all
+  //===--------------------------------------------------------------===//
+
+  /// Discards \p A's values, produces the fixed value \p V.
+  Px mapConst(Px A, Value V, std::string Name = "const") {
+    assert(A.Width >= 0 && "cannot map over ⊥ alone");
+    return mapAction(A, Actions.addConst(std::move(V), std::move(Name),
+                                         A.Width));
+  }
+
+  /// Keeps only value \p Idx of \p A's results.
+  Px mapSelect(Px A, int Idx, std::string Name = "select") {
+    assert(A.Width >= 0 && "cannot map over ⊥ alone");
+    return mapAction(A, Actions.addSelect(A.Width, Idx, std::move(Name)));
+  }
+
+  /// Integer sum of values \p IdxA and \p IdxB.
+  Px mapAddArgs(Px A, int IdxA, int IdxB, std::string Name = "add") {
+    assert(A.Width >= 0 && "cannot map over ⊥ alone");
+    return mapAction(A, Actions.addAddArgs(A.Width, IdxA, IdxB,
+                                           std::move(Name)));
+  }
+
+  /// Integer value \p Idx plus the immediate \p Imm (count/accumulate).
+  Px mapAddImm(Px A, int Idx, int64_t Imm, std::string Name = "accum") {
+    assert(A.Width >= 0 && "cannot map over ⊥ alone");
+    return mapAction(A, Actions.addAddImm(A.Width, Idx, Imm,
+                                          std::move(Name)));
   }
 
   //===--------------------------------------------------------------===//
@@ -108,108 +153,102 @@ public:
   //===--------------------------------------------------------------===//
 
   /// Sequences then folds with a binary function (no intermediate pair).
-  Px seqMap(Px A, Px B, ActionFn F, std::string Name = "act2") {
-    return map(seq(A, B), std::move(F), std::move(Name));
+  Px seqMap(Px A, Px B, ActionFn F, std::string Name = "act2",
+            bool ReadsInput = true) {
+    return map(seq(A, B), F, std::move(Name), ReadsInput);
   }
 
   /// Sequence of several parsers folded by one action.
   Px all(std::initializer_list<Px> Ps, ActionFn F,
-         std::string Name = "actN") {
-    assert(Ps.size() > 0 && "all() needs at least one parser");
+         std::string Name = "actN", bool ReadsInput = true) {
+    return map(seqAll(Ps), F, std::move(Name), ReadsInput);
+  }
+
+  /// Sequence of several parsers with no action attached (width = sum).
+  Px seqAll(std::initializer_list<Px> Ps) {
+    assert(Ps.size() > 0 && "seqAll() needs at least one parser");
     auto It = Ps.begin();
     Px Acc = *It++;
     for (; It != Ps.end(); ++It)
       Acc = seq(Acc, *It);
-    return map(Acc, std::move(F), std::move(Name));
+    return Acc;
   }
 
   /// Keeps only the left value of a sequence.
-  Px keepLeft(Px A, Px B) {
-    return seqMap(
-        A, B,
-        [](ParseContext &, Value *Args) { return std::move(Args[0]); },
-        "fst");
-  }
+  Px keepLeft(Px A, Px B) { return mapSelect(seq(A, B), 0, "fst"); }
 
   /// Keeps only the right value of a sequence.
-  Px keepRight(Px A, Px B) {
-    return seqMap(
-        A, B,
-        [](ParseContext &, Value *Args) { return std::move(Args[1]); },
-        "snd");
-  }
+  Px keepRight(Px A, Px B) { return mapSelect(seq(A, B), 1, "snd"); }
 
   /// Pairs the two values of a sequence (the classical `>>>`).
   Px pairUp(Px A, Px B) {
-    return seqMap(
-        A, B,
-        [](ParseContext &, Value *Args) {
-          return Value::pair(std::move(Args[0]), std::move(Args[1]));
-        },
-        "pair");
+    return mapAction(seq(A, B), Actions.addPair());
   }
 
   /// Right fold: star-many \p P, combining each value with the
   /// accumulator-so-far as F(elem, acc); empty yields \p Init.
   /// Requires First(P) disjoint from what follows, as usual for LL(1).
-  Px foldr(Px P, Value Init, ActionFn F, std::string Name = "fold") {
+  Px foldr(Px P, Value Init, ActionFn F, std::string Name = "fold",
+           bool ReadsInput = true) {
+    assert(P.Width == 1 && "foldr element must have width 1");
+    return foldrAct(P, std::move(Init),
+                    Actions.add(2, F, std::move(Name), ReadsInput));
+  }
+
+  /// foldr over an already-registered arity-2 fold action.
+  Px foldrAct(Px P, Value Init, ActionId Fold,
+              std::string InitName = "foldInit") {
     assert(P.Width == 1 && "foldr element must have width 1");
     return fix([&](Px Self) {
-      return alt(map(seq(P, Self), F, Name), eps(Init, "foldInit"));
+      return alt(mapAction(seq(P, Self), Fold),
+                 eps(std::move(Init), std::move(InitName)));
     });
   }
 
-  /// Kleene star producing a list of values.
+  /// Kleene star producing a list of values. The fold appends to one
+  /// list node (copy-on-write, arena-backed) and reverses once at the
+  /// end — O(n) with a single node, not a cons-pair chain.
   Px star(Px P) {
-    Px Chain = foldr(
-        P, Value::unit(),
-        [](ParseContext &, Value *Args) {
-          return Value::pair(std::move(Args[0]), std::move(Args[1]));
-        },
-        "cons");
+    Px Rev = foldrAct(P, Value::list({}),
+                      Actions.addListPush(/*ListIdx=*/1, "snoc"),
+                      "nilList");
     return map(
-        Chain,
-        [](ParseContext &, Value *Args) {
-          ValueList L;
-          Value Cur = std::move(Args[0]);
-          while (Cur.isPair()) {
-            L.push_back(Cur.asPair().first);
-            Cur = Cur.asPair().second;
-          }
-          return Value::list(std::move(L));
+        Rev,
+        [](ParseContext &Ctx, Value *Args) {
+          return Value::listReversed(Ctx.Pool, std::move(Args[0]));
         },
-        "toList");
+        "revList", /*ReadsInput=*/false);
   }
 
   /// One-or-more, producing a list (the pgn `oneormore` of §6).
   Px plus(Px P) {
     return seqMap(
         P, star(P),
-        [](ParseContext &, Value *Args) {
+        [](ParseContext &Ctx, Value *Args) {
           ValueList L;
+          const ValueList &Rest = Args[1].asList();
+          L.reserve(1 + Rest.size());
           L.push_back(std::move(Args[0]));
-          for (const Value &V : Args[1].asList())
+          for (const Value &V : Rest)
             L.push_back(V);
-          return Value::list(std::move(L));
+          return Value::list(Ctx.Pool, std::move(L));
         },
-        "cons1");
+        "cons1", /*ReadsInput=*/false);
   }
 
   /// Star that only counts its elements (no list materialization).
   Px count(Px P) {
-    return foldr(
-        P, Value::integer(0),
-        [](ParseContext &, Value *Args) {
-          return Value::integer(Args[1].asInt() + 1);
-        },
-        "count");
+    return foldrAct(P, Value::integer(0),
+                    Actions.addAddImm(2, /*Idx=*/1, 1, "count"),
+                    "countInit");
   }
 
   /// Star that discards element values and yields unit.
   Px skipMany(Px P) {
-    return foldr(
-        P, Value::unit(),
-        [](ParseContext &, Value *) { return Value::unit(); }, "skipMany");
+    return foldrAct(P, Value::unit(),
+                    Actions.addConst(Value::unit(), "skipMany",
+                                     /*Arity=*/2),
+                    "skipManyInit");
   }
 
   /// Zero-or-one: the value of \p P, or unit when absent. The usual
@@ -219,13 +258,17 @@ public:
     return alt(P, eps());
   }
 
+  /// Fold function of chainl1: Combine(Ctx, accumulator, opValue,
+  /// operand). May capture state; stored as a payload behind a static
+  /// thunk (the one registration that still heap-allocates).
+  using Chainl1Fn =
+      std::function<Value(ParseContext &, Value, Value, Value)>;
+
   /// Left-associative operator chains without left recursion:
   /// `operand (op operand)*` folded as Combine(acc, opValue, operand).
   /// This is the encoding §6 ("Sharing") and §8 (usability) gesture at —
   /// the operand/op subgrammars are shared, not duplicated.
-  Px chainl1(Px Operand, Px Op,
-             std::function<Value(ParseContext &, Value, Value, Value)>
-                 Combine,
+  Px chainl1(Px Operand, Px Op, Chainl1Fn Combine,
              std::string Name = "chainl1") {
     assert(Operand.Width == 1 && Op.Width == 1 &&
            "chainl1 parts must produce one value each");
@@ -233,34 +276,37 @@ public:
     Px Rest = fix([&](Px R) {
       return alt(eps(Value::unit(), Name + "End"),
                  all({Op, Operand, R},
-                     [](ParseContext &, Value *Args) {
-                       return Value::pair(Value::pair(std::move(Args[0]),
-                                                      std::move(Args[1])),
-                                          std::move(Args[2]));
+                     [](ParseContext &Ctx, Value *Args) {
+                       return Value::pair(
+                           Ctx.Pool,
+                           Value::pair(Ctx.Pool, std::move(Args[0]),
+                                       std::move(Args[1])),
+                           std::move(Args[2]));
                      },
-                     Name + "Step"));
+                     Name + "Step", /*ReadsInput=*/false));
     });
-    return seqMap(
-        Operand, Rest,
-        [Combine](ParseContext &Ctx, Value *Args) {
+    auto Owner = std::make_shared<Chainl1Fn>(std::move(Combine));
+    ActionId Fold = Actions.addP(
+        2,
+        [](ParseContext &Ctx, Value *Args, const void *Payload) {
+          const Chainl1Fn &F =
+              *static_cast<const Chainl1Fn *>(Payload);
           Value Acc = std::move(Args[0]);
           const Value *Cur = &Args[1];
           while (Cur->isPair()) {
             const ValuePair &Step = Cur->asPair();
             const ValuePair &OpY = Step.first.asPair();
-            Acc = Combine(Ctx, std::move(Acc), OpY.first, OpY.second);
+            Acc = F(Ctx, std::move(Acc), OpY.first, OpY.second);
             Cur = &Step.second;
           }
           return Acc;
         },
-        Name);
+        Owner.get(), Owner, Name);
+    return mapAction(seq(Operand, Rest), Fold);
   }
 
   /// Discards the value of \p P, yielding unit.
-  Px ignore(Px P) {
-    return map(
-        P, [](ParseContext &, Value *) { return Value::unit(); }, "ignore");
-  }
+  Px ignore(Px P) { return mapConst(P, Value::unit(), "ignore"); }
 
   /// Type-checks the finished grammar rooted at \p Root.
   Result<TypeInfo> check(Px Root) const {

@@ -12,7 +12,7 @@
 using namespace flap;
 
 bool Value::operator==(const Value &O) const {
-  if (V.index() != O.V.index())
+  if (T != O.T)
     return false;
   if (isUnit())
     return true;

@@ -13,9 +13,15 @@
 /// full results, not just accept/reject.
 ///
 /// Scalars (unit, bool, int, double, token spans) are unboxed; strings,
-/// pairs and lists are shared immutable heap nodes. This mirrors flap's
-/// claim that the generated parser itself performs no allocation beyond
-/// what user actions insert.
+/// pairs and lists are shared immutable heap nodes. Pair and list nodes
+/// can optionally come from a ValuePool — a freelist arena owned by the
+/// per-parse scratch — so the hot loop builds structure without touching
+/// the global allocator. Pooled and heap values are indistinguishable
+/// through the API (same shared_ptr discipline, same structural
+/// equality); a value escaping its parse (StreamParser::take(), a parse
+/// result outliving its ParseScratch) keeps the pool pages alive through
+/// the nodes' shared ownership. See engine/README.md "Arena-pooled
+/// values" for the lifetime rules.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,11 +30,14 @@
 
 #include "lexer/Token.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <new>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <utility>
-#include <variant>
 #include <vector>
 
 namespace flap {
@@ -37,72 +46,335 @@ class Value;
 using ValuePair = std::pair<Value, Value>;
 using ValueList = std::vector<Value>;
 
-/// A dynamically-typed semantic value.
-class Value {
+/// A freelist arena for pair/list nodes (control block + payload are
+/// co-located by allocate_shared). One pool per parse scratch; nodes
+/// recycle through their size-class freelist as values die, so a scratch
+/// reused across parses amortizes to zero allocation. Not thread-safe:
+/// values built from a pool must be destroyed on the thread that owns it
+/// (the usual one-scratch-per-thread discipline).
+class ValuePool {
 public:
-  Value() : V(std::monostate{}) {}
+  ValuePool() = default;
+  ValuePool(const ValuePool &) = delete;
+  ValuePool &operator=(const ValuePool &) = delete;
+
+  void *allocate(size_t Bytes) {
+    SizeClass *C = classOf(Bytes);
+    if (!C)
+      return ::operator new(Bytes);
+    if (C->Free) {
+      FreeNode *N = C->Free;
+      C->Free = N->Next;
+      return N;
+    }
+    size_t Need = align(Bytes);
+    if (Left < Need) {
+      Pages.push_back(std::make_unique<char[]>(PageBytes));
+      Cur = Pages.back().get();
+      Left = PageBytes;
+    }
+    void *P = Cur;
+    Cur += Need;
+    Left -= Need;
+    return P;
+  }
+
+  void deallocate(void *P, size_t Bytes) noexcept {
+    SizeClass *C = classOf(Bytes);
+    if (!C) {
+      ::operator delete(P);
+      return;
+    }
+    FreeNode *N = static_cast<FreeNode *>(P);
+    N->Next = C->Free;
+    C->Free = N;
+  }
+
+  size_t pageCount() const { return Pages.size(); }
+
+private:
+  struct FreeNode {
+    FreeNode *Next;
+  };
+  struct SizeClass {
+    size_t Bytes = 0;
+    FreeNode *Free = nullptr;
+  };
+
+  static size_t align(size_t Bytes) { return (Bytes + 15) & ~size_t(15); }
+
+  /// The size class for \p Bytes, or nullptr when the request must take
+  /// the plain heap (oversized, or more distinct node sizes than the
+  /// table holds — deterministic per size, so deallocate agrees).
+  SizeClass *classOf(size_t Bytes) {
+    if (Bytes > PageBytes / 8)
+      return nullptr;
+    for (size_t I = 0; I < NumClasses; ++I)
+      if (Classes[I].Bytes == Bytes)
+        return &Classes[I];
+    if (NumClasses == MaxClasses)
+      return nullptr;
+    Classes[NumClasses].Bytes = Bytes;
+    return &Classes[NumClasses++];
+  }
+
+  static constexpr size_t PageBytes = 16 * 1024;
+  static constexpr size_t MaxClasses = 6;
+  SizeClass Classes[MaxClasses];
+  size_t NumClasses = 0;
+  std::vector<std::unique_ptr<char[]>> Pages;
+  char *Cur = nullptr;
+  size_t Left = 0;
+};
+
+/// Shared handle to a pool; nodes' control blocks hold a copy, so escaped
+/// values pin the pages.
+using ValuePoolRef = std::shared_ptr<ValuePool>;
+
+/// Minimal allocator over a ValuePool for allocate_shared. A null pool
+/// falls through to the global heap (both sides of the pair must agree,
+/// which they do: the pool handle is fixed per allocation).
+template <typename T> struct PoolAlloc {
+  using value_type = T;
+
+  ValuePoolRef Pool;
+
+  explicit PoolAlloc(ValuePoolRef P) : Pool(std::move(P)) {}
+  template <typename U>
+  PoolAlloc(const PoolAlloc<U> &O) : Pool(O.Pool) {}
+
+  T *allocate(size_t N) {
+    if (N == 1 && Pool)
+      return static_cast<T *>(Pool->allocate(sizeof(T)));
+    return std::allocator<T>().allocate(N);
+  }
+  void deallocate(T *P, size_t N) noexcept {
+    if (N == 1 && Pool)
+      Pool->deallocate(P, sizeof(T));
+    else
+      std::allocator<T>().deallocate(P, N);
+  }
+
+  template <typename U> bool operator==(const PoolAlloc<U> &O) const {
+    return Pool == O.Pool;
+  }
+  template <typename U> bool operator!=(const PoolAlloc<U> &O) const {
+    return Pool != O.Pool;
+  }
+};
+
+/// A dynamically-typed semantic value.
+///
+/// Representation: a hand-rolled tagged union, not std::variant. The
+/// value stack moves/destroys millions of these per parse, and the
+/// variant's visit-based special members were the single largest cost of
+/// panel A after action devirtualization: a scalar move is a 16-byte
+/// copy and a scalar destroy a single compare here. All boxed kinds
+/// (string/pair/list) share one type-erased shared_ptr slot — the tag
+/// recovers the payload type, the control block knows the real deleter.
+class Value {
+  enum class Tag : uint8_t {
+    Unit,
+    Bool,
+    Int,
+    Real,
+    Token,
+    // Boxed tags from here on: hasPtr() is one compare.
+    Str,
+    Pair,
+    List
+  };
+  using BoxPtr = std::shared_ptr<const void>;
+
+  Tag T = Tag::Unit;
+  union Rep {
+    Rep() : I(0) {}
+    ~Rep() {} // managed by Value
+    bool B;
+    int64_t I;
+    double D;
+    Lexeme L;
+    BoxPtr P;
+  } R;
+
+  bool hasPtr() const { return T >= Tag::Str; }
+
+  Value(Tag T_, BoxPtr P) : T(T_) { new (&R.P) BoxPtr(std::move(P)); }
+
+public:
+  Value() = default;
+
+  Value(const Value &O) : T(O.T) {
+    if (hasPtr())
+      new (&R.P) BoxPtr(O.R.P);
+    else
+      std::memcpy(&R, &O.R, sizeof(Rep));
+  }
+  Value(Value &&O) noexcept : T(O.T) {
+    if (hasPtr())
+      new (&R.P) BoxPtr(std::move(O.R.P)); // leaves O's slot null
+    else
+      std::memcpy(&R, &O.R, sizeof(Rep));
+  }
+  Value &operator=(Value &&O) noexcept {
+    if (this == &O)
+      return *this;
+    if (hasPtr() && O.hasPtr()) {
+      R.P = std::move(O.R.P);
+      T = O.T;
+      return *this;
+    }
+    if (hasPtr())
+      R.P.~BoxPtr();
+    T = O.T;
+    if (O.hasPtr())
+      new (&R.P) BoxPtr(std::move(O.R.P));
+    else
+      std::memcpy(&R, &O.R, sizeof(Rep));
+    return *this;
+  }
+  Value &operator=(const Value &O) {
+    if (this != &O)
+      *this = Value(O);
+    return *this;
+  }
+  ~Value() {
+    if (hasPtr())
+      R.P.~BoxPtr();
+  }
 
   static Value unit() { return Value(); }
-  static Value boolean(bool B) { return Value(B); }
-  static Value integer(int64_t I) { return Value(I); }
-  static Value real(double D) { return Value(D); }
-  static Value token(TokenId Tok, uint32_t Begin, uint32_t End) {
-    return Value(Lexeme{Tok, Begin, End});
+  static Value boolean(bool B) {
+    Value V;
+    V.T = Tag::Bool;
+    V.R.B = B;
+    return V;
   }
-  static Value token(const Lexeme &L) { return Value(L); }
+  static Value integer(int64_t I) {
+    Value V;
+    V.T = Tag::Int;
+    V.R.I = I;
+    return V;
+  }
+  static Value real(double D) {
+    Value V;
+    V.T = Tag::Real;
+    V.R.D = D;
+    return V;
+  }
+  static Value token(TokenId Tok, uint32_t Begin, uint32_t End) {
+    Value V;
+    V.T = Tag::Token;
+    V.R.L = Lexeme{Tok, Begin, End};
+    return V;
+  }
+  static Value token(const Lexeme &L) {
+    Value V;
+    V.T = Tag::Token;
+    V.R.L = L;
+    return V;
+  }
   static Value string(std::string S) {
-    return Value(std::make_shared<const std::string>(std::move(S)));
+    return Value(Tag::Str,
+                 std::make_shared<std::string>(std::move(S)));
   }
   static Value pair(Value A, Value B) {
-    return Value(std::make_shared<const ValuePair>(std::move(A),
-                                                   std::move(B)));
+    return Value(Tag::Pair,
+                 std::make_shared<ValuePair>(std::move(A), std::move(B)));
   }
   static Value list(ValueList L) {
-    return Value(std::make_shared<const ValueList>(std::move(L)));
+    return Value(Tag::List, std::make_shared<ValueList>(std::move(L)));
   }
 
-  bool isUnit() const { return std::holds_alternative<std::monostate>(V); }
-  bool isBool() const { return std::holds_alternative<bool>(V); }
-  bool isInt() const { return std::holds_alternative<int64_t>(V); }
-  bool isReal() const { return std::holds_alternative<double>(V); }
-  bool isToken() const { return std::holds_alternative<Lexeme>(V); }
-  bool isString() const {
-    return std::holds_alternative<std::shared_ptr<const std::string>>(V);
+  //===--------------------------------------------------------------===//
+  // Pool-backed constructors: identical semantics, arena-backed nodes.
+  // A null pool degrades to the heap constructors above.
+  //===--------------------------------------------------------------===//
+
+  static Value pair(const ValuePoolRef &Pool, Value A, Value B) {
+    if (!Pool)
+      return pair(std::move(A), std::move(B));
+    return Value(Tag::Pair, std::allocate_shared<ValuePair>(
+                                PoolAlloc<ValuePair>(Pool), std::move(A),
+                                std::move(B)));
   }
-  bool isPair() const {
-    return std::holds_alternative<std::shared_ptr<const ValuePair>>(V);
+  static Value list(const ValuePoolRef &Pool, ValueList L) {
+    if (!Pool)
+      return list(std::move(L));
+    return Value(Tag::List,
+                 std::allocate_shared<ValueList>(PoolAlloc<ValueList>(Pool),
+                                                 std::move(L)));
   }
-  bool isList() const {
-    return std::holds_alternative<std::shared_ptr<const ValueList>>(V);
+
+  /// \p ListV (a list value) with \p Elem appended. Mutates in place when
+  /// the node is uniquely owned (the accumulator discipline of `star`),
+  /// copies otherwise. Nodes are created non-const, so the cast is sound.
+  static Value listAppend(const ValuePoolRef &Pool, Value ListV,
+                          Value Elem) {
+    assert(ListV.isList() && "listAppend needs a list");
+    if (ListV.R.P.use_count() == 1) {
+      const_cast<ValueList &>(ListV.asList()).push_back(std::move(Elem));
+      return ListV;
+    }
+    ValueList L = ListV.asList();
+    L.push_back(std::move(Elem));
+    return list(Pool, std::move(L));
+  }
+
+  /// \p ListV reversed; in place when uniquely owned.
+  static Value listReversed(const ValuePoolRef &Pool, Value ListV) {
+    assert(ListV.isList() && "listReversed needs a list");
+    if (ListV.R.P.use_count() == 1) {
+      ValueList &L = const_cast<ValueList &>(ListV.asList());
+      std::reverse(L.begin(), L.end());
+      return ListV;
+    }
+    ValueList L(ListV.asList().rbegin(), ListV.asList().rend());
+    return list(Pool, std::move(L));
+  }
+
+  bool isUnit() const { return T == Tag::Unit; }
+  bool isBool() const { return T == Tag::Bool; }
+  bool isInt() const { return T == Tag::Int; }
+  bool isReal() const { return T == Tag::Real; }
+  bool isToken() const { return T == Tag::Token; }
+  bool isString() const { return T == Tag::Str; }
+  bool isPair() const { return T == Tag::Pair; }
+  bool isList() const { return T == Tag::List; }
+  /// Scalars provably hold no input references (streaming retain
+  /// watermarks rely on this classification). Strings qualify: they own
+  /// a copy of their bytes, unlike token spans.
+  bool isScalar() const {
+    return T != Tag::Token && T != Tag::Pair && T != Tag::List;
   }
 
   bool asBool() const {
     assert(isBool() && "value is not a bool");
-    return std::get<bool>(V);
+    return R.B;
   }
   int64_t asInt() const {
     assert(isInt() && "value is not an int");
-    return std::get<int64_t>(V);
+    return R.I;
   }
   double asReal() const {
     assert(isReal() && "value is not a real");
-    return std::get<double>(V);
+    return R.D;
   }
   const Lexeme &asToken() const {
     assert(isToken() && "value is not a token");
-    return std::get<Lexeme>(V);
+    return R.L;
   }
   const std::string &asString() const {
     assert(isString() && "value is not a string");
-    return *std::get<std::shared_ptr<const std::string>>(V);
+    return *static_cast<const std::string *>(R.P.get());
   }
   const ValuePair &asPair() const {
     assert(isPair() && "value is not a pair");
-    return *std::get<std::shared_ptr<const ValuePair>>(V);
+    return *static_cast<const ValuePair *>(R.P.get());
   }
   const ValueList &asList() const {
     assert(isList() && "value is not a list");
-    return *std::get<std::shared_ptr<const ValueList>>(V);
+    return *static_cast<const ValueList *>(R.P.get());
   }
 
   /// Deep structural equality (for differential tests).
@@ -111,15 +383,6 @@ public:
 
   /// Debug rendering, e.g. `(3 . [tok:atom@2-5])`.
   std::string str() const;
-
-private:
-  template <typename T> explicit Value(T X) : V(std::move(X)) {}
-
-  std::variant<std::monostate, bool, int64_t, double, Lexeme,
-               std::shared_ptr<const std::string>,
-               std::shared_ptr<const ValuePair>,
-               std::shared_ptr<const ValueList>>
-      V;
 };
 
 } // namespace flap

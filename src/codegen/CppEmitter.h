@@ -19,6 +19,19 @@
 /// -1 on a parse error. The function count equals
 /// CompiledParser::numStates() — Table 1's "Output Functions".
 ///
+/// When every semantic action of the grammar compiles to a scalar
+/// micro-op (constants, selection, integer accumulation — i.e. no
+/// custom callables), the emitter additionally generates
+///
+///   extern "C" long <name>_parse_value(const char *s, size_t len,
+///                                      long *out);
+///
+/// a value machine running the same tagged switch dispatch the library
+/// engines use (cfe/Action.h MicroOp): a long-valued stack, a static
+/// action table, ε-chain programs, and token placeholders. Returns 0
+/// and writes the semantic value (exact for integer-valued grammars
+/// like sexp/json/csv), or -1 on a parse error.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FLAP_CODEGEN_CPPEMITTER_H

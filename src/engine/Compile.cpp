@@ -170,6 +170,40 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
   if (HaveSkip)
     M.SkipState = InternState({{F.SkipRe, TrailCont}});
 
+  // Pre-fuse ε-marker chains into micro-op programs: the hot loops run
+  // one table-driven block per `back` continuation. Net stack effect is
+  // precomputed so the block reserves once and never reallocates
+  // mid-chain; the dominant shapes (empty chain, a single constant) skip
+  // dispatch entirely.
+  M.EpsPrograms.resize(M.EpsChains.size());
+  for (size_t C = 0; C < M.EpsChains.size(); ++C) {
+    const std::vector<ActionId> &Chain = M.EpsChains[C];
+    CompiledParser::EpsProgram &P = M.EpsPrograms[C];
+    if (Chain.empty()) {
+      P.K = CompiledParser::EpsProgram::Unit;
+      continue;
+    }
+    if (Chain.size() == 1) {
+      const Action &A = Actions.get(Chain[0]);
+      if (A.Kind == ActionKind::Const && A.Arity == 0) {
+        P.K = CompiledParser::EpsProgram::OneConst;
+        P.ConstVal = A.ConstVal;
+        continue;
+      }
+    }
+    P.K = CompiledParser::EpsProgram::Ops;
+    P.Off = static_cast<uint32_t>(M.EpsOps.size());
+    P.Len = static_cast<uint32_t>(Chain.size());
+    int32_t Net = 0, MaxNet = 0;
+    for (ActionId A : Chain) {
+      M.EpsOps.push_back(A);
+      Net += 1 - Actions.get(A).Arity;
+      if (Net > MaxNet)
+        MaxNet = Net;
+    }
+    P.MaxGrow = static_cast<uint32_t>(MaxNet);
+  }
+
   // Close the transition table: compute the derivative of every live
   // item once per derivative class of *this* state. All of this is
   // "static" work in the staging sense — it never runs during parsing.
@@ -258,6 +292,347 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
          "packed NtId overflows 15 bits"); // guarded at entry
   assert(NumStates <= CompiledParser::MaxPackedStates &&
          "packed start state overflows 16 bits"); // guarded in InternState
+  //===------------------------------------------------------------===//
+  // Dead-token elision.
+  //
+  // A production's pushed token is often consumed by a marker that
+  // provably ignores it (a Select of another argument, an integer
+  // accumulate, a constant). The value stack is fully static under the
+  // width discipline, so the consuming marker and the token's argument
+  // position in it are computable at staging time; where the consumer
+  // ignores the position, the token is never materialized and the
+  // occurrence's op is rewritten with that argument compiled out.
+  //
+  // Two source kinds are tracked:
+  //   - the production's own pushed token, consumed by a marker later
+  //     in the same tail;
+  //   - a *pure token nonterminal* (single non-skip production, token
+  //     head, empty tail — e.g. the nonterminal holding a closing
+  //     bracket): its value is a token that some enclosing production's
+  //     marker consumes. Elidable only when every occurrence across the
+  //     grammar ignores it; the nonterminal is then ValueFree.
+  //
+  // Phase A computes each nonterminal's net stack effect and minimum
+  // stack excursion (how far below its entry level its markers reach),
+  // so tails containing arbitrary nonterminals simulate exactly.
+  //===------------------------------------------------------------===//
+
+  const size_t NumNts = F.numNts();
+  std::vector<int32_t> NtNet(NumNts, 0), NtMinD(NumNts, 0);
+  std::vector<uint8_t> NetKnown(NumNts, 0), NtUsable(NumNts, 0);
+  {
+    // Phase A1: net effects, grounded worklist (no optimistic seeds: a
+    // nonterminal's net is only derived from a production whose
+    // children are already determined — cyclic nonterminals with no
+    // grounded production never complete a parse, so their positions
+    // are never observable and they simply stay unknown).
+    auto WalkNet = [&](const FusedProd &P, int32_t &Net) {
+      int32_t D = P.isSkip() ? 0 : 1;
+      for (const Sym &S : P.Tail) {
+        if (S.isNt()) {
+          if (!NetKnown[S.Idx])
+            return false;
+          D += NtNet[S.Idx];
+        } else {
+          D += 1 - Actions.get(static_cast<ActionId>(S.Idx)).Arity;
+        }
+      }
+      Net = D;
+      return true;
+    };
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (NtId N = 0; N < NumNts; ++N) {
+        if (NetKnown[N])
+          continue;
+        const FusedNt &Nt = F.Nts[N];
+        int32_t Net;
+        bool Got = false;
+        for (const FusedProd &P : Nt.Prods) {
+          if (P.isSkip())
+            continue; // F2 re-enters self: no information
+          if (WalkNet(P, Net)) {
+            Got = true;
+            break;
+          }
+        }
+        if (!Got && Nt.HasEps) {
+          // The ε fallback: an empty chain pushes unit (+1); otherwise
+          // the markers' net. (FromTok is NoToken, so WalkNet starts
+          // from depth 0 as required.)
+          FusedProd E;
+          E.Tail = Nt.EpsMarkers;
+          Got = WalkNet(E, Net);
+          if (Got && E.Tail.empty())
+            Net = 1;
+        }
+        if (Got) {
+          NtNet[N] = Net;
+          NetKnown[N] = 1;
+          Changed = true;
+        }
+      }
+    }
+    // Consistency: every walkable production of a known nonterminal
+    // must agree with its net (ill-typed value flow otherwise); a
+    // disagreement poisons the nonterminal for elision purposes.
+    for (NtId N = 0; N < NumNts; ++N) {
+      if (!NetKnown[N])
+        continue;
+      bool Ok = true;
+      const FusedNt &Nt = F.Nts[N];
+      int32_t Net;
+      for (const FusedProd &P : Nt.Prods)
+        if (!P.isSkip() && WalkNet(P, Net) && Net != NtNet[N])
+          Ok = false;
+      if (Nt.HasEps) {
+        FusedProd E;
+        E.Tail = Nt.EpsMarkers;
+        if (WalkNet(E, Net) &&
+            (E.Tail.empty() ? 1 : Net) != NtNet[N])
+          Ok = false;
+      }
+      NtUsable[N] = Ok;
+    }
+    // Phase A2: minimum excursion below entry level, iterated downward
+    // to a fixpoint over the usable nonterminals (capped: a runaway
+    // means pathological value flow — poison instead of looping).
+    auto WalkMin = [&](const FusedProd &P, bool Eps, int32_t &MinD) {
+      int32_t D = (!Eps && !P.isSkip()) ? 1 : 0;
+      int32_t Mn = 0;
+      for (const Sym &S : P.Tail) {
+        if (S.isNt()) {
+          if (!NtUsable[S.Idx])
+            return false;
+          Mn = std::min(Mn, D + NtMinD[S.Idx]);
+          D += NtNet[S.Idx];
+        } else {
+          int A = Actions.get(static_cast<ActionId>(S.Idx)).Arity;
+          Mn = std::min(Mn, D - A);
+          D += 1 - A;
+        }
+      }
+      MinD = Mn;
+      return true;
+    };
+    Changed = true;
+    int Rounds = 0;
+    while (Changed && ++Rounds < 64) {
+      Changed = false;
+      for (NtId N = 0; N < NumNts; ++N) {
+        if (!NtUsable[N])
+          continue;
+        const FusedNt &Nt = F.Nts[N];
+        int32_t Mn = 0;
+        bool Ok = true;
+        int32_t D;
+        for (const FusedProd &P : Nt.Prods) {
+          if (P.isSkip())
+            continue;
+          if (!WalkMin(P, false, D))
+            Ok = false;
+          else
+            Mn = std::min(Mn, D);
+        }
+        if (Nt.HasEps) {
+          FusedProd E;
+          E.Tail = Nt.EpsMarkers;
+          if (!WalkMin(E, true, D))
+            Ok = false;
+          else
+            Mn = std::min(Mn, D);
+        }
+        if (!Ok || Mn < -64) {
+          NtUsable[N] = 0;
+          Changed = true;
+        } else if (Mn < NtMinD[N]) {
+          NtMinD[N] = Mn;
+          Changed = true;
+        }
+      }
+    }
+    if (Rounds >= 64)
+      std::fill(NtUsable.begin(), NtUsable.end(), 0);
+  }
+
+  // Pure token nonterminals: value is exactly one token.
+  std::vector<uint8_t> PureTokNt(NumNts, 0);
+  for (NtId N = 0; N < NumNts; ++N) {
+    if (F.Nts[N].HasEps)
+      continue;
+    int NonSkip = 0;
+    bool Pure = true;
+    for (const FusedProd &P : F.Nts[N].Prods) {
+      if (P.isSkip())
+        continue;
+      ++NonSkip;
+      Pure &= P.FromTok != NoToken && P.Tail.empty();
+    }
+    PureTokNt[N] = Pure && NonSkip == 1;
+  }
+
+  // Phase B: walk every executable continuation tail with an abstract
+  // stack of value sources, resolving each source to the marker
+  // occurrence and argument position that consumes it (or "escapes").
+  struct SrcRef {
+    uint32_t Cont = 0, TailIdx = 0; ///< consuming marker occurrence
+    int16_t Pos = 0;                ///< argument position in it
+    bool Consumed = false, Escaped = false;
+  };
+  // Per continuation: the production's own token.
+  std::vector<SrcRef> OwnTok(M.Conts.size());
+  // Per pure nonterminal: one SrcRef per occurrence in any tail.
+  std::vector<std::vector<SrcRef>> PureOccs(NumNts);
+  // Which continuation is a pure nonterminal's single F1 production.
+  std::vector<int32_t> PureCont(NumNts, -1);
+  {
+    struct Slot {
+      uint8_t Kind; // 0 opaque, 1 own token, 2 pure-nt occurrence
+      NtId N = NoNt;
+      uint32_t Occ = 0;
+    };
+    for (size_t C = 0; C < M.Conts.size(); ++C) {
+      const CompiledParser::Cont &K = M.Conts[C];
+      if (K.SelfSkip)
+        continue; // rescanned in place; the tail never executes
+      std::vector<Slot> Stk;
+      if (K.PushTok != NoToken)
+        Stk.push_back({1, NoNt, 0});
+      auto EscapeTop = [&](size_t Count) {
+        for (size_t I = 0; I < Count && !Stk.empty(); ++I) {
+          Slot S = Stk.back();
+          Stk.pop_back();
+          if (S.Kind == 1)
+            OwnTok[C].Escaped = true;
+          else if (S.Kind == 2)
+            PureOccs[S.N][S.Occ].Escaped = true;
+        }
+      };
+      bool Poisoned = false;
+      for (uint32_t J = 0; J < K.TailLen; ++J) {
+        const Sym &S = M.TailPool[K.TailOff + J];
+        if (Poisoned) {
+          // Unanalyzable region: pure-nt occurrences here still
+          // materialize at runtime, so they must count as escaped.
+          if (S.isNt() && PureTokNt[S.Idx])
+            PureOccs[S.Idx].push_back(
+                {0, 0, 0, /*Consumed=*/false, /*Escaped=*/true});
+          continue;
+        }
+        if (S.isNt()) {
+          if (PureTokNt[S.Idx]) {
+            PureOccs[S.Idx].push_back({});
+            Stk.push_back(
+                {2, S.Idx,
+                 static_cast<uint32_t>(PureOccs[S.Idx].size() - 1)});
+          } else if (NtUsable[S.Idx]) {
+            // The nonterminal's markers may reach below its entry:
+            // everything within that excursion is consumed opaquely. It
+            // then leaves Reach + Net opaque values on top (Net ≥ MinD,
+            // so the count is never negative).
+            size_t Reach = static_cast<size_t>(-NtMinD[S.Idx]);
+            EscapeTop(Reach);
+            int32_t Repush = static_cast<int32_t>(Reach) + NtNet[S.Idx];
+            for (int32_t I = 0; I < Repush; ++I)
+              Stk.push_back({0, NoNt, 0});
+          } else {
+            // Unknown stack behaviour: everything live escapes, and the
+            // rest of the tail is unanalyzable.
+            EscapeTop(Stk.size());
+            Poisoned = true;
+          }
+        } else {
+          int A = Actions.get(static_cast<ActionId>(S.Idx)).Arity;
+          for (int I = 0; I < A; ++I) {
+            int16_t Pos = static_cast<int16_t>(A - 1 - I);
+            if (Stk.empty())
+              break; // deeper args belong to an outer frame
+            Slot T = Stk.back();
+            Stk.pop_back();
+            SrcRef *R = T.Kind == 1   ? &OwnTok[C]
+                        : T.Kind == 2 ? &PureOccs[T.N][T.Occ]
+                                      : nullptr;
+            if (R) {
+              R->Cont = static_cast<uint32_t>(C);
+              R->TailIdx = J;
+              R->Pos = Pos;
+              R->Consumed = true;
+            }
+          }
+          Stk.push_back({0, NoNt, 0});
+        }
+      }
+      EscapeTop(Stk.size()); // production ends: survivors escape upward
+    }
+    for (NtId N = 0; N < NumNts; ++N) {
+      if (!PureTokNt[N])
+        continue;
+      // The single non-skip production's continuation (AddCont order
+      // mirrors the production order per nonterminal).
+      int32_t CI = 0;
+      for (NtId NN = 0; NN < N; ++NN)
+        CI += static_cast<int32_t>(F.Nts[NN].Prods.size());
+      for (const FusedProd &P : F.Nts[N].Prods) {
+        if (!P.isSkip()) {
+          PureCont[N] = CI;
+          break;
+        }
+        ++CI;
+      }
+    }
+  }
+
+  // Phase C: approve sources whose consumer ignores them; accumulate
+  // removed argument positions per marker occurrence.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<int16_t>> Removed;
+  std::vector<TokenId> ContParseTok(M.Conts.size());
+  for (size_t C = 0; C < M.Conts.size(); ++C)
+    ContParseTok[C] = M.Conts[C].PushTok;
+  auto CanIgnore = [&](uint32_t C, uint32_t J, int16_t P) {
+    const Sym &S = M.TailPool[M.Conts[C].TailOff + J];
+    MicroOp Op = Actions.micro()[S.Idx];
+    switch (Op.K) {
+    case MicroOp::MUnit:
+    case MicroOp::MInt:
+    case MicroOp::MBool:
+      return true;
+    case MicroOp::MSelect:
+    case MicroOp::MAddImm:
+      return Op.Sel != P;
+    case MicroOp::MAddArgs:
+      return Op.Sel != P && Op.Sel2 != P;
+    default:
+      return false;
+    }
+  };
+  for (size_t C = 0; C < M.Conts.size(); ++C) {
+    const SrcRef &R = OwnTok[C];
+    if (M.Conts[C].PushTok == NoToken || !R.Consumed || R.Escaped)
+      continue;
+    if (!CanIgnore(R.Cont, R.TailIdx, R.Pos))
+      continue;
+    Removed[{R.Cont, R.TailIdx}].push_back(R.Pos);
+    ContParseTok[C] = NoToken;
+  }
+  for (NtId N = 0; N < NumNts; ++N) {
+    if (!PureTokNt[N] || PureCont[N] < 0 || N == M.Start)
+      continue;
+    if (PureOccs[N].empty())
+      continue; // unreachable; leave it alone
+    bool Ok = true;
+    for (const SrcRef &R : PureOccs[N])
+      Ok &= R.Consumed && !R.Escaped && CanIgnore(R.Cont, R.TailIdx, R.Pos);
+    if (!Ok)
+      continue;
+    for (const SrcRef &R : PureOccs[N])
+      Removed[{R.Cont, R.TailIdx}].push_back(R.Pos);
+    ContParseTok[PureCont[N]] = NoToken;
+    M.Nts[N].ValueFree = true;
+  }
+
+  // Phase D: pack the pools, rewriting marker occurrences with their
+  // removed argument positions compiled out.
   std::vector<uint32_t> ContPOff(M.Conts.size()), ContPLen(M.Conts.size());
   std::vector<uint32_t> ContNOff(M.Conts.size()), ContNLen(M.Conts.size());
   for (size_t C = 0; C < M.Conts.size(); ++C) {
@@ -270,10 +645,33 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
         M.PackedPool.push_back(M.packNt(S.Idx));
         M.NtPool.push_back(M.packNt(S.Idx));
       } else {
-        assert((S.Idx & CompiledParser::ActBit) == 0 &&
-               "action id collides with the packed-symbol tag bit");
-        M.PackedPool.push_back(
-            CompiledParser::packAct(static_cast<ActionId>(S.Idx)));
+        MicroOp Op = Actions.micro()[S.Idx];
+        if (Op.K == MicroOp::MSlow)
+          Op.Imm = static_cast<int64_t>(S.Idx); // ActionId for dispatch
+        auto It = Removed.find({static_cast<uint32_t>(C), J});
+        if (It != Removed.end()) {
+          const std::vector<int16_t> &Gone = It->second;
+          auto Shift = [&Gone](int16_t Sel) {
+            int16_t D = 0;
+            for (int16_t G : Gone)
+              D += G < Sel;
+            return static_cast<int16_t>(Sel - D);
+          };
+          Op.Sel = Shift(Op.Sel);
+          Op.Sel2 = Shift(Op.Sel2);
+          Op.Arity = static_cast<uint8_t>(Op.Arity - Gone.size());
+          if (Op.K == MicroOp::MSelect && Op.Arity == 1 && Op.Sel == 0)
+            Op.K = MicroOp::MNop;
+          Op.Flags |= MicroOp::FRewritten;
+        }
+        if (Op.K == MicroOp::MNop)
+          continue; // identity occurrence: nothing to execute at all
+        uint32_t OpIdx = static_cast<uint32_t>(M.OpPool.size());
+        assert((OpIdx & CompiledParser::ActBit) == 0 &&
+               "op pool index collides with the packed-symbol tag bit");
+        M.OpPool.push_back(Op);
+        M.OpActs.push_back(static_cast<ActionId>(S.Idx));
+        M.PackedPool.push_back(CompiledParser::ActBit | OpIdx);
       }
     }
     ContPLen[C] = static_cast<uint32_t>(M.PackedPool.size()) - ContPOff[C];
@@ -289,7 +687,7 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
     if (A < 0)
       continue;
     int32_t NewS = Perm[S];
-    M.AccTok[NewS] = M.Conts[A].PushTok;
+    M.AccTok[NewS] = ContParseTok[A];
     M.AccTailOff[NewS] = ContPOff[A];
     M.AccTailLen[NewS] = ContPLen[A];
     M.AccNtOff[NewS] = ContNOff[A];
@@ -430,15 +828,8 @@ size_t matchTrailingSkipT(const CompiledParser &M, std::string_view Input,
   return Pos;
 }
 
-/// Final-value collection: one O(n) copy of the stack bottom-to-top (the
-/// former pop-and-insert-front loop was O(n²) on list-valued roots).
-Result<Value> collectValues(ValueStack &Values) {
-  if (Values.size() == 1)
-    return Values.pop();
-  ValueList L(Values.data(), Values.data() + Values.size());
-  Values.clear();
-  return Value::list(std::move(L));
-}
+/// Final-value collection — the shared ValueStack policy.
+Result<Value> collectValues(ValueStack &Values) { return Values.collect(); }
 
 /// The residual loop, instantiated per table width. Work items are
 /// packed symbols: a matched continuation whose tail starts with a
@@ -448,7 +839,7 @@ template <typename Tab>
 Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
                         std::string_view Input, ParseScratch &Scr,
                         void *User) {
-  ParseContext Ctx{Input, User};
+  ParseContext Ctx{Input, User, 0, Scr.Pool};
   Scr.reset();
   ValueStack &Values = Scr.Values;
   std::vector<uint32_t> &Stack = Scr.Stack;
@@ -461,15 +852,21 @@ Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
   const int32_t NumSelfSkip = M.NumSelfSkip;
   const int32_t NumAccept = M.NumAccept;
   const uint32_t *Pool = M.PackedPool.data();
+  const ActionTable &AT = *M.Actions;
+  const MicroOp *Ops = M.OpPool.data();
 
   while (!Stack.empty()) {
     uint32_t E = Stack.back();
     Stack.pop_back();
     for (;;) {
       if (E & CompiledParser::ActBit) {
-        Values.apply(
-            M.Actions->get(static_cast<ActionId>(E & ~CompiledParser::ActBit)),
-            Ctx);
+        // Marker: run the occurrence's micro-op (possibly rewritten by
+        // dead-token elision); MSlow escapes into the full Action.
+        const MicroOp Op = Ops[E & ~CompiledParser::ActBit];
+        if (Op.K != MicroOp::MSlow)
+          Values.applyMicroOp(Op);
+        else
+          Values.applySlowId(AT, static_cast<ActionId>(Op.Imm), Ctx);
         break;
       }
       // The residual loop: branch on characters only.
@@ -478,7 +875,7 @@ Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
       Pos = R.Base;
       if (R.Bs >= 0) {
         const int32_t Bs = R.Bs;
-        TokenId Tok = M.AccTok[Bs];
+        TokenId Tok = M.AccTok[Bs]; // NoToken when skip or token elided
         if (Tok != NoToken)
           Values.push(Value::token(Tok, static_cast<uint32_t>(Pos),
                                    static_cast<uint32_t>(R.BestEnd)));
@@ -495,12 +892,20 @@ Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
       NtId N = CompiledParser::packedNt(E);
       int32_t EpsChain = M.Nts[N].EpsChain;
       if (EpsChain >= 0) {
-        const std::vector<ActionId> &Chain = M.EpsChains[EpsChain];
-        if (Chain.empty()) {
+        // One table-driven block per ε-marker chain (pre-fused at
+        // compileFused time), not N apply round-trips.
+        const CompiledParser::EpsProgram &EP = M.EpsPrograms[EpsChain];
+        switch (EP.K) {
+        case CompiledParser::EpsProgram::Unit:
           Values.push(Value::unit());
-        } else {
-          for (ActionId A : Chain)
-            Values.apply(M.Actions->get(A), Ctx);
+          break;
+        case CompiledParser::EpsProgram::OneConst:
+          Values.push(EP.ConstVal);
+          break;
+        case CompiledParser::EpsProgram::Ops:
+          Values.runChain(*M.Actions, M.EpsOps.data() + EP.Off, EP.Len,
+                          EP.MaxGrow, Ctx);
+          break;
         }
         break;
       }
@@ -644,6 +1049,11 @@ Result<Value> CompiledParser::parseFrom(NtId StartNt, std::string_view Input,
                                         ParseScratch &Scratch,
                                         void *User) const {
   assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  // Dead-token elision compiled this nonterminal's value away on the
+  // packed-pool path; as an *entry point* that value is the result, so
+  // take the legacy (unrewritten) loop instead.
+  if (Nts[StartNt].ValueFree)
+    return parseLegacyFrom(StartNt, Input, User);
   return Trans8.empty() ? parseImpl<Tab16>(*this, StartNt, Input, Scratch, User)
                         : parseImpl<Tab8>(*this, StartNt, Input, Scratch, User);
 }
@@ -654,12 +1064,20 @@ bool CompiledParser::recognize(std::string_view Input,
                         : recognizeImpl<Tab8>(*this, Input, Scratch);
 }
 
-Result<Value> CompiledParser::parseLegacy(std::string_view Input,
-                                          void *User) const {
+Result<Value> CompiledParser::parseLegacyFrom(NtId StartNt,
+                                              std::string_view Input,
+                                              void *User) const {
+  // The frozen reference loop, in both senses: the pre-run-skip
+  // byte-at-a-time table walk AND the pre-devirtualization action path —
+  // every action runs through its retained std::function wrapper
+  // (ActionTable::ref) and the heap value constructors (no pool), over
+  // the *unrewritten* symbol stream (no dead-token elision). The
+  // differential suites pin the accelerated loop to this one.
+  assert(StartNt < Nts.size() && "entry nonterminal out of range");
   ParseContext Ctx{Input, User};
   ValueStack Values;
   std::vector<Sym> Stack;
-  Stack.push_back(Sym::nt(Start));
+  Stack.push_back(Sym::nt(StartNt));
   size_t Pos = 0;
   const size_t Len = Input.size();
   const bool Small = !Trans8.empty();
@@ -668,7 +1086,8 @@ Result<Value> CompiledParser::parseLegacy(std::string_view Input,
     Sym S = Stack.back();
     Stack.pop_back();
     if (!S.isNt()) {
-      Values.apply(Actions->get(static_cast<ActionId>(S.Idx)), Ctx);
+      ActionId A = static_cast<ActionId>(S.Idx);
+      Values.applyRef(Actions->get(A), Actions->ref(A), Ctx);
       continue;
     }
     const NtInfo &Info = Nts[S.Idx];
@@ -702,7 +1121,7 @@ Result<Value> CompiledParser::parseLegacy(std::string_view Input,
         Values.push(Value::unit());
       } else {
         for (ActionId A : Chain)
-          Values.apply(Actions->get(A), Ctx);
+          Values.applyRef(Actions->get(A), Actions->ref(A), Ctx);
       }
       continue;
     }

@@ -62,9 +62,16 @@ namespace flap {
 /// after warm-up (semantic actions may still allocate). One scratch per
 /// thread; a fresh default-constructed scratch is always valid. Stack
 /// entries are the machine's packed symbols (see CompiledParser::packNt).
+///
+/// Pool is the parse's value arena: pair/list nodes built by tagged
+/// actions come from its freelists and recycle as values die, so the
+/// reuse discipline extends to structured semantic values. A result that
+/// escapes the parse pins the pool pages via shared ownership (see
+/// engine/README.md "Arena-pooled values").
 struct ParseScratch {
   std::vector<uint32_t> Stack;
   ValueStack Values;
+  ValuePoolRef Pool = std::make_shared<ValuePool>();
 
   void reset() {
     Stack.clear();
@@ -122,13 +129,22 @@ public:
   }
   bool recognize(std::string_view Input, ParseScratch &Scratch) const;
 
-  /// Pre-run-skip reference loop: byte-at-a-time table walk with a
-  /// dependent AcceptCont load per byte and per-parse stack allocation —
-  /// the machine as it was before run-skip acceleration. Kept as the
-  /// differential-testing oracle for the accelerated kernels and as the
+  /// Pre-acceleration reference loop: byte-at-a-time table walk with a
+  /// dependent AcceptCont load per byte, per-parse stack allocation, and
+  /// every semantic action dispatched through its retained std::function
+  /// wrapper (ActionTable::ref) with heap-allocated values — the machine
+  /// as it was before run-skip acceleration and action devirtualization.
+  /// Kept as the differential-testing oracle for the accelerated kernels
+  /// and tagged dispatch (tests/ActionDispatchTest.cpp) and as the
   /// recorded perf baseline (bench/Fig11Throughput --json).
   Result<Value> parseLegacy(std::string_view Input,
-                            void *User = nullptr) const;
+                            void *User = nullptr) const {
+    return parseLegacyFrom(Start, Input, User);
+  }
+  /// Legacy loop from an arbitrary entry point; also the correctness
+  /// fallback parseFrom takes for ValueFree entry nonterminals.
+  Result<Value> parseLegacyFrom(NtId StartNt, std::string_view Input,
+                                void *User = nullptr) const;
   bool recognizeLegacy(std::string_view Input) const;
 
   /// Number of machine states = generated functions (Table 1, "Output
@@ -186,20 +202,40 @@ public:
   // no AcceptCont→Conts pointer chase.
   //===--------------------------------------------------------------===//
 
-  /// Token pushed for the lexeme, or NoToken (skip production).
+  /// Token pushed for the lexeme by the *parse* loop, or NoToken: the
+  /// continuation's PushTok, except where dead-token elision (below)
+  /// proved the value unobservable. The recognize loop never pushes.
   std::vector<TokenId> AccTok;
   /// Packed continuation tail in PackedPool (parse loop).
   std::vector<uint32_t> AccTailOff, AccTailLen;
   /// Packed nonterminals-only tail in NtPool (recognize loop).
   std::vector<uint32_t> AccNtOff, AccNtLen;
 
-  /// Packed symbols: bit 31 set → action marker (low 31 bits ActionId);
-  /// clear → nonterminal, bits 16..30 the NtId and bits 0..15 its scan
-  /// start state (so popping a work item needs no NtInfo load).
+  /// Packed symbols: bit 31 set → action marker; clear → nonterminal,
+  /// bits 16..30 the NtId and bits 0..15 its scan start state (so
+  /// popping a work item needs no NtInfo load). In PackedPool (the parse
+  /// loop's pool) the low 31 bits of a marker index OpPool — the
+  /// per-occurrence micro-op, possibly rewritten by dead-token elision —
+  /// not the ActionId directly.
   static constexpr uint32_t ActBit = 0x80000000u;
-  static uint32_t packAct(ActionId A) {
-    return ActBit | static_cast<uint32_t>(A);
-  }
+
+  /// One 16-byte micro-op per marker occurrence in PackedPool. MSlow
+  /// occurrences carry their ActionId in Imm (the full Action record
+  /// dispatch); MicroOp::FRewritten marks occurrences adjusted by
+  /// dead-token elision, which therefore have no boxed (std::function)
+  /// equivalent of the same arity.
+  ///
+  /// Dead-token elision: a production that pushes a token whose value is
+  /// consumed by a scalar micro-op marker that provably ignores it (the
+  /// width discipline makes the token's argument position exact at
+  /// compile time) never materializes the token — AccTok is NoToken and
+  /// the consuming occurrence's op here has the token argument compiled
+  /// out. A Select reduced to the identity becomes MNop and is dropped
+  /// from the pool entirely.
+  std::vector<MicroOp> OpPool;
+  /// Originating ActionId per OpPool entry (cold: reference-path and
+  /// diagnostic use only).
+  std::vector<ActionId> OpActs;
   uint32_t packNt(NtId N) const {
     return (static_cast<uint32_t>(N) << 16) |
            static_cast<uint32_t>(Nts[N].StartState);
@@ -213,6 +249,13 @@ public:
     /// Index into EpsChains when the nonterminal has an ε/lookahead
     /// fallback (`back` continuation), else -1 (`no` → parse error).
     int32_t EpsChain = -1;
+    /// Dead-token elision erased this nonterminal's value entirely (a
+    /// pure token nonterminal all of whose consumers ignore it). The
+    /// packed pools are compiled under that assumption, so parseFrom
+    /// falls back to the legacy (unrewritten) loop when such a
+    /// nonterminal is used as an *entry point* — the only context where
+    /// its value would have been observable.
+    bool ValueFree = false;
   };
   std::vector<NtInfo> Nts;
   std::vector<std::string> NtNames; ///< diagnostics only (cold)
@@ -221,6 +264,26 @@ public:
   /// used in parse error messages.
   std::vector<std::string> NtExpected;
   std::vector<std::vector<ActionId>> EpsChains;
+
+  /// A pre-fused ε-marker chain: the micro-op program the hot loops run
+  /// when a nonterminal takes its `back` (lookahead/ε) continuation —
+  /// one table-driven block instead of N ValueStack::apply round-trips.
+  /// Compiled from EpsChains by compileFused; the chains themselves stay
+  /// around as the reference form (legacy path, code generator, tests).
+  struct EpsProgram {
+    enum Kind : uint8_t {
+      Unit,     ///< empty chain: push Value::unit()
+      OneConst, ///< single arity-0 Const action: push ConstVal directly
+      Ops       ///< run EpsOps[Off, Off+Len): general fused block
+    } K = Unit;
+    uint32_t Off = 0, Len = 0;
+    /// Worst-case net value-stack growth while the block runs, so one
+    /// reserve up front covers every push.
+    uint32_t MaxGrow = 0;
+    Value ConstVal;
+  };
+  std::vector<EpsProgram> EpsPrograms; ///< parallel to EpsChains
+  std::vector<ActionId> EpsOps;        ///< flattened chain bodies
 
   /// Start state of the skip-only matcher (trailing whitespace), or -1.
   int32_t SkipState = -1;

@@ -21,12 +21,13 @@ Result<Value> flap::parseDgnf(const Grammar &G, const ActionTable &Actions,
   std::vector<Sym> Stack;
   Stack.push_back(Sym::nt(G.Start));
   size_t Pos = 0;
+  const Action *Acts = Actions.data();
 
   while (!Stack.empty()) {
     Sym S = Stack.back();
     Stack.pop_back();
     if (!S.isNt()) {
-      Values.apply(Actions.get(static_cast<ActionId>(S.Idx)), Ctx);
+      Values.apply(Acts[S.Idx], Ctx);
       continue;
     }
     NtId N = S.Idx;
@@ -43,11 +44,12 @@ Result<Value> flap::parseDgnf(const Grammar &G, const ActionTable &Actions,
     }
     // Otherwise the ε-production, if any, succeeds without consuming.
     if (const Production *E = G.epsProd(N)) {
+      // The ε-marker chain, run back to back off the hoisted table.
       if (E->Tail.empty()) {
         Values.push(Value::unit());
       } else {
         for (const Sym &M : E->Tail)
-          Values.apply(Actions.get(static_cast<ActionId>(M.Idx)), Ctx);
+          Values.apply(Acts[M.Idx], Ctx);
       }
       continue;
     }
@@ -60,9 +62,5 @@ Result<Value> flap::parseDgnf(const Grammar &G, const ActionTable &Actions,
   if (Pos != Toks.size())
     return Err(format("parse error: trailing tokens from offset %u",
                       Toks[Pos].Begin));
-  if (Values.size() == 1)
-    return Values.pop();
-  // One O(n) copy bottom-to-top (pop-and-insert-front was O(n²)).
-  ValueList L(Values.data(), Values.data() + Values.size());
-  return Value::list(std::move(L));
+  return Values.collect();
 }

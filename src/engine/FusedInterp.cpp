@@ -40,12 +40,13 @@ Result<Value> flap::parseFusedInterp(RegexArena &Arena,
   Stack.push_back(Sym::nt(F.Start));
   size_t Pos = 0;
   const size_t Len = Input.size();
+  const Action *Acts = Actions.data();
 
   while (!Stack.empty()) {
     Sym S = Stack.back();
     Stack.pop_back();
     if (!S.isNt()) {
-      Values.apply(Actions.get(static_cast<ActionId>(S.Idx)), Ctx);
+      Values.apply(Acts[S.Idx], Ctx);
       continue;
     }
     const FusedNt &Nt = F.Nts[S.Idx];
@@ -98,12 +99,13 @@ Result<Value> flap::parseFusedInterp(RegexArena &Arena,
       continue;
     }
     if (Nt.HasEps) {
-      // back: succeed consuming nothing; run the ε-markers.
+      // back: succeed consuming nothing; run the ε-marker chain as one
+      // table-driven block.
       if (Nt.EpsMarkers.empty()) {
         Values.push(Value::unit());
       } else {
         for (const Sym &M : Nt.EpsMarkers)
-          Values.apply(Actions.get(static_cast<ActionId>(M.Idx)), Ctx);
+          Values.apply(Acts[M.Idx], Ctx);
       }
       continue;
     }
@@ -122,9 +124,5 @@ Result<Value> flap::parseFusedInterp(RegexArena &Arena,
   if (Pos != Len)
     return Err(format("parse error: trailing input at offset %zu", Pos));
 
-  if (Values.size() == 1)
-    return Values.pop();
-  // One O(n) copy bottom-to-top (pop-and-insert-front was O(n²)).
-  ValueList L(Values.data(), Values.data() + Values.size());
-  return Value::list(std::move(L));
+  return Values.collect();
 }

@@ -19,12 +19,28 @@ using scankernel::Tab8;
 
 StreamParser::StreamParser(const CompiledParser &Machine, StreamOptions Opts)
     : M(&Machine), StartNt(Opts.Start == NoNt ? Machine.Start : Opts.Start),
-      User(Opts.User), Recognize(Opts.Recognize) {
+      User(Opts.User), Recognize(Opts.Recognize),
+      RefActions(Opts.RefActions),
+      TrackRetain(!Opts.Recognize && Machine.Actions &&
+                  Machine.Actions->readsInput()) {
   assert(StartNt < M->Nts.size() && "entry nonterminal out of range");
+  // A ValueFree entry's value was compiled away by dead-token elision
+  // (parseFrom falls back to the legacy loop for this; the streaming
+  // machine has no unrewritten path, so fail the stream up front
+  // instead of silently yielding no value).
+  if (!Recognize && M->Nts[StartNt].ValueFree) {
+    ErrMsg = "entry nonterminal's value was compiled away by dead-token "
+             "elision; use parseLegacyFrom (or recognize mode) for this "
+             "entry point";
+    Ph = Phase::Fail;
+    return;
+  }
   Stack.push_back(M->packNt(StartNt));
 }
 
 void StreamParser::reset() {
+  if (!Recognize && M->Nts[StartNt].ValueFree)
+    return; // keep the constructor's deliberate Fail state
   Ph = Phase::Run;
   Buf.clear();
   WinBase = 0;
@@ -40,17 +56,40 @@ void StreamParser::reset() {
   CarryHW = 0;
 }
 
-/// Same collection as the whole-buffer loop: one O(n) copy bottom-to-top.
-static Value collectStreamValues(ValueStack &Values) {
-  if (Values.size() == 1)
-    return Values.pop();
-  ValueList L(Values.data(), Values.data() + Values.size());
-  Values.clear();
-  return Value::list(std::move(L));
-}
+// Final-value collection is the shared ValueStack::collect() policy —
+// identical to the whole-buffer loop by construction.
 
-inline void StreamParser::applyAction(ActionId A, ParseContext &Ctx) {
-  const Action &Act = M->Actions->get(A);
+inline void StreamParser::applyOp(const MicroOp &Op, ActionId Act,
+                                  ParseContext &Ctx) {
+  if (!TrackRetain && !RefActions) {
+    // Fast mode — same dispatch as the whole-buffer loop. No action in
+    // this grammar reads lexeme text, so the window never needs to
+    // cover argument spans: skip watermark bookkeeping wholesale
+    // (ROADMAP follow-up (a)).
+    if (Op.K != MicroOp::MSlow)
+      Values.applyMicroOp(Op);
+    else
+      Values.applySlowId(*M->Actions, Act, Ctx);
+    return;
+  }
+  // Execute honoring the mode. Rewritten (token-elided) occurrences have
+  // no boxed equivalent of their arity, so they stay on the tagged path
+  // even under RefActions — the reference suite covers them through
+  // parseLegacy, which runs the unrewritten symbol stream.
+  auto Exec = [&] {
+    if (RefActions && !(Op.Flags & MicroOp::FRewritten)) {
+      const Action &A = M->Actions->get(Act);
+      Values.applyRef(A, M->Actions->ref(Act), Ctx);
+    } else if (Op.K != MicroOp::MSlow) {
+      Values.applyMicroOp(Op);
+    } else {
+      Values.apply(M->Actions->get(Act), Ctx);
+    }
+  };
+  if (!TrackRetain) {
+    Exec();
+    return;
+  }
   // Watermark of the result: tokens among the popped arguments (or
   // nested in structures built from them) are the only input references
   // the result can hold, so min over the retained arguments is a safe
@@ -58,20 +97,28 @@ inline void StreamParser::applyAction(ActionId A, ParseContext &Ctx) {
   // The sparse representation makes the common case — an action over
   // scalar arguments producing a scalar — a single compare.
   assert(NumVals == Values.size() && "value count out of sync");
-  const size_t NewLen = NumVals - static_cast<size_t>(Act.Arity);
+  // MSlow occurrences carry the authoritative arity in the Action
+  // record (the micro-op field is too narrow for >255-ary customs).
+  const size_t Arity = Op.K == MicroOp::MSlow
+                           ? static_cast<size_t>(M->Actions->get(Act).Arity)
+                           : Op.Arity;
+  const size_t NewLen = NumVals - Arity;
   uint64_t Min = NoRetain;
   while (!Retain.empty() && Retain.back().Idx >= NewLen) {
     Min = std::min(Min, Retain.back().W);
     Retain.pop_back();
   }
-  Values.apply(Act, Ctx);
+  Exec();
   NumVals = NewLen + 1;
   if (Min != NoRetain) {
     const Value &R = Values.data()[NewLen];
-    if (!(R.isUnit() || R.isBool() || R.isInt() || R.isReal() ||
-          R.isString()))
+    if (!R.isScalar())
       pushRetain(NewLen, Min);
   }
+}
+
+inline void StreamParser::applyActionId(ActionId A, ParseContext &Ctx) {
+  applyOp(M->Actions->micro()[A], A, Ctx);
 }
 
 void StreamParser::compact() {
@@ -117,7 +164,7 @@ StreamStatus StreamParser::failTrailing() {
 }
 
 StreamStatus StreamParser::complete() {
-  Out = Recognize ? Value::unit() : collectStreamValues(Values);
+  Out = Recognize ? Value::unit() : Values.collect();
   NumVals = 0;
   Retain.clear();
   Ph = Phase::Done;
@@ -138,8 +185,8 @@ StreamStatus StreamParser::pumpT() {
   const SkipSet *Skip = M->Skip.data();
   const int32_t NumSelfSkip = M->NumSelfSkip;
   const int32_t NumAccept = M->NumAccept;
-  const uint32_t *Pool = Vals ? M->PackedPool.data() : M->NtPool.data();
-  ParseContext Ctx{std::string_view(S, Len), User, WinBase};
+  const uint32_t *SymPool = Vals ? M->PackedPool.data() : M->NtPool.data();
+  ParseContext Ctx{std::string_view(S, Len), User, WinBase, Pool};
 
   if (Ph == Phase::Run) {
     bool Resume = MidScan;
@@ -161,9 +208,10 @@ StreamStatus StreamParser::pumpT() {
                                                NumAccept, LSc, S, Len);
         } else {
           if (E & CompiledParser::ActBit) {
-            if (Vals)
-              applyAction(
-                  static_cast<ActionId>(E & ~CompiledParser::ActBit), Ctx);
+            if (Vals) {
+              uint32_t Idx = E & ~CompiledParser::ActBit;
+              applyOp(M->OpPool[Idx], M->OpActs[Idx], Ctx);
+            }
             break;
           }
           LSc = scankernel::scanBegin(E & 0xffffu, Pos);
@@ -172,22 +220,23 @@ StreamStatus StreamParser::pumpT() {
         }
         if (O == ScanOutcome::Match) {
           const int32_t Bs = LSc.Bs;
+          uint32_t TL = Vals ? M->AccTailLen[Bs] : M->AccNtLen[Bs];
+          uint32_t TO = Vals ? M->AccTailOff[Bs] : M->AccNtOff[Bs];
           if (Vals) {
-            TokenId Tok = M->AccTok[Bs];
+            TokenId Tok = M->AccTok[Bs]; // NoToken when skip or elided
             if (Tok != NoToken) {
               Values.push(Value::token(
                   Tok, static_cast<uint32_t>(WinBase + LSc.Base),
                   static_cast<uint32_t>(WinBase + LSc.BestEnd)));
-              pushRetain(NumVals++, WinBase + LSc.Base);
+              if (TrackRetain)
+                pushRetain(NumVals++, WinBase + LSc.Base);
             }
           }
           Pos = LSc.BestEnd;
-          uint32_t TL = Vals ? M->AccTailLen[Bs] : M->AccNtLen[Bs];
-          uint32_t TO = Vals ? M->AccTailOff[Bs] : M->AccNtOff[Bs];
           if (TL != 0) {
             for (uint32_t J = TL; J-- > 1;)
-              Stack.push_back(Pool[TO + J]);
-            E = Pool[TO]; // direct continuation into the first tail symbol
+              Stack.push_back(SymPool[TO + J]);
+            E = SymPool[TO]; // direct continuation into the first tail symbol
             continue;
           }
           break;
@@ -207,13 +256,32 @@ StreamStatus StreamParser::pumpT() {
           return failParse(N);
         }
         if (Vals) {
-          const std::vector<ActionId> &Chain = M->EpsChains[EpsChain];
-          if (Chain.empty()) {
-            Values.push(Value::unit()); // scalar: no retain entry
-            ++NumVals;
+          if (!TrackRetain && !RefActions) {
+            // The same pre-fused micro-op block as the whole-buffer loop.
+            const CompiledParser::EpsProgram &EP =
+                M->EpsPrograms[EpsChain];
+            switch (EP.K) {
+            case CompiledParser::EpsProgram::Unit:
+              Values.push(Value::unit());
+              break;
+            case CompiledParser::EpsProgram::OneConst:
+              Values.push(EP.ConstVal);
+              break;
+            case CompiledParser::EpsProgram::Ops:
+              Values.runChain(*M->Actions, M->EpsOps.data() + EP.Off,
+                              EP.Len, EP.MaxGrow, Ctx);
+              break;
+            }
           } else {
-            for (ActionId A : Chain)
-              applyAction(A, Ctx);
+            const std::vector<ActionId> &Chain = M->EpsChains[EpsChain];
+            if (Chain.empty()) {
+              Values.push(Value::unit()); // scalar: no retain entry
+              if (TrackRetain)
+                ++NumVals;
+            } else {
+              for (ActionId A : Chain)
+                applyActionId(A, Ctx);
+            }
           }
         }
         break;
@@ -308,8 +376,14 @@ StreamStatus StreamParser::finish() {
 
 Result<Value> StreamParser::take() {
   switch (Ph) {
-  case Phase::Done:
-    return std::move(Out);
+  case Phase::Done: {
+    // Leave Out a genuine unit value: a second take() then returns
+    // unit instead of a moved-from shell whose tag still claims a
+    // boxed payload.
+    Value V = std::move(Out);
+    Out = Value();
+    return V;
+  }
   case Phase::Fail:
     return Err(ErrMsg);
   default:

@@ -83,6 +83,11 @@ struct StreamOptions {
   /// Recognition only: no values, no actions (the streaming analogue of
   /// CompiledParser::recognize).
   bool Recognize = false;
+  /// Runs every action through the retained std::function reference
+  /// path (ActionTable::ref) with heap-allocated values instead of the
+  /// tagged switch dispatch. Differential testing only
+  /// (tests/ActionDispatchTest.cpp) — slow.
+  bool RefActions = false;
 };
 
 /// A resumable parse over one input stream. Not thread-safe; one
@@ -133,7 +138,13 @@ private:
 
   template <typename Tab, bool Vals, bool Final> StreamStatus pumpT();
   template <bool Final> StreamStatus pump();
-  inline void applyAction(ActionId A, ParseContext &Ctx);
+  /// Runs one marker occurrence (a PackedPool op), honoring the mode:
+  /// tagged dispatch, reference std::function dispatch, and/or retain
+  /// watermark bookkeeping. \p Act is the originating action
+  /// (OpActs[idx] for pool occurrences).
+  inline void applyOp(const MicroOp &Op, ActionId Act, ParseContext &Ctx);
+  /// Same for a raw action id (ε-chain entries are not pool indexed).
+  inline void applyActionId(ActionId A, ParseContext &Ctx);
   /// Records that the value at value-stack index \p Idx retains input
   /// from absolute offset \p W on. Only called with a real watermark.
   inline void pushRetain(size_t Idx, uint64_t W) {
@@ -149,6 +160,13 @@ private:
   NtId StartNt;
   void *User;
   bool Recognize;
+  bool RefActions;
+  /// False when no registered action reads lexeme text
+  /// (ActionTable::readsInput()): retain watermarks then need no
+  /// tracking at all — the carry is just the in-progress lexeme — and
+  /// the ε-chain fast path applies. ~5% of parse throughput on the
+  /// grammars this covers (ROADMAP follow-up (a)).
+  bool TrackRetain;
 
   Phase Ph = Phase::Run;
   std::string Buf;       ///< the window: carry + current chunk
@@ -177,6 +195,8 @@ private:
   std::string ErrMsg;
   Value Out;
   size_t CarryHW = 0;
+  /// Per-stream value arena (see ParseScratch::Pool); reset() keeps it.
+  ValuePoolRef Pool = std::make_shared<ValuePool>();
 };
 
 } // namespace flap

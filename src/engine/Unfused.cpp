@@ -25,12 +25,17 @@ UnfusedParser::UnfusedParser(RegexArena &Arena, const CanonicalLexer &Lexer,
     for (const Production &P : G.Prods[N]) {
       if (P.isEps()) {
         std::vector<ActionId> Chain;
+        int32_t Net = 0, MaxNet = 0;
         for (const Sym &S : P.Tail) {
           assert(!S.isNt() && "ε-production tail must be markers only");
           Chain.push_back(static_cast<ActionId>(S.Idx));
+          Net += 1 - Actions.get(static_cast<ActionId>(S.Idx)).Arity;
+          if (Net > MaxNet)
+            MaxNet = Net;
         }
         NtEps[N] = static_cast<int32_t>(EpsChains.size());
         EpsChains.push_back(std::move(Chain));
+        EpsGrow.push_back(static_cast<uint32_t>(MaxNet));
         continue;
       }
       assert(P.isTok() && "grammar not in DGNF");
@@ -83,8 +88,9 @@ Result<Value> UnfusedParser::parse(std::string_view Input,
       if (Chain.empty()) {
         Values.push(Value::unit());
       } else {
-        for (ActionId A : Chain)
-          Values.apply(Actions->get(A), Ctx);
+        Values.runChain(*Actions, Chain.data(),
+                        static_cast<uint32_t>(Chain.size()),
+                        EpsGrow[NtEps[N]], Ctx);
       }
       continue;
     }
@@ -98,11 +104,7 @@ Result<Value> UnfusedParser::parse(std::string_view Input,
   if (HaveLook)
     return Err(format("parse error: trailing input at offset %u",
                       Look.Begin));
-  if (Values.size() == 1)
-    return Values.pop();
-  // One O(n) copy bottom-to-top (pop-and-insert-front was O(n²)).
-  ValueList L(Values.data(), Values.data() + Values.size());
-  return Value::list(std::move(L));
+  return Values.collect();
 }
 
 bool UnfusedParser::recognize(std::string_view Input) const {

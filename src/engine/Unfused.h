@@ -54,6 +54,9 @@ private:
   std::vector<Prod> Prods;
   std::vector<int32_t> NtEps; ///< [nt] → ε-chain index or -1
   std::vector<std::vector<ActionId>> EpsChains;
+  /// Precomputed worst-case value-stack growth per chain, so the parse
+  /// loop runs each chain as one fused block (ValueStack::runChain).
+  std::vector<uint32_t> EpsGrow;
   std::vector<std::string> NtNames;
   NtId Start;
   const ActionTable *Actions;

@@ -8,8 +8,8 @@
 /// The §6 benchmark (6) mini language: arithmetic, comparison, let
 /// binding and branching. Terms are semicolon-terminated; the semantic
 /// value is the sum of the evaluated terms. Parsing builds a small AST
-/// out of Values (tagged pairs) and each term's root action evaluates it
-/// — "parse and evaluate".
+/// out of Values (tagged pairs, allocated from the parse's value arena)
+/// and each term's root action evaluates it — "parse and evaluate".
 ///
 /// Keyword/identifier overlap is resolved by lexer canonicalization
 /// (§4): the id rule is automatically cut by ¬(let|in|if|then|else).
@@ -29,18 +29,19 @@ namespace {
 constexpr int64_t TagNum = 0, TagVar = 1, TagBin = 2, TagLet = 3,
                   TagIf = 4;
 
-Value mkNode(int64_t Tag, Value Payload) {
-  return Value::pair(Value::integer(Tag), std::move(Payload));
+Value mkNode(ParseContext &Ctx, int64_t Tag, Value Payload) {
+  return Value::pair(Ctx.Pool, Value::integer(Tag), std::move(Payload));
 }
 
 // Binary operator codes.
 constexpr int64_t OpAdd = 0, OpSub = 1, OpMul = 2, OpDiv = 3, OpLt = 4,
                   OpGt = 5, OpEq = 6;
 
-Value mkBin(int64_t Op, Value L, Value R) {
-  return mkNode(TagBin,
-                Value::pair(Value::integer(Op),
-                            Value::pair(std::move(L), std::move(R))));
+Value mkBin(ParseContext &Ctx, int64_t Op, Value L, Value R) {
+  return mkNode(Ctx, TagBin,
+                Value::pair(Ctx.Pool, Value::integer(Op),
+                            Value::pair(Ctx.Pool, std::move(L),
+                                        std::move(R))));
 }
 
 std::string lexemeText(ParseContext &Ctx, const Lexeme &L) {
@@ -105,12 +106,12 @@ int64_t evalAst(ParseContext &Ctx, const Value &Node,
 
 /// Folds a left-associative operator chain: Chain is either unit (end)
 /// or pair(pair(opCode, operand), rest).
-Value foldChain(Value Acc, const Value &Chain) {
+Value foldChain(ParseContext &Ctx, Value Acc, const Value &Chain) {
   const Value *Cur = &Chain;
   while (Cur->isPair()) {
     const ValuePair &Step = Cur->asPair();
     const ValuePair &OpArm = Step.first.asPair();
-    Acc = mkBin(OpArm.first.asInt(), std::move(Acc), OpArm.second);
+    Acc = mkBin(Ctx, OpArm.first.asInt(), std::move(Acc), OpArm.second);
     Cur = &Step.second;
   }
   return Acc;
@@ -142,19 +143,20 @@ std::shared_ptr<GrammarDef> flap::makeArithGrammar() {
   TokenId Rpar = Def->Lexer->rule("\\)", "rpar");
   TokenId Semi = Def->Lexer->rule(";", "semi");
 
+  // Operator tokens reduce to their opcode: a tagged constant, no
+  // callable at all.
   auto OpTok = [&](TokenId T, int64_t Code, const char *Name) {
-    return L.map(
-        L.tok(T),
-        [Code](ParseContext &, Value *) { return Value::integer(Code); },
-        Name);
+    return L.mapConst(L.tok(T), Value::integer(Code), Name);
   };
-  auto ChainStep = [](ParseContext &, Value *Args) {
+  auto ChainStep = [](ParseContext &Ctx, Value *Args) {
     // (op, operand, rest) → pair(pair(op, operand), rest)
-    return Value::pair(Value::pair(std::move(Args[0]), std::move(Args[1])),
+    return Value::pair(Ctx.Pool,
+                       Value::pair(Ctx.Pool, std::move(Args[0]),
+                                   std::move(Args[1])),
                        std::move(Args[2]));
   };
-  auto FoldLeft = [](ParseContext &, Value *Args) {
-    return foldChain(std::move(Args[0]), Args[1]);
+  auto FoldLeft = [](ParseContext &Ctx, Value *Args) {
+    return foldChain(Ctx, std::move(Args[0]), Args[1]);
   };
 
   Px Expr = L.fix([&](Px Self) {
@@ -162,38 +164,39 @@ std::shared_ptr<GrammarDef> flap::makeArithGrammar() {
         L.alt(L.map(
                   L.tok(Num),
                   [](ParseContext &Ctx, Value *Args) {
-                    return mkNode(TagNum, Value::integer(spanInt(
-                                              Ctx, Args[0].asToken())));
+                    return mkNode(Ctx, TagNum,
+                                  Value::integer(spanInt(
+                                      Ctx, Args[0].asToken())));
                   },
                   "numLit"),
               L.map(
                   L.tok(Id),
-                  [](ParseContext &, Value *Args) {
-                    return mkNode(TagVar, std::move(Args[0]));
+                  [](ParseContext &Ctx, Value *Args) {
+                    return mkNode(Ctx, TagVar, std::move(Args[0]));
                   },
-                  "varRef")),
-        L.all(
-            {L.tok(Lpar), Self, L.tok(Rpar)},
-            [](ParseContext &, Value *Args) { return std::move(Args[1]); },
-            "paren"));
+                  "varRef", /*ReadsInput=*/false)),
+        L.mapSelect(L.seqAll({L.tok(Lpar), Self, L.tok(Rpar)}), 1,
+                    "paren"));
 
     Px MulRest = L.fix([&](Px Rest) {
       return L.alt(L.eps(Value::unit(), "endMul"),
                    L.all({L.alt(OpTok(Star, OpMul, "opMul"),
                                 OpTok(Slash, OpDiv, "opDiv")),
                           Atom, Rest},
-                         ChainStep, "mulStep"));
+                         ChainStep, "mulStep", /*ReadsInput=*/false));
     });
-    Px Mul = L.seqMap(Atom, MulRest, FoldLeft, "mulFold");
+    Px Mul = L.seqMap(Atom, MulRest, FoldLeft, "mulFold",
+                      /*ReadsInput=*/false);
 
     Px AddRest = L.fix([&](Px Rest) {
       return L.alt(L.eps(Value::unit(), "endAdd"),
                    L.all({L.alt(OpTok(Plus, OpAdd, "opAdd"),
                                 OpTok(Minus, OpSub, "opSub")),
                           Mul, Rest},
-                         ChainStep, "addStep"));
+                         ChainStep, "addStep", /*ReadsInput=*/false));
     });
-    Px Add = L.seqMap(Mul, AddRest, FoldLeft, "addFold");
+    Px Add = L.seqMap(Mul, AddRest, FoldLeft, "addFold",
+                      /*ReadsInput=*/false);
 
     // cmp := add (cmpop add)?
     Px CmpTail = L.alt(
@@ -201,44 +204,48 @@ std::shared_ptr<GrammarDef> flap::makeArithGrammar() {
         L.all({L.alt(L.alt(OpTok(Lt, OpLt, "opLt"), OpTok(Gt, OpGt, "opGt")),
                OpTok(EqEq, OpEq, "opEq")),
                Add},
-              [](ParseContext &, Value *Args) {
-                return Value::pair(std::move(Args[0]), std::move(Args[1]));
+              [](ParseContext &Ctx, Value *Args) {
+                return Value::pair(Ctx.Pool, std::move(Args[0]),
+                                   std::move(Args[1]));
               },
-              "cmpArm"));
+              "cmpArm", /*ReadsInput=*/false));
     Px Cmp = L.seqMap(
         Add, CmpTail,
-        [](ParseContext &, Value *Args) {
+        [](ParseContext &Ctx, Value *Args) {
           if (!Args[1].isPair())
             return std::move(Args[0]);
           const ValuePair &Arm = Args[1].asPair();
-          return mkBin(Arm.first.asInt(), std::move(Args[0]), Arm.second);
+          return mkBin(Ctx, Arm.first.asInt(), std::move(Args[0]),
+                       Arm.second);
         },
-        "cmpFold");
+        "cmpFold", /*ReadsInput=*/false);
 
     Px LetE = L.all(
         {L.tok(KwLet), L.tok(Id), L.tok(Eq), Self, L.tok(KwIn), Self},
-        [](ParseContext &, Value *Args) {
+        [](ParseContext &Ctx, Value *Args) {
           return mkNode(
-              TagLet,
-              Value::pair(std::move(Args[1]),
-                          Value::pair(std::move(Args[3]),
+              Ctx, TagLet,
+              Value::pair(Ctx.Pool, std::move(Args[1]),
+                          Value::pair(Ctx.Pool, std::move(Args[3]),
                                       std::move(Args[5]))));
         },
-        "letE");
+        "letE", /*ReadsInput=*/false);
     Px IfE = L.all(
         {L.tok(KwIf), Self, L.tok(KwThen), Self, L.tok(KwElse), Self},
-        [](ParseContext &, Value *Args) {
+        [](ParseContext &Ctx, Value *Args) {
           return mkNode(
-              TagIf,
-              Value::pair(std::move(Args[1]),
-                          Value::pair(std::move(Args[3]),
+              Ctx, TagIf,
+              Value::pair(Ctx.Pool, std::move(Args[1]),
+                          Value::pair(Ctx.Pool, std::move(Args[3]),
                                       std::move(Args[5]))));
         },
-        "ifE");
+        "ifE", /*ReadsInput=*/false);
     return L.alt(L.alt(LetE, IfE), Cmp);
   });
 
   // term := expr ';' evaluated on reduction; file value = Σ terms.
+  // evalTerm reads variable names and number digits through the spans
+  // nested in its AST argument, so it declares ReadsInput.
   Px Term = L.seqMap(
       Expr, L.tok(Semi),
       [](ParseContext &Ctx, Value *Args) {
@@ -246,11 +253,8 @@ std::shared_ptr<GrammarDef> flap::makeArithGrammar() {
         return Value::integer(evalAst(Ctx, Args[0], Env));
       },
       "evalTerm");
-  Def->Root = L.foldr(
-      Term, Value::integer(0),
-      [](ParseContext &, Value *Args) {
-        return Value::integer(Args[0].asInt() + Args[1].asInt());
-      },
-      "sumTerms");
+  Def->Root = L.foldrAct(Term, Value::integer(0),
+                         L.Actions.addAddArgs(2, 0, 1, "sumTerms"),
+                         "sumInit");
   return Def;
 }

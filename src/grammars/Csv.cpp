@@ -37,40 +37,26 @@ std::shared_ptr<GrammarDef> flap::makeCsvGrammar() {
   Px Content = L.alt(L.tok(Text), L.tok(Quoted));
 
   // recBody: the rest of a record at a field boundary; value = number of
-  // fields remaining (the field currently starting counts as one).
+  // fields remaining (the field currently starting counts as one). All
+  // actions are tagged micro-ops (constants, accumulates, selections).
   Px RecBody = L.fix([&](Px Self) {
     // After field content: either the row ends or a comma starts the
     // next field.
-    Px AfterContent = L.alt(
-        L.map(
-            L.tok(Crlf),
-            [](ParseContext &, Value *) { return Value::integer(1); },
-            "rowEnd"),
-        L.all(
-            {L.tok(Comma), Self},
-            [](ParseContext &, Value *Args) {
-              return Value::integer(1 + Args[1].asInt());
-            },
-            "nextField"));
+    Px AfterContent =
+        L.alt(L.mapConst(L.tok(Crlf), Value::integer(1), "rowEnd"),
+              L.mapAddImm(L.seqAll({L.tok(Comma), Self}), 1, 1,
+                          "nextField"));
     return L.alt(
-        L.alt(L.map(
-                  L.tok(Crlf),
-                  [](ParseContext &, Value *) { return Value::integer(1); },
-                  "emptyRowEnd"),
-              L.all(
-                  {L.tok(Comma), Self},
-                  [](ParseContext &, Value *Args) {
-                    return Value::integer(1 + Args[1].asInt());
-                  },
-                  "emptyField")),
-        L.seqMap(
-            Content, AfterContent,
-            [](ParseContext &, Value *Args) { return std::move(Args[1]); },
-            "contentField"));
+        L.alt(L.mapConst(L.tok(Crlf), Value::integer(1), "emptyRowEnd"),
+              L.mapAddImm(L.seqAll({L.tok(Comma), Self}), 1, 1,
+                          "emptyField")),
+        L.mapSelect(L.seq(Content, AfterContent), 1, "contentField"));
   });
 
   // A file is a sequence of records; each record's field count is
-  // checked against the first record's.
+  // checked against the first record's. The fold consults the user
+  // context but never reads lexeme text — ReadsInput = false keeps the
+  // streaming carry tracking off for the whole grammar.
   Def->Root = L.foldr(
       RecBody, Value::integer(0),
       [](ParseContext &Ctx, Value *Args) {
@@ -83,7 +69,7 @@ std::shared_ptr<GrammarDef> flap::makeCsvGrammar() {
         }
         return Value::integer(Args[1].asInt() + 1);
       },
-      "countRecords");
+      "countRecords", /*ReadsInput=*/false);
   Def->NewCtx = [] { return std::make_shared<CsvCtx>(); };
   return Def;
 }

@@ -11,20 +11,15 @@
 /// semantic value is the total number of objects, computed bottom-up
 /// with integer actions (no AST is materialized).
 ///
+/// Every action is a tagged micro-op (constants, selections, integer
+/// sums) — no callable anywhere, and no action reads lexeme text, so the
+/// streaming parser runs this grammar with retain tracking off.
+///
 //===----------------------------------------------------------------------===//
 
 #include "grammars/Grammars.h"
 
 using namespace flap;
-
-namespace {
-
-/// Arg[1] passed through (drop surrounding delimiters).
-Value keepMiddle(ParseContext &, Value *Args) { return std::move(Args[1]); }
-
-Value zero(ParseContext &, Value *) { return Value::integer(0); }
-
-} // namespace
 
 std::shared_ptr<GrammarDef> flap::makeJsonGrammar() {
   auto Def = std::make_shared<GrammarDef>("json");
@@ -44,55 +39,47 @@ std::shared_ptr<GrammarDef> flap::makeJsonGrammar() {
   TokenId Num = Def->Lexer->rule(
       "-?(0|[1-9][0-9]*)(\\.[0-9]+)?([eE][+\\-]?[0-9]+)?", "number");
 
-  auto Add2 = [](ParseContext &, Value *Args) {
-    return Value::integer(Args[0].asInt() + Args[1].asInt());
-  };
   // Each value's semantic result is the number of objects inside it.
   Px Value_ = L.fix([&](Px Val) {
     // members := ε | pair (comma pair)*    (object bodies)
     // pair    := string colon value
-    Px Pair = L.all(
-        {L.tok(Str), L.tok(Colon), Val},
-        [](ParseContext &, Value *Args) { return std::move(Args[2]); },
-        "pairVal");
-    Px MembersRest = L.foldr(
-        L.all(
-            {L.tok(Comma), Pair},
-            [](ParseContext &, Value *Args) { return std::move(Args[1]); },
-            "sndPair"),
-        Value::integer(0), Add2, "sumMembers");
+    Px Pair = L.mapSelect(L.seqAll({L.tok(Str), L.tok(Colon), Val}), 2,
+                          "pairVal");
+    Px MembersRest =
+        L.foldrAct(L.mapSelect(L.seqAll({L.tok(Comma), Pair}), 1,
+                               "sndPair"),
+                   Value::integer(0),
+                   L.Actions.addAddArgs(2, 0, 1, "sumMembers"));
     Px Members =
         L.alt(L.eps(Value::integer(0), "noMembers"),
-              L.seqMap(Pair, MembersRest, Add2, "consMembers"));
-    Px Obj = L.all(
-        {L.tok(Lbrace), Members, L.tok(Rbrace)},
-        [](ParseContext &, Value *Args) {
-          return Value::integer(1 + Args[1].asInt());
-        },
-        "obj");
+              L.mapAddArgs(L.seq(Pair, MembersRest), 0, 1, "consMembers"));
+    Px Obj = L.mapAddImm(L.seqAll({L.tok(Lbrace), Members, L.tok(Rbrace)}),
+                         1, 1, "obj");
 
     // elements := ε | value (comma value)*   (array bodies)
-    Px ElemsRest = L.foldr(
-        L.all(
-            {L.tok(Comma), Val},
-            [](ParseContext &, Value *Args) { return std::move(Args[1]); },
-            "sndElem"),
-        Value::integer(0), Add2, "sumElems");
+    Px ElemsRest =
+        L.foldrAct(L.mapSelect(L.seqAll({L.tok(Comma), Val}), 1,
+                               "sndElem"),
+                   Value::integer(0),
+                   L.Actions.addAddArgs(2, 0, 1, "sumElems"));
     Px Elements = L.alt(L.eps(Value::integer(0), "noElems"),
-                        L.seqMap(Val, ElemsRest, Add2, "consElems"));
-    Px Arr = L.all({L.tok(Lbrack), Elements, L.tok(Rbrack)}, keepMiddle,
-                   "arr");
+                        L.mapAddArgs(L.seq(Val, ElemsRest), 0, 1,
+                                     "consElems"));
+    Px Arr = L.mapSelect(L.seqAll({L.tok(Lbrack), Elements, L.tok(Rbrack)}),
+                         1, "arr");
 
     Px Leaf = L.alt(
-        L.alt(L.map(L.tok(Str), zero, "strVal"),
-              L.map(L.tok(Num), zero, "numVal")),
-        L.alt(L.alt(L.map(L.tok(True), zero, "trueVal"),
-                    L.map(L.tok(False), zero, "falseVal")),
-              L.map(L.tok(Null), zero, "nullVal")));
+        L.alt(L.mapConst(L.tok(Str), Value::integer(0), "strVal"),
+              L.mapConst(L.tok(Num), Value::integer(0), "numVal")),
+        L.alt(L.alt(L.mapConst(L.tok(True), Value::integer(0), "trueVal"),
+                    L.mapConst(L.tok(False), Value::integer(0),
+                               "falseVal")),
+              L.mapConst(L.tok(Null), Value::integer(0), "nullVal")));
     return L.alt(L.alt(Obj, Arr), Leaf);
   });
 
   // A file is a stream of documents; the value is the total object count.
-  Def->Root = L.foldr(Value_, Value::integer(0), Add2, "sumDocs");
+  Def->Root = L.foldrAct(Value_, Value::integer(0),
+                         L.Actions.addAddArgs(2, 0, 1, "sumDocs"));
   return Def;
 }

@@ -35,15 +35,15 @@ std::shared_ptr<GrammarDef> flap::makePgnGrammar() {
   TokenId Rbrack = Def->Lexer->rule("\\]", "rbrack");
 
   // tag := '[' word string ']'
-  Px Tag = L.all(
-      {L.tok(Lbrack), L.tok(Word), L.tok(Str), L.tok(Rbrack)},
-      [](ParseContext &, Value *) { return Value::unit(); }, "tag");
+  Px Tag = L.mapConst(
+      L.seqAll({L.tok(Lbrack), L.tok(Word), L.tok(Str), L.tok(Rbrack)}),
+      Value::unit(), "tag");
 
   // tags := tag tags | tag      (exported games always carry tags)
   Px Tags = L.fix([&](Px Self) {
-    return L.seqMap(
-        Tag, L.alt(L.eps(Value::unit(), "tagsEnd"), Self),
-        [](ParseContext &, Value *) { return Value::unit(); }, "tags");
+    return L.mapConst(
+        L.seq(Tag, L.alt(L.eps(Value::unit(), "tagsEnd"), Self)),
+        Value::unit(), "tags");
   });
 
   // movesResult := result | (word|movenum) movesResult
@@ -68,24 +68,14 @@ std::shared_ptr<GrammarDef> flap::makePgnGrammar() {
         },
         "gameResult");
     Px MoveItem = L.alt(L.tok(Word), L.tok(MoveNum));
-    return L.alt(End, L.seqMap(
-                          MoveItem, Self,
-                          [](ParseContext &, Value *Args) {
-                            return std::move(Args[1]);
-                          },
-                          "moveStep"));
+    return L.alt(End, L.mapSelect(L.seq(MoveItem, Self), 1, "moveStep"));
   });
 
-  Px Game = L.seqMap(
-      Tags, MovesResult,
-      [](ParseContext &, Value *) { return Value::integer(1); }, "game");
+  Px Game = L.mapConst(L.seq(Tags, MovesResult), Value::integer(1),
+                       "game");
 
-  Def->Root = L.foldr(
-      Game, Value::integer(0),
-      [](ParseContext &, Value *Args) {
-        return Value::integer(Args[0].asInt() + Args[1].asInt());
-      },
-      "countGames");
+  Def->Root = L.foldrAct(Game, Value::integer(0),
+                         L.Actions.addAddArgs(2, 0, 1, "countGames"));
   Def->NewCtx = [] { return std::make_shared<PgnCtx>(); };
   return Def;
 }

@@ -30,24 +30,16 @@ std::shared_ptr<GrammarDef> flap::makeSexpGrammar() {
   TokenId Rpar = Def->Lexer->rule("\\)", "rpar");
 
   // μ sexp. (lpar · (μ sexps. ε ∨ sexp·sexps) · rpar) ∨ atom
+  // All actions are tagged micro-ops: constants, a selection, an integer
+  // sum — nothing reads lexeme text.
   Px Sexp = L.fix([&](Px Self) {
     Px Sexps = L.fix([&](Px Rest) {
       return L.alt(L.eps(Value::integer(0), "nil"),
-                   L.seqMap(
-                       Self, Rest,
-                       [](ParseContext &, Value *Args) {
-                         return Value::integer(Args[0].asInt() +
-                                               Args[1].asInt());
-                       },
-                       "add"));
+                   L.mapAddArgs(L.seq(Self, Rest), 0, 1, "add"));
     });
-    Px List = L.all(
-        {L.tok(Lpar), Sexps, L.tok(Rpar)},
-        [](ParseContext &, Value *Args) { return std::move(Args[1]); },
-        "list");
-    Px AtomP = L.map(
-        L.tok(Atom),
-        [](ParseContext &, Value *) { return Value::integer(1); }, "one");
+    Px List = L.mapSelect(L.seqAll({L.tok(Lpar), Sexps, L.tok(Rpar)}), 1,
+                          "list");
+    Px AtomP = L.mapConst(L.tok(Atom), Value::integer(1), "one");
     return L.alt(List, AtomP);
   });
 

@@ -1,0 +1,218 @@
+//===- tests/ActionDispatchTest.cpp - Tagged vs reference dispatch -------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential suite for the devirtualized semantic-action path. The
+/// tagged micro-op dispatch (plus dead-token elision, pre-fused ε-chains
+/// and the arena value pool) must be observationally identical to the
+/// retained legacy std::function reference path:
+///
+///   - whole buffer: CompiledParser::parse (tagged, elided, pooled) vs
+///     CompiledParser::parseLegacy (boxed callables, unrewritten symbol
+///     stream, heap values) — byte-identical Value trees and error
+///     strings;
+///   - streaming: StreamParser in default mode vs RefActions mode vs the
+///     whole-buffer result, across split points (the StreamDiffTest
+///     driver shape), whole-buffer and chunked.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Pipeline.h"
+#include "engine/Stream.h"
+#include "grammars/Grammars.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace flap;
+
+namespace {
+
+struct DispatchRig {
+  std::shared_ptr<GrammarDef> Def;
+  FlapParser P;
+
+  explicit DispatchRig(std::shared_ptr<GrammarDef> D) : Def(std::move(D)) {
+    auto R = compileFlap(Def);
+    if (!R.ok()) {
+      ADD_FAILURE() << "compile failed: " << R.error();
+      return;
+    }
+    P = R.take();
+  }
+
+  void *fresh(std::shared_ptr<void> &C) {
+    if (Def->NewCtx)
+      C = Def->NewCtx();
+    return C.get();
+  }
+
+  /// Streams \p In cut at \p Cuts, through the tagged or the reference
+  /// action path.
+  Result<Value> streamParse(std::string_view In,
+                            const std::vector<size_t> &Cuts,
+                            bool RefActions) {
+    std::shared_ptr<void> C;
+    StreamOptions O;
+    O.User = fresh(C);
+    O.RefActions = RefActions;
+    StreamParser SP(P.M, O);
+    size_t Prev = 0;
+    for (size_t Cut : Cuts) {
+      SP.feed(In.substr(Prev, Cut - Prev));
+      Prev = Cut;
+    }
+    SP.feed(In.substr(Prev));
+    SP.finish();
+    return SP.take();
+  }
+
+  /// Tagged vs reference, whole-buffer and streamed at \p Cuts: same
+  /// verdict, byte-identical values (structural ==), identical error
+  /// strings.
+  void checkAll(std::string_view In, const std::vector<size_t> &Cuts) {
+    std::shared_ptr<void> C1, C2;
+    ParseScratch Scratch;
+    Result<Value> Tagged = P.M.parse(In, Scratch, fresh(C1));
+    Result<Value> Ref = P.M.parseLegacy(In, fresh(C2));
+    ASSERT_EQ(Tagged.ok(), Ref.ok())
+        << Def->Name << ": tagged vs reference verdict on '" << In << "'";
+    if (Tagged.ok())
+      EXPECT_EQ(*Tagged, *Ref) << Def->Name << " value drift on '" << In
+                               << "'";
+    else
+      EXPECT_EQ(Tagged.error(), Ref.error()) << Def->Name;
+
+    Result<Value> StrTag = streamParse(In, Cuts, /*RefActions=*/false);
+    Result<Value> StrRef = streamParse(In, Cuts, /*RefActions=*/true);
+    ASSERT_EQ(StrTag.ok(), Tagged.ok()) << Def->Name << " (streamed)";
+    ASSERT_EQ(StrRef.ok(), Tagged.ok()) << Def->Name << " (streamed ref)";
+    if (Tagged.ok()) {
+      EXPECT_EQ(*StrTag, *Tagged) << Def->Name << " streamed tagged";
+      EXPECT_EQ(*StrRef, *Tagged) << Def->Name << " streamed reference";
+    } else {
+      EXPECT_EQ(StrTag.error(), Tagged.error()) << Def->Name;
+      EXPECT_EQ(StrRef.error(), Tagged.error()) << Def->Name;
+    }
+  }
+};
+
+TEST(ActionDispatchTest, WholeBufferAndChunkedOnAllGrammars) {
+  Rng Rand(2027);
+  for (auto &Def : allBenchmarkGrammars()) {
+    DispatchRig R(Def);
+    for (uint64_t Seed : {5u, 19u}) {
+      Workload W = genWorkload(Def->Name, Seed, 2500 + Seed * 500);
+      // Whole buffer, plus random multi-way chunkings.
+      R.checkAll(W.Input, {});
+      for (int Round = 0; Round < 4; ++Round) {
+        std::vector<size_t> Cuts;
+        size_t At = 0;
+        while (At < W.Input.size()) {
+          At += 1 + Rand.below(Rand.chance(1, 3) ? 7 : 301);
+          if (At < W.Input.size())
+            Cuts.push_back(At);
+        }
+        R.checkAll(W.Input, Cuts);
+      }
+    }
+  }
+}
+
+TEST(ActionDispatchTest, EveryTwoWaySplitOnSmallInputs) {
+  // The exhaustive split sweep of the StreamDiffTest driver, applied to
+  // the tagged-vs-reference comparison.
+  for (auto &Def : allBenchmarkGrammars()) {
+    DispatchRig R(Def);
+    Workload W = genWorkload(Def->Name, 23, 220);
+    for (size_t Cut = 0; Cut <= W.Input.size(); ++Cut)
+      R.checkAll(W.Input, {Cut});
+  }
+}
+
+TEST(ActionDispatchTest, ErrorStringsIdenticalOnCorruptedInputs) {
+  Rng Rand(11);
+  for (auto &Def : allBenchmarkGrammars()) {
+    DispatchRig R(Def);
+    Workload W = genWorkload(Def->Name, 29, 280);
+    for (int Round = 0; Round < 10; ++Round) {
+      std::string In = W.Input;
+      size_t At = Rand.below(In.size());
+      switch (Rand.below(3)) {
+      case 0:
+        In[At] = static_cast<char>(1 + Rand.below(127));
+        break;
+      case 1:
+        In.erase(At, 1 + Rand.below(3));
+        break;
+      default:
+        In.insert(At, 1 + Rand.below(2), "(){}[]\"!,;"[Rand.below(10)]);
+        break;
+      }
+      for (size_t Cut = 0; Cut <= In.size(); Cut += 5)
+        R.checkAll(In, {Cut});
+    }
+  }
+}
+
+TEST(ActionDispatchTest, PooledValuesEscapeTheirScratch) {
+  // Arena-backed values must stay valid after the scratch (and its
+  // pool handle) is gone: the nodes pin the pool pages. arith builds
+  // genuine pair structure mid-parse; json/sexp return scalars — both
+  // paths covered.
+  for (const char *Name : {"arith", "json"}) {
+    std::shared_ptr<GrammarDef> Def;
+    for (auto &G : allBenchmarkGrammars())
+      if (G->Name == Name)
+        Def = G;
+    DispatchRig R(Def);
+    Workload W = genWorkload(Name, 31, 1500);
+    Result<Value> Ref = R.P.M.parseLegacy(W.Input);
+    ASSERT_TRUE(Ref.ok()) << Ref.error();
+    Value Escaped;
+    {
+      auto Scratch = std::make_unique<ParseScratch>();
+      Result<Value> V = R.P.M.parse(W.Input, *Scratch);
+      ASSERT_TRUE(V.ok()) << V.error();
+      Escaped = V.take();
+      // Reuse the scratch (recycles dead nodes), then destroy it.
+      Result<Value> V2 = R.P.M.parse(W.Input, *Scratch);
+      ASSERT_TRUE(V2.ok());
+    }
+    EXPECT_EQ(Escaped, *Ref) << Name;
+  }
+}
+
+TEST(ActionDispatchTest, ReadsInputFlagsMatchTheGrammars) {
+  // json/sexp/csv never read lexeme text → the streaming parser may
+  // drop retain tracking wholesale; pgn/ppm/arith do read.
+  for (auto &Def : allBenchmarkGrammars()) {
+    auto P = compileFlap(Def);
+    ASSERT_TRUE(P.ok());
+    bool Reads = Def->L->Actions.readsInput();
+    bool Expect = Def->Name == "pgn" || Def->Name == "ppm" ||
+                  Def->Name == "arith";
+    EXPECT_EQ(Reads, Expect) << Def->Name;
+  }
+}
+
+TEST(ActionDispatchTest, CarryStaysLexemeSizedWithTrackingOff) {
+  // With no input-reading actions, the streaming carry is just the
+  // suspended lexeme — not the document (ROADMAP follow-up (a)).
+  DispatchRig R(makeJsonGrammar());
+  ASSERT_FALSE(R.Def->L->Actions.readsInput());
+  Workload W = genWorkload("json", 37, 64 * 1024);
+  StreamParser SP(R.P.M);
+  std::string_view In = W.Input;
+  for (size_t At = 0; At < In.size(); At += 997)
+    SP.feed(In.substr(At, 997));
+  ASSERT_EQ(SP.finish(), StreamStatus::Done) << SP.take().error();
+  EXPECT_LT(SP.carryHighWater(), 2048u)
+      << "carry should be lexeme-sized, not document-sized";
+}
+
+} // namespace

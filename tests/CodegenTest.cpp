@@ -97,6 +97,14 @@ public:
         dlsym(Handle, (Name + "_parse").c_str()));
   }
 
+  using ValueFn = long (*)(const char *, size_t, long *);
+  ValueFn valueFn(const std::string &Name) const {
+    if (!Handle)
+      return nullptr;
+    return reinterpret_cast<ValueFn>(
+        dlsym(Handle, (Name + "_parse_value").c_str()));
+  }
+
 private:
   std::string SrcPath, SoPath;
   void *Handle = nullptr;
@@ -128,6 +136,59 @@ TEST(CodegenTest, GeneratedParserRunsAndAgrees) {
   for (size_t Cut = 0; Cut <= Base.size(); ++Cut) {
     std::string In = Base.substr(0, Cut);
     EXPECT_EQ(Fn(In.data(), In.size()) >= 0, P->M.parse(In).ok()) << In;
+  }
+}
+
+TEST(CodegenTest, EmitsValueMachineOnlyForMicroOpGrammars) {
+  // sexp/json compile every action to a scalar micro-op → value entry
+  // point; ppm has custom actions → no value entry point.
+  auto PS = compileFlap(makeSexpGrammar());
+  ASSERT_TRUE(PS.ok());
+  EXPECT_NE(emitCpp(PS->M, "sexp").find("sexp_parse_value"),
+            std::string::npos);
+  auto PP = compileFlap(makePpmGrammar());
+  ASSERT_TRUE(PP.ok());
+  EXPECT_EQ(emitCpp(PP->M, "ppm").find("ppm_parse_value"),
+            std::string::npos);
+}
+
+TEST(CodegenTest, GeneratedValueMachineAgrees) {
+  // The emitted switch-dispatch value machine must compute the same
+  // semantic value as the library engines, and reject the same inputs.
+  for (const char *Name : {"sexp", "json"}) {
+    std::shared_ptr<GrammarDef> Def;
+    for (auto &G : allBenchmarkGrammars())
+      if (G->Name == Name)
+        Def = G;
+    auto P = compileFlap(Def);
+    ASSERT_TRUE(P.ok());
+    CompiledSo So(emitCpp(P->M, Name), std::string("val_") + Name);
+    auto Fn = So.valueFn(Name);
+    if (!Fn)
+      GTEST_SKIP() << "no working system compiler for the generated code";
+
+    Workload W = genWorkload(Name, 21, 40000);
+    Result<Value> Lib = P->M.parse(W.Input);
+    ASSERT_TRUE(Lib.ok());
+    long Out = -999;
+    ASSERT_EQ(Fn(W.Input.data(), W.Input.size(), &Out), 0) << Name;
+    EXPECT_EQ(Out, static_cast<long>(Lib->asInt())) << Name;
+
+    // Rejections agree with the library verdicts, acceptance values on
+    // a truncation sweep too.
+    std::string Base = Name == std::string("sexp")
+                           ? "(ab (cd e) (f))"
+                           : "{\"k\": [1, {}, {\"x\": 2}]}";
+    for (size_t Cut = 0; Cut <= Base.size(); ++Cut) {
+      std::string In = Base.substr(0, Cut);
+      Result<Value> L = P->M.parse(In);
+      long V = -999;
+      long St = Fn(In.data(), In.size(), &V);
+      ASSERT_EQ(St == 0, L.ok()) << Name << " '" << In << "'";
+      if (L.ok())
+        EXPECT_EQ(V, static_cast<long>(L->asInt())) << Name << " '" << In
+                                                    << "'";
+    }
   }
 }
 
