@@ -34,6 +34,13 @@ void ValueStack::grow(size_t Need) {
   End = NB + NewCap;
 }
 
+void ValueStack::applyTokInt(const MicroOp M, ParseContext &Ctx) {
+  Value *Args = Top - M.Arity;
+  int64_t V = lexemeInt(Ctx, Args[M.Sel].asToken());
+  dropAbove(Args);
+  *Args = Value::integer(V);
+}
+
 Value ValueStack::applySlow(const Action &A, ParseContext &Ctx,
                             Value *Args) {
   switch (A.Kind) {
@@ -132,6 +139,21 @@ void ActionTable::buildRefs() const {
       int64_t Imm = A.Imm;
       RefFns[I] = [Sel, Imm](ParseContext &, Value *Args) {
         return Value::integer(Args[Sel].asInt() + Imm);
+      };
+      break;
+    }
+    case ActionKind::TokenInt: {
+      int Sel = A.Sel;
+      RefFns[I] = [Sel](ParseContext &Ctx, Value *Args) {
+        return Value::integer(lexemeInt(Ctx, Args[Sel].asToken()));
+      };
+      break;
+    }
+    case ActionKind::MaxAccum: {
+      int SA = A.Sel, SB = A.Sel2;
+      RefFns[I] = [SA, SB](ParseContext &, Value *Args) {
+        return Value::integer(
+            maxAccumStep(Args[SA].asInt(), Args[SB].asInt()));
       };
       break;
     }

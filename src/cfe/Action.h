@@ -111,7 +111,55 @@ enum class ActionKind : uint8_t {
              ///< appended (copy-on-write; in place when uniquely owned)
   AddArgs,   ///< pop Arity, push int(Args[Sel] + Args[Sel2])
   AddImm,    ///< pop Arity, push int(Args[Sel] + Imm)
+  TokenInt,  ///< pop Arity, push int(decimal value of token Args[Sel])
+  MaxAccum,  ///< pop Arity, push maxAccumStep(Args[Sel], Args[Sel2]) —
+             ///< the packed count+max statistics fold (see below)
 };
+
+/// The max-accumulate packed statistics scalar: a fold over a stream of
+/// non-negative samples whose running state is one integer — element
+/// count in the low 32 bits, running maximum in the high 32. This is the
+/// devirtualized form of the tally-in-user-context pattern (ppm's
+/// per-sample statistics): the hot per-element work becomes two scalar
+/// micro-ops (TokenInt, MaxAccum) with the unpack in a cold root action.
+/// Count cannot overflow into the max bits: inputs are bounded to 4 GiB
+/// (32-bit lexeme offsets) and every sample is at least one byte. The
+/// sample domain is [0, 2^32): negative samples clamp to 0 and larger
+/// ones saturate to 2^32-1 (still above any 32-bit bound a consumer can
+/// compare against, so out-of-range detection survives saturation); all
+/// arithmetic is unsigned so a saturated maximum never corrupts the
+/// count half of the pack.
+inline int64_t maxAccumStep(int64_t Acc, int64_t Sample) {
+  const uint64_t A = static_cast<uint64_t>(Acc);
+  uint64_t Max = A >> 32;
+  const uint64_t S =
+      Sample < 0 ? 0
+                 : Sample > 0xffffffffLL ? 0xffffffffull
+                                         : static_cast<uint64_t>(Sample);
+  if (S > Max)
+    Max = S;
+  return static_cast<int64_t>((Max << 32) | ((A & 0xffffffffull) + 1));
+}
+inline int64_t maxAccumCount(int64_t Acc) {
+  return static_cast<int64_t>(static_cast<uint64_t>(Acc) & 0xffffffffull);
+}
+inline int64_t maxAccumMax(int64_t Acc) {
+  return static_cast<int64_t>(static_cast<uint64_t>(Acc) >> 32);
+}
+
+/// The decimal value of the lexeme \p L (leading digits; parsing stops
+/// at the first non-digit). The TokenInt kind and grammars' spanInt both
+/// resolve through this so their semantics cannot drift.
+inline int64_t lexemeInt(const ParseContext &Ctx, const Lexeme &L) {
+  int64_t V = 0;
+  for (uint32_t I = L.Begin; I < L.End; ++I) {
+    char C = Ctx.at(I);
+    if (C < '0' || C > '9')
+      break;
+    V = V * 10 + (C - '0');
+  }
+  return V;
+}
 
 /// A semantic action with fixed arity. Small tagged record; the only
 /// potentially-allocating members (ConstVal, PayloadOwner, Name) are
@@ -147,6 +195,8 @@ struct MicroOp {
     MSelect,  ///< push Args[Sel]
     MAddArgs, ///< push int(Args[Sel] + Args[Sel2])
     MAddImm,  ///< push int(Args[Sel] + Imm)
+    MTokInt,  ///< push int(decimal of token Args[Sel]) — reads input
+    MMaxAcc,  ///< push maxAccumStep(Args[Sel], Args[Sel2])
     MNop,     ///< identity (a Select reduced to arity 1 of its only arg)
     MSlow     ///< full dispatch via the Action record
   };
@@ -291,6 +341,35 @@ public:
     return push(std::move(A));
   }
 
+  /// Pops \p Arity values, pushes the decimal value of the token at
+  /// \p Idx (lexemeInt). Reads lexeme text, definitionally.
+  ActionId addTokenInt(int Arity, int Idx, std::string Name = "tokInt") {
+    assert(Idx >= 0 && Idx < Arity);
+    Action A;
+    A.Arity = Arity;
+    A.Kind = ActionKind::TokenInt;
+    A.ReadsInput = true;
+    A.Sel = static_cast<int16_t>(Idx);
+    A.Name = std::move(Name);
+    return push(std::move(A));
+  }
+
+  /// Pops \p Arity values, pushes maxAccumStep(Args[AccIdx],
+  /// Args[ElemIdx]) — the packed count+max statistics fold.
+  ActionId addMaxAccum(int Arity, int AccIdx, int ElemIdx,
+                       std::string Name = "maxAcc") {
+    assert(AccIdx >= 0 && AccIdx < Arity && ElemIdx >= 0 &&
+           ElemIdx < Arity);
+    Action A;
+    A.Arity = Arity;
+    A.Kind = ActionKind::MaxAccum;
+    A.ReadsInput = false;
+    A.Sel = static_cast<int16_t>(AccIdx);
+    A.Sel2 = static_cast<int16_t>(ElemIdx);
+    A.Name = std::move(Name);
+    return push(std::move(A));
+  }
+
   const Action &get(ActionId Id) const {
     assert(Id >= 0 && static_cast<size_t>(Id) < Actions.size() &&
            "action id out of range");
@@ -356,6 +435,12 @@ private:
     case ActionKind::AddImm:
       M.K = MicroOp::MAddImm;
       M.Imm = A.Imm;
+      break;
+    case ActionKind::TokenInt:
+      M.K = MicroOp::MTokInt;
+      break;
+    case ActionKind::MaxAccum:
+      M.K = MicroOp::MMaxAcc;
       break;
     default:
       break; // MSlow
@@ -447,6 +532,13 @@ public:
     case ActionKind::AddImm:
       R = Value::integer(Args[A.Sel].asInt() + A.Imm);
       break;
+    case ActionKind::TokenInt:
+      R = Value::integer(lexemeInt(Ctx, Args[A.Sel].asToken()));
+      break;
+    case ActionKind::MaxAccum:
+      R = Value::integer(maxAccumStep(Args[A.Sel].asInt(),
+                                      Args[A.Sel2].asInt()));
+      break;
     default:
       R = applySlow(A, Ctx, Args); // pair/list/text building
       break;
@@ -457,10 +549,11 @@ public:
   /// Runs one non-MSlow micro-op directly (the caller already has the
   /// op — e.g. from the staged machine's op pool). Results are built in
   /// the bottom argument slot in place — no temporary Value round trip.
+  /// \p Ctx is consulted only by the input-reading kinds (MTokInt).
 #if defined(__GNUC__) || defined(__clang__)
   __attribute__((always_inline)) inline
 #endif
-  void applyMicroOp(const MicroOp M) {
+  void applyMicroOp(const MicroOp M, ParseContext &Ctx) {
     assert(M.K != MicroOp::MSlow && "raw dispatch needs a resolved op");
     assert(size() >= M.Arity && "value stack underflow in action");
     if (M.K == MicroOp::MNop)
@@ -503,6 +596,17 @@ public:
       *Args = Value::integer(R);
       return;
     }
+    case MicroOp::MTokInt:
+      // Out of line: the decimal parse loop would bloat every residual
+      // loop this switch inlines into.
+      applyTokInt(M, Ctx);
+      return;
+    case MicroOp::MMaxAcc: {
+      int64_t R = maxAccumStep(Args[M.Sel].asInt(), Args[M.Sel2].asInt());
+      dropAbove(Args);
+      *Args = Value::integer(R);
+      return;
+    }
     default:
       return;
     }
@@ -522,7 +626,7 @@ public:
       applySlowId(AT, Id, Ctx);
       return;
     }
-    applyMicroOp(M);
+    applyMicroOp(M, Ctx);
   }
 
   /// Out-of-line full dispatch for action \p Id — the MSlow escape the
@@ -607,6 +711,13 @@ private:
 
   /// Ensures room for \p Need more values (out of line; doubles).
   void grow(size_t Need);
+
+  /// MTokInt body (Action.cpp): out of line so the decimal parse loop
+  /// never inlines into the residual loops' dispatch switch.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline))
+#endif
+  void applyTokInt(const MicroOp M, ParseContext &Ctx);
 
   /// The non-scalar kinds (custom calls, pair/list/string building),
   /// out of line (Action.cpp).

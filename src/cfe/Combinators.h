@@ -148,6 +148,26 @@ public:
                                           std::move(Name)));
   }
 
+  /// The decimal value of the token at \p Idx (lexemeInt) — the
+  /// micro-op form of the ubiquitous spanInt custom action.
+  Px mapTokenInt(Px A, int Idx = 0, std::string Name = "tokInt") {
+    assert(A.Width >= 0 && "cannot map over ⊥ alone");
+    return mapAction(A, Actions.addTokenInt(A.Width, Idx,
+                                            std::move(Name)));
+  }
+
+  /// Folds a stream of non-negative integer samples into one packed
+  /// count+max statistics scalar (maxAccumStep; unpack with
+  /// maxAccumCount/maxAccumMax). The per-element work is two scalar
+  /// micro-ops — no callable, no user context.
+  Px foldMaxAccum(Px P, std::string Name = "maxAcc") {
+    assert(P.Width == 1 && "foldMaxAccum element must have width 1");
+    return foldrAct(P, Value::integer(0),
+                    Actions.addMaxAccum(2, /*AccIdx=*/1, /*ElemIdx=*/0,
+                                        std::move(Name)),
+                    "statInit");
+  }
+
   //===--------------------------------------------------------------===//
   // Derived forms
   //===--------------------------------------------------------------===//

@@ -7,6 +7,7 @@
 
 #include "engine/Compile.h"
 
+#include "engine/DispatchTier.h"
 #include "engine/ScanKernel.h"
 #include "regex/Alphabet.h"
 #include "support/StrUtil.h"
@@ -236,30 +237,34 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
       return Err(format("staged parser exceeds %zu states", MaxStates));
   }
 
-  // Fused accept/transition encoding: renumber states into tiers —
-  // [0, NumSelfSkip) accept an F2 whitespace continuation, then
-  // [NumSelfSkip, NumAccept) accept a regular continuation, then the
-  // rest. Per-byte acceptance and the end-of-lexeme "rescan in place?"
-  // decision become register compares; the dependent AcceptCont load
-  // leaves the per-byte loop entirely.
+  // Dispatch-tier encoding: renumber states into tiers so a single
+  // transition load classifies a lexeme's entry (Compile.h has the full
+  // range map). The coarse split is unchanged — [0, NumSelfSkip) accept
+  // an F2 whitespace continuation, [NumSelfSkip, NumAccept) a regular
+  // one, then the rest — and each accepting tier is subdivided by the
+  // state's *outgoing shape*: no transitions at all (terminal: the
+  // lexeme is decided at the dispatch byte) or transitions confined to
+  // the self-loop (pure run: the bulk-classified run is the rest of the
+  // lexeme). Per-byte acceptance, the end-of-lexeme "rescan in place?"
+  // decision and the entry dispatch all become register compares; the
+  // dependent AcceptCont load leaves the per-byte loop entirely.
   const size_t NumStates = States.size();
-  auto TierOf = [&](size_t S) {
-    int32_t A = AcceptRaw[S];
-    if (A < 0)
-      return 2;
-    return M.Conts[A].SelfSkip ? 0 : 1;
-  };
-  std::vector<int32_t> Perm(NumStates);
-  int32_t NextId = 0;
-  for (int Tier = 0; Tier < 3; ++Tier) {
-    for (size_t S = 0; S < NumStates; ++S)
-      if (TierOf(S) == Tier)
-        Perm[S] = NextId++;
-    if (Tier == 0)
-      M.NumSelfSkip = NextId;
-    if (Tier == 1)
-      M.NumAccept = NextId;
-  }
+  std::vector<int32_t> Perm;
+  dispatchtier::Bounds Tiers = dispatchtier::renumber(
+      Rows, NumStates,
+      [&](size_t S) {
+        int32_t A = AcceptRaw[S];
+        if (A < 0)
+          return dispatchtier::AcceptClass::None;
+        return M.Conts[A].SelfSkip ? dispatchtier::AcceptClass::SelfSkip
+                                   : dispatchtier::AcceptClass::Regular;
+      },
+      Perm);
+  M.NumPureSkip = Tiers.PureSkip;
+  M.NumSelfSkip = Tiers.SelfSkip;
+  M.NumTermAcc = Tiers.TermAcc;
+  M.NumPureAcc = Tiers.PureAcc;
+  M.NumAccept = Tiers.Accept;
 
   std::vector<int32_t> PRows(NumStates * 256, CompiledParser::Dead);
   for (size_t S = 0; S < NumStates; ++S)
@@ -599,8 +604,10 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
       return true;
     case MicroOp::MSelect:
     case MicroOp::MAddImm:
+    case MicroOp::MTokInt:
       return Op.Sel != P;
     case MicroOp::MAddArgs:
+    case MicroOp::MMaxAcc:
       return Op.Sel != P && Op.Sel2 != P;
     default:
       return false;
@@ -757,29 +764,94 @@ struct ScanResult {
 /// by-value state struct, scalar reference parameters) cost GCC 12
 /// 3-5% of recognition throughput to register-allocation churn, and the
 /// whole-buffer path is the perf-gated hot loop of the repository.
-/// scankernel::scanCore is the same automaton with suspension points;
-/// the two must stay in lockstep — the chunked differential fuzzer
-/// (tests/StreamDiffTest.cpp) asserts byte-identical behaviour at every
-/// split point, and tests/RunSkipDiffTest.cpp pins both to the Fig. 9
-/// interpreter.
+/// scankernel::scanCore/scanEnter is the same automaton with suspension
+/// points; the two must stay in lockstep — the chunked differential
+/// fuzzer (tests/StreamDiffTest.cpp) asserts byte-identical behaviour at
+/// every split point, and tests/RunSkipDiffTest.cpp pins both to the
+/// Fig. 9 interpreter.
+///
+/// Lexeme entry goes through the first-byte dispatch (the start state's
+/// transition row under the dispatch-tier encoding): one load classifies
+/// the entry as dead, committed F2 whitespace (consume the run, commit,
+/// re-dispatch in place), a terminal accept (the lexeme is one byte,
+/// decided), a pure accepting run (the bulk-classified run is the rest
+/// of the lexeme), or a general scan. FLAP_NO_DISPATCH compiles the
+/// dispatch away, keeping the pre-dispatch entry path as a build-level
+/// differential reference (the tier renumbering stays on — it is a pure
+/// permutation).
 template <typename Tab>
 inline ScanResult scan(const typename Tab::Cell *T, const SkipSet *Skip,
-                       int32_t NumSelfSkip, int32_t NumAccept,
-                       uint32_t Start, const char *S, size_t Pos,
-                       size_t Len) {
-  uint32_t Cur = Start;
-  int32_t Bs = -1;
-  size_t BestEnd = Pos, I = Pos;
+                       int32_t NumPureSkip, int32_t NumSelfSkip,
+                       int32_t NumTermAcc, int32_t NumPureAcc,
+                       int32_t NumAccept, uint32_t Start, const char *S,
+                       size_t Pos, size_t Len) {
+  uint32_t Cur;
+  int32_t Bs;
+  size_t BestEnd, I;
+#if !defined(FLAP_NO_DISPATCH)
+Entry:
+  // First-byte dispatch: one indexed load off the start state's row.
+  if (Pos >= Len)
+    return {-1, Pos, Pos};
+  {
+    typename Tab::Cell D =
+        T[Start * 256 + static_cast<unsigned char>(S[Pos])];
+    if (Tab::dead(D))
+      return {-1, Pos, Pos};
+    const int32_t Ds = static_cast<int32_t>(static_cast<uint32_t>(D));
+    I = Pos + 1;
+    if (Ds < NumSelfSkip) {
+      if (Ds < NumPureSkip) {
+        // Committed F2 whitespace run: consume it and re-dispatch in
+        // place (no outgoing transition can leave the run). The one-byte
+        // lookahead keeps length-1 runs (single spaces) off the bulk
+        // classifier's block set-up.
+        const SkipSet &SS = Skip[Ds];
+        Pos = (I < Len && SS.test(static_cast<unsigned char>(S[I])))
+                  ? skipRun(SS, S, I + 1, Len)
+                  : I;
+        goto Entry;
+      }
+      Cur = static_cast<uint32_t>(Ds); // impure self-skip: general scan
+      Bs = Ds;
+      BestEnd = I;
+    } else if (Ds < NumPureAcc) {
+      if (Ds < NumTermAcc)
+        return {Ds, I, Pos}; // terminal accept: decided by the dispatch
+      // Pure accepting run: the run is the rest of the lexeme and the
+      // acceptance decision is made once, at its end (one-byte lookahead
+      // as above — single-digit numbers are runs of length one).
+      const SkipSet &SS = Skip[Ds];
+      if (I < Len && SS.test(static_cast<unsigned char>(S[I])))
+        I = skipRun(SS, S, I + 1, Len);
+      return {Ds, I, Pos};
+    } else {
+      Cur = static_cast<uint32_t>(Ds);
+      if (Ds < NumAccept) {
+        Bs = Ds;
+        BestEnd = I;
+      } else {
+        Bs = -1;
+        BestEnd = Pos;
+      }
+    }
+  }
+#else
+Entry:
+  Cur = Start;
+  Bs = -1;
+  BestEnd = Pos;
+  I = Pos;
+#endif
   while (I < Len) {
     typename Tab::Cell Next =
         T[Cur * 256 + static_cast<unsigned char>(S[I])];
     if (Tab::dead(Next)) {
       if (static_cast<uint32_t>(Bs) < static_cast<uint32_t>(NumSelfSkip)) {
+        // Committed F2 whitespace: consume it and rescan in place,
+        // through the entry dispatch.
         Pos = BestEnd;
-        I = BestEnd;
-        Cur = Start;
-        Bs = -1;
-        continue;
+        goto Entry;
       }
       return {Bs, BestEnd, Pos};
     }
@@ -791,6 +863,13 @@ inline ScanResult scan(const typename Tab::Cell *T, const SkipSet *Skip,
       if (static_cast<int32_t>(Cur) < NumAccept) {
         Bs = static_cast<int32_t>(Cur);
         BestEnd = I;
+#if !defined(FLAP_NO_DISPATCH)
+        // A pure accepting run cannot be left except by dying: the run's
+        // end is the longest match — skip the dead-probing load.
+        if (static_cast<uint32_t>(Cur - static_cast<uint32_t>(NumTermAcc)) <
+            static_cast<uint32_t>(NumPureAcc - NumTermAcc))
+          return {Bs, BestEnd, Pos};
+#endif
       }
       continue;
     }
@@ -798,12 +877,23 @@ inline ScanResult scan(const typename Tab::Cell *T, const SkipSet *Skip,
     if (static_cast<int32_t>(Cur) < NumAccept) {
       Bs = static_cast<int32_t>(Cur);
       BestEnd = I;
+#if !defined(FLAP_NO_DISPATCH)
+      // Terminal accept mid-lexeme (closing quotes, keyword tails): no
+      // continuation exists, so the match is decided without probing
+      // the next byte's transition.
+      if (static_cast<uint32_t>(Cur - static_cast<uint32_t>(NumSelfSkip)) <
+          static_cast<uint32_t>(NumTermAcc - NumSelfSkip))
+        return {Bs, BestEnd, Pos};
+#endif
     }
   }
   if (static_cast<uint32_t>(Bs) < static_cast<uint32_t>(NumSelfSkip)) {
-    if (BestEnd < Len)
-      return scan<Tab>(T, Skip, NumSelfSkip, NumAccept, Start, S, BestEnd,
-                       Len);
+    if (BestEnd < Len) {
+      // End of input inside a speculative extension of committed F2
+      // whitespace: commit and rescan the suffix in place.
+      Pos = BestEnd;
+      goto Entry;
+    }
     Pos = BestEnd;
     Bs = -1;
   }
@@ -818,9 +908,11 @@ size_t matchTrailingSkipT(const CompiledParser &M, std::string_view Input,
   const size_t Len = Input.size();
   const typename Tab::Cell *T = Tab::table(M);
   while (Pos < Len) {
-    ScanResult R = scan<Tab>(T, M.Skip.data(), M.NumSelfSkip, M.NumAccept,
-                             static_cast<uint32_t>(M.SkipState),
-                             Input.data(), Pos, Len);
+    ScanResult R =
+        scan<Tab>(T, M.Skip.data(), M.NumPureSkip, M.NumSelfSkip,
+                  M.NumTermAcc, M.NumPureAcc, M.NumAccept,
+                  static_cast<uint32_t>(M.SkipState), Input.data(), Pos,
+                  Len);
     if (R.Bs < 0 || R.BestEnd == Pos)
       break;
     Pos = R.BestEnd;
@@ -849,7 +941,10 @@ Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
   const char *S = Input.data();
   const typename Tab::Cell *T = Tab::table(M);
   const SkipSet *Skip = M.Skip.data();
+  const int32_t NumPureSkip = M.NumPureSkip;
   const int32_t NumSelfSkip = M.NumSelfSkip;
+  const int32_t NumTermAcc = M.NumTermAcc;
+  const int32_t NumPureAcc = M.NumPureAcc;
   const int32_t NumAccept = M.NumAccept;
   const uint32_t *Pool = M.PackedPool.data();
   const ActionTable &AT = *M.Actions;
@@ -864,14 +959,15 @@ Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
         // dead-token elision); MSlow escapes into the full Action.
         const MicroOp Op = Ops[E & ~CompiledParser::ActBit];
         if (Op.K != MicroOp::MSlow)
-          Values.applyMicroOp(Op);
+          Values.applyMicroOp(Op, Ctx);
         else
           Values.applySlowId(AT, static_cast<ActionId>(Op.Imm), Ctx);
         break;
       }
       // The residual loop: branch on characters only.
-      ScanResult R = scan<Tab>(T, Skip, NumSelfSkip, NumAccept, E & 0xffffu,
-                               S, Pos, Len);
+      ScanResult R =
+          scan<Tab>(T, Skip, NumPureSkip, NumSelfSkip, NumTermAcc,
+                    NumPureAcc, NumAccept, E & 0xffffu, S, Pos, Len);
       Pos = R.Base;
       if (R.Bs >= 0) {
         const int32_t Bs = R.Bs;
@@ -934,7 +1030,10 @@ bool recognizeImpl(const CompiledParser &M, std::string_view Input,
   const char *S = Input.data();
   const typename Tab::Cell *T = Tab::table(M);
   const SkipSet *Skip = M.Skip.data();
+  const int32_t NumPureSkip = M.NumPureSkip;
   const int32_t NumSelfSkip = M.NumSelfSkip;
+  const int32_t NumTermAcc = M.NumTermAcc;
+  const int32_t NumPureAcc = M.NumPureAcc;
   const int32_t NumAccept = M.NumAccept;
   const uint32_t *Pool = M.NtPool.data(); // markers pre-filtered out
 
@@ -942,8 +1041,9 @@ bool recognizeImpl(const CompiledParser &M, std::string_view Input,
     uint32_t E = Stack.back();
     Stack.pop_back();
     for (;;) {
-      ScanResult R = scan<Tab>(T, Skip, NumSelfSkip, NumAccept, E & 0xffffu,
-                               S, Pos, Len);
+      ScanResult R =
+          scan<Tab>(T, Skip, NumPureSkip, NumSelfSkip, NumTermAcc,
+                    NumPureAcc, NumAccept, E & 0xffffu, S, Pos, Len);
       Pos = R.Base;
       if (R.Bs >= 0) {
         const int32_t Bs = R.Bs;

@@ -18,11 +18,17 @@
 ///
 /// Execution-tier layout (this is the hot path of the whole repository):
 ///
-///   - *Fused accept/transition encoding*: states are renumbered into
-///     tiers — self-skip-accepting first, then other accepting, then the
-///     rest — so the scan loop decides "is this state accepting?" and
-///     "is this lexeme F2 whitespace to rescan in place?" with register
-///     compares instead of dependent AcceptCont/Cont loads. Accept
+///   - *Dispatch-tier encoding* (first-byte dispatch tables): states are
+///     renumbered into tiers — pure self-skip runs, other self-skip
+///     accepting, terminal accepting, pure accepting runs, other
+///     accepting, then the rest — so the 256-entry transition row of a
+///     scan's start state doubles as its *first-byte dispatch table*:
+///     the single indexed load of the first transition also answers "is
+///     this lexeme already decided?" (terminal accept / pure run), "is
+///     it F2 whitespace to commit and rescan in place?" (pure self-skip)
+///     and "is the entered state accepting?", all with register compares
+///     on the loaded id. The hot loop branches once per short lexeme
+///     instead of re-deriving the skip/accept decision per byte. Accept
 ///     metadata (token, tail) is resolved once per lexeme with direct
 ///     state-indexed loads.
 ///   - *Run-state skipping*: states that self-loop over a byte class
@@ -163,7 +169,10 @@ public:
   std::vector<int32_t> Trans;
   /// [State*256 + Byte] → next state (int16, Dead16 = -1): the hot-loop
   /// table. One dependent load per input byte — the table analogue of
-  /// the generated code's direct branching.
+  /// the generated code's direct branching. Under the dispatch-tier
+  /// encoding every state's 256-entry row is also its first-byte
+  /// dispatch table (see the Num* tier bounds below): no separate array
+  /// is materialized, so dispatch costs zero extra cache footprint.
   std::vector<int16_t> Trans16;
   /// Compact variant used when the machine has at most MaxSmallStates
   /// states (every benchmark grammar): fits L1, sentinel Dead8 = 0xff.
@@ -177,12 +186,37 @@ public:
   /// bits and a start state into 16; Trans16 stores ids as int16).
   static constexpr size_t MaxPackedNts = 0x7fff;
   static constexpr size_t MaxPackedStates = size_t(1) << 15;
-  /// State ids are tiered: [0, NumSelfSkip) accept a SelfSkip (F2
+  /// State ids are tiered (the dispatch-tier encoding). The coarse
+  /// partition is unchanged: [0, NumSelfSkip) accept a SelfSkip (F2
   /// whitespace) continuation, [NumSelfSkip, NumAccept) accept a regular
   /// continuation, the rest do not accept. Both per-byte acceptance and
   /// the end-of-lexeme "rescan in place?" decision are register compares
   /// — no table load.
+  ///
+  /// Each coarse tier is further split so one transition load classifies
+  /// a lexeme's entry (the *first-byte dispatch table*: the 256-entry
+  /// row of the start state, byte-class-compressed at construction):
+  ///
+  ///   [0, NumPureSkip)          pure self-skip runs: F2 whitespace
+  ///                             states whose outgoing transitions stay
+  ///                             within the self-loop — the committed
+  ///                             whitespace run is the whole lexeme and
+  ///                             the scan re-dispatches in place.
+  ///   [NumPureSkip, NumSelfSkip) other self-skip accepting.
+  ///   [NumSelfSkip, NumTermAcc) terminal accepting: no outgoing
+  ///                             transitions at all — the lexeme is
+  ///                             decided by the dispatch load alone
+  ///                             (json's structural bytes live here).
+  ///   [NumTermAcc, NumPureAcc)  pure accepting runs: outgoing ⊆ the
+  ///                             (nonempty) self-loop — the run consumed
+  ///                             by the bulk classifier is the rest of
+  ///                             the lexeme, acceptance decided once
+  ///                             (sexp atoms, bare identifiers).
+  ///   [NumPureAcc, NumAccept)   other accepting.
+  int32_t NumPureSkip = 0;
   int32_t NumSelfSkip = 0;
+  int32_t NumTermAcc = 0;
+  int32_t NumPureAcc = 0;
   int32_t NumAccept = 0;
   /// [State] → continuation selected when this state is reached with the
   /// longest match so far, or -1. Consulted by the code generator, the

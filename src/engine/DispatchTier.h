@@ -1,0 +1,125 @@
+//===- engine/DispatchTier.h - Dispatch-tier state renumbering -*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dispatch-tier state-id encoding shared by the staged machine
+/// (engine/Compile.cpp) and the standalone lexer DFA
+/// (lexer/CompiledLexer.cpp). Both machines renumber their states so one
+/// transition load classifies a lexeme's entry — the soundness of every
+/// first-byte dispatch fast path depends on the two encodings staying in
+/// lockstep, so the shape classification and the tier partition live
+/// here, once.
+///
+/// Tiers, in id order (see Compile.h for the range semantics):
+///
+///   0  self-skip accepting, outgoing ⊆ self-loop  (pure F2 whitespace run)
+///   1  other self-skip accepting
+///   2  accepting, no outgoing at all              (terminal accept)
+///   3  accepting, outgoing ⊆ nonempty self-loop   (pure accepting run)
+///   4  other accepting
+///   5  non-accepting
+///
+/// A machine with no self-skip continuations (the lexer) simply never
+/// produces accept class 0, and its PureSkip/SelfSkip bounds come out 0
+/// — the encoding degenerates to terminal / pure-run / accepting / rest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_ENGINE_DISPATCHTIER_H
+#define FLAP_ENGINE_DISPATCHTIER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace flap {
+namespace dispatchtier {
+
+/// Tier range bounds over the renumbered id space:
+/// [0, PureSkip) ⊆ [0, SelfSkip) ⊆ ... ⊆ [0, Accept) ⊆ [0, NumStates).
+struct Bounds {
+  int32_t PureSkip = 0;
+  int32_t SelfSkip = 0;
+  int32_t TermAcc = 0;
+  int32_t PureAcc = 0;
+  int32_t Accept = 0;
+};
+
+/// Accept classification of a pre-renumbering state.
+enum class AcceptClass : uint8_t {
+  SelfSkip, ///< accepts an F2 whitespace (self-skip) continuation
+  Regular,  ///< accepts a regular continuation / rule
+  None      ///< not accepting
+};
+
+/// Computes the dispatch-tier permutation for a machine of \p NumStates
+/// states whose pre-renumbering per-byte rows are Rows[S*256 + C]
+/// (negative = dead). \p ClassOf maps a pre-renumbering state id to its
+/// AcceptClass. On return Perm[old] = new, and the result carries the
+/// tier bounds in the new id space. The permutation is stable within
+/// each tier (ids sorted by old id), so renumbering is deterministic.
+template <typename ClassFn>
+inline Bounds renumber(const std::vector<int32_t> &Rows, size_t NumStates,
+                       ClassFn ClassOf, std::vector<int32_t> &Perm) {
+  // Outgoing shape: 0 = no transitions, 1 = self-loop only, 2 = general.
+  auto OutShape = [&](size_t S) {
+    bool Any = false, Other = false;
+    for (int C = 0; C < 256; ++C) {
+      int32_t D = Rows[S * 256 + C];
+      if (D < 0)
+        continue;
+      Any = true;
+      Other |= D != static_cast<int32_t>(S);
+    }
+    return Other ? 2 : (Any ? 1 : 0);
+  };
+  auto TierOf = [&](size_t S) {
+    AcceptClass A = ClassOf(S);
+    if (A == AcceptClass::None)
+      return 5;
+    int Shape = OutShape(S);
+    if (A == AcceptClass::SelfSkip)
+      return Shape <= 1 ? 0 : 1; // pure self-skip run : other self-skip
+    if (Shape == 0)
+      return 2; // terminal accept
+    if (Shape == 1)
+      return 3; // pure accepting run
+    return 4;
+  };
+  Perm.assign(NumStates, 0);
+  Bounds B;
+  int32_t NextId = 0;
+  for (int Tier = 0; Tier <= 5; ++Tier) {
+    for (size_t S = 0; S < NumStates; ++S)
+      if (TierOf(S) == Tier)
+        Perm[S] = NextId++;
+    switch (Tier) {
+    case 0:
+      B.PureSkip = NextId;
+      break;
+    case 1:
+      B.SelfSkip = NextId;
+      break;
+    case 2:
+      B.TermAcc = NextId;
+      break;
+    case 3:
+      B.PureAcc = NextId;
+      break;
+    case 4:
+      B.Accept = NextId;
+      break;
+    default:
+      break;
+    }
+  }
+  return B;
+}
+
+} // namespace dispatchtier
+} // namespace flap
+
+#endif // FLAP_ENGINE_DISPATCHTIER_H

@@ -28,6 +28,20 @@
 ///            mid-run inside the SIMD skip kernels, which are exactly
 ///            equivalent to stepping the DFA byte-at-a-time.
 ///
+/// Lexeme *entry* goes through scanEnter(): the first-byte dispatch off
+/// the start state's transition row under the dispatch-tier encoding
+/// (see Compile.h). One indexed load classifies the entry — dead,
+/// committed F2 whitespace run (consume, commit, re-dispatch in place),
+/// terminal accept (the lexeme is decided by the dispatch byte alone),
+/// pure accepting run (the bulk-classified run is the rest of the
+/// lexeme), or a general scan continued by scanCore. With Final = false
+/// an empty window suspends *on the dispatch byte*: the parked register
+/// file is the entry state itself, and resuming simply re-enters the
+/// general kernel (which subsumes the dispatch classification byte by
+/// byte). FLAP_NO_DISPATCH compiles scanEnter down to the pre-dispatch
+/// entry path (scanBegin + scanCore) as a build-level differential
+/// reference.
+///
 /// The Final flag is a template parameter so a whole-buffer
 /// instantiation folds every More path away. Note the perf-gated
 /// whole-buffer entry points in Compile.cpp nevertheless keep their own
@@ -71,6 +85,25 @@ struct Tab16 {
   static bool dead(Cell V) { return V < 0; }
 };
 
+/// The dispatch-tier bounds of one machine (Compile.h has the range
+/// map). Bundled so the streaming pump and the lexer hand the kernel one
+/// value; the kernels unpack it into scalars immediately, before the
+/// per-byte loop. A machine with no self-skip tiers (the standalone
+/// lexer DFA) passes PureSkip = SelfSkip = 0 — the encoding degenerates
+/// to terminal / pure-run / accepting / rest, sharing all kernel code.
+struct Tiers {
+  int32_t PureSkip;
+  int32_t SelfSkip;
+  int32_t TermAcc;
+  int32_t PureAcc;
+  int32_t Accept;
+};
+
+inline Tiers tiersOf(const CompiledParser &M) {
+  return {M.NumPureSkip, M.NumSelfSkip, M.NumTermAcc, M.NumPureAcc,
+          M.NumAccept};
+}
+
 /// The scan's complete register file; see the file comment. A suspended
 /// scan (More) is resumed by re-entering scanStep() with the same state
 /// and a longer window.
@@ -92,12 +125,17 @@ inline ScanState scanBegin(uint32_t Start, size_t Pos) {
 enum class ScanOutcome : uint8_t { Match, Fail, More };
 
 /// The scan loop proper. Per byte: one table load, one dead test, one
-/// register compare against NumAccept. Two accelerations divert from
-/// the byte loop:
+/// register compare against NumAccept. Accelerations diverting from the
+/// byte loop:
 ///
 ///   - a transition that stays in the same state hands the run to the
 ///     bulk classifier (RunSkip.h), guarded by a one-byte lookahead so
 ///     length-1 runs pay nothing extra;
+///   - a transition into the terminal-accept tier decides the match
+///     without probing the next byte (no continuation exists), and a
+///     self-loop run in the pure-accepting tier ends the lexeme at the
+///     run's end — both are register compares on the dispatch-tier id
+///     (compiled away under FLAP_NO_DISPATCH);
 ///   - a finished lexeme whose best state is in the self-skip tier is F2
 ///     whitespace — the machine would select a continuation that rescans
 ///     this same nonterminal, so the scan restarts in place instead of
@@ -113,10 +151,16 @@ enum class ScanOutcome : uint8_t { Match, Fail, More };
 /// on the by-value registers.
 template <typename Tab, bool Final>
 inline ScanOutcome scanCore(const typename Tab::Cell *T, const SkipSet *Skip,
-                            int32_t NumSelfSkip, int32_t NumAccept,
-                            uint32_t Start, uint32_t Cur, int32_t Bs,
-                            size_t Base, size_t BestEnd, size_t I,
-                            const char *S, size_t Len, ScanState &St) {
+                            Tiers Tr, uint32_t Start, uint32_t Cur,
+                            int32_t Bs, size_t Base, size_t BestEnd,
+                            size_t I, const char *S, size_t Len,
+                            ScanState &St) {
+  const int32_t NumSelfSkip = Tr.SelfSkip;
+  const int32_t NumAccept = Tr.Accept;
+#if !defined(FLAP_NO_DISPATCH)
+  const int32_t NumTermAcc = Tr.TermAcc;
+  const int32_t NumPureAcc = Tr.PureAcc;
+#endif
   while (I < Len) {
     typename Tab::Cell Next =
         T[Cur * 256 + static_cast<unsigned char>(S[I])];
@@ -142,6 +186,17 @@ inline ScanOutcome scanCore(const typename Tab::Cell *T, const SkipSet *Skip,
       if (static_cast<int32_t>(Cur) < NumAccept) {
         Bs = static_cast<int32_t>(Cur);
         BestEnd = I;
+#if !defined(FLAP_NO_DISPATCH)
+        // Pure accepting run: nothing leaves the run but death, so the
+        // run's end is the longest match — unless the window ended
+        // mid-run (not Final), where one more byte could extend it.
+        if (static_cast<uint32_t>(Cur - static_cast<uint32_t>(NumTermAcc)) <
+                static_cast<uint32_t>(NumPureAcc - NumTermAcc) &&
+            (Final || I < Len)) {
+          St = {Start, Cur, Bs, Base, BestEnd, I};
+          return ScanOutcome::Match;
+        }
+#endif
       }
       continue;
     }
@@ -149,6 +204,15 @@ inline ScanOutcome scanCore(const typename Tab::Cell *T, const SkipSet *Skip,
     if (static_cast<int32_t>(Cur) < NumAccept) {
       Bs = static_cast<int32_t>(Cur);
       BestEnd = I;
+#if !defined(FLAP_NO_DISPATCH)
+      // Terminal accept: no continuation exists, the match is decided
+      // without probing the next byte's transition (window-independent).
+      if (static_cast<uint32_t>(Cur - static_cast<uint32_t>(NumSelfSkip)) <
+          static_cast<uint32_t>(NumTermAcc - NumSelfSkip)) {
+        St = {Start, Cur, Bs, Base, BestEnd, I};
+        return ScanOutcome::Match;
+      }
+#endif
     }
   }
   // Window exhausted.
@@ -163,9 +227,8 @@ inline ScanOutcome scanCore(const typename Tab::Cell *T, const SkipSet *Skip,
   // lexeme, so this terminates.
   if (static_cast<uint32_t>(Bs) < static_cast<uint32_t>(NumSelfSkip)) {
     if (BestEnd < Len)
-      return scanCore<Tab, Final>(T, Skip, NumSelfSkip, NumAccept, Start,
-                                  Start, -1, BestEnd, BestEnd, BestEnd, S,
-                                  Len, St);
+      return scanCore<Tab, Final>(T, Skip, Tr, Start, Start, -1, BestEnd,
+                                  BestEnd, BestEnd, S, Len, St);
     Base = BestEnd;
     Bs = -1;
   }
@@ -175,14 +238,91 @@ inline ScanOutcome scanCore(const typename Tab::Cell *T, const SkipSet *Skip,
 
 /// Resumable entry point for streaming callers: runs scanCore from the
 /// register file in \p St and stores the updated file back on exit, so a
-/// More outcome can be re-entered after the window grows.
+/// More outcome can be re-entered after the window grows. Used for
+/// *resuming* a suspended scan; fresh scans enter through scanEnter.
 template <typename Tab, bool Final>
 inline ScanOutcome scanStep(const typename Tab::Cell *T, const SkipSet *Skip,
-                            int32_t NumSelfSkip, int32_t NumAccept,
-                            ScanState &St, const char *S, size_t Len) {
-  return scanCore<Tab, Final>(T, Skip, NumSelfSkip, NumAccept, St.Start,
-                              St.Cur, St.Bs, St.Base, St.BestEnd, St.I, S,
-                              Len, St);
+                            Tiers Tr, ScanState &St, const char *S,
+                            size_t Len) {
+  return scanCore<Tab, Final>(T, Skip, Tr, St.Start, St.Cur, St.Bs, St.Base,
+                              St.BestEnd, St.I, S, Len, St);
+}
+
+/// Fresh-scan entry point: the first-byte dispatch (see the file
+/// comment), falling through to scanCore for general entries. An empty
+/// window (or a committed whitespace run reaching the window's end)
+/// suspends on the dispatch byte: St holds the entry registers and a
+/// later scanStep re-enters the general kernel, which re-derives the
+/// classification byte by byte.
+template <typename Tab, bool Final>
+inline ScanOutcome scanEnter(const typename Tab::Cell *T, const SkipSet *Skip,
+                             Tiers Tr, uint32_t Start, size_t Pos,
+                             const char *S, size_t Len, ScanState &St) {
+#if !defined(FLAP_NO_DISPATCH)
+  for (;;) {
+    if (Pos >= Len) {
+      St = scanBegin(Start, Pos);
+      return Final ? ScanOutcome::Fail : ScanOutcome::More;
+    }
+    typename Tab::Cell D =
+        T[Start * 256 + static_cast<unsigned char>(S[Pos])];
+    if (Tab::dead(D)) {
+      St = scanBegin(Start, Pos);
+      return ScanOutcome::Fail;
+    }
+    const int32_t Ds = static_cast<int32_t>(static_cast<uint32_t>(D));
+    const size_t I = Pos + 1;
+    if (Ds < Tr.SelfSkip) {
+      if (Ds < Tr.PureSkip) {
+        // Pure F2 whitespace run: nothing leaves the run but death, so
+        // the run's end *within the input* is the lexeme's end and the
+        // scan commits and re-dispatches in place. A run reaching the
+        // window's end is different: that is not a lexeme boundary (a
+        // comment interior, say, cannot restart a skip lexeme), so the
+        // scan suspends mid-run with the base uncommitted, exactly like
+        // the general kernel. One-byte lookahead: length-1 runs skip the
+        // bulk classifier's block set-up.
+        const SkipSet &SS = Skip[Ds];
+        const size_t E =
+            (I < Len && SS.test(static_cast<unsigned char>(S[I])))
+                ? skipRun(SS, S, I + 1, Len)
+                : I;
+        if (!Final && E == Len) {
+          St = {Start, static_cast<uint32_t>(Ds), Ds, Pos, E, E};
+          return ScanOutcome::More;
+        }
+        Pos = E;
+        continue; // re-dispatch in place
+      }
+      return scanCore<Tab, Final>(T, Skip, Tr, Start,
+                                  static_cast<uint32_t>(Ds), Ds, Pos, I, I,
+                                  S, Len, St);
+    }
+    if (Ds < Tr.PureAcc) {
+      if (Ds < Tr.TermAcc) { // terminal accept: decided by the dispatch
+        St = {Start, static_cast<uint32_t>(Ds), Ds, Pos, I, I};
+        return ScanOutcome::Match;
+      }
+      // Pure accepting run: the run is the rest of the lexeme; decided
+      // at its end unless the window ended mid-run (one-byte lookahead
+      // as above).
+      const SkipSet &SS = Skip[Ds];
+      const size_t E =
+          (I < Len && SS.test(static_cast<unsigned char>(S[I])))
+              ? skipRun(SS, S, I + 1, Len)
+              : I;
+      St = {Start, static_cast<uint32_t>(Ds), Ds, Pos, E, E};
+      return (Final || E < Len) ? ScanOutcome::Match : ScanOutcome::More;
+    }
+    const int32_t Bs0 = Ds < Tr.Accept ? Ds : -1;
+    return scanCore<Tab, Final>(T, Skip, Tr, Start,
+                                static_cast<uint32_t>(Ds), Bs0, Pos,
+                                Bs0 >= 0 ? I : Pos, I, S, Len, St);
+  }
+#else
+  St = scanBegin(Start, Pos);
+  return scanStep<Tab, Final>(T, Skip, Tr, St, S, Len);
+#endif
 }
 
 } // namespace scankernel

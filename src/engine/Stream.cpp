@@ -67,7 +67,7 @@ inline void StreamParser::applyOp(const MicroOp &Op, ActionId Act,
     // cover argument spans: skip watermark bookkeeping wholesale
     // (ROADMAP follow-up (a)).
     if (Op.K != MicroOp::MSlow)
-      Values.applyMicroOp(Op);
+      Values.applyMicroOp(Op, Ctx);
     else
       Values.applySlowId(*M->Actions, Act, Ctx);
     return;
@@ -81,7 +81,7 @@ inline void StreamParser::applyOp(const MicroOp &Op, ActionId Act,
       const Action &A = M->Actions->get(Act);
       Values.applyRef(A, M->Actions->ref(Act), Ctx);
     } else if (Op.K != MicroOp::MSlow) {
-      Values.applyMicroOp(Op);
+      Values.applyMicroOp(Op, Ctx);
     } else {
       Values.apply(M->Actions->get(Act), Ctx);
     }
@@ -183,8 +183,7 @@ StreamStatus StreamParser::pumpT() {
   const size_t Len = Buf.size();
   const typename Tab::Cell *T = Tab::table(*M);
   const SkipSet *Skip = M->Skip.data();
-  const int32_t NumSelfSkip = M->NumSelfSkip;
-  const int32_t NumAccept = M->NumAccept;
+  const scankernel::Tiers Tr = scankernel::tiersOf(*M);
   const uint32_t *SymPool = Vals ? M->PackedPool.data() : M->NtPool.data();
   ParseContext Ctx{std::string_view(S, Len), User, WinBase, Pool};
 
@@ -200,12 +199,14 @@ StreamStatus StreamParser::pumpT() {
       for (;;) {
         ScanOutcome O;
         if (Resume) {
-          // Re-enter the suspended scan with the grown window.
+          // Re-enter the suspended scan with the grown window. Resume
+          // takes the general kernel, which subsumes the first-byte
+          // dispatch classification byte by byte; fresh scans below go
+          // through the dispatch.
           Resume = false;
           MidScan = false;
           LSc = Sc;
-          O = scankernel::scanStep<Tab, Final>(T, Skip, NumSelfSkip,
-                                               NumAccept, LSc, S, Len);
+          O = scankernel::scanStep<Tab, Final>(T, Skip, Tr, LSc, S, Len);
         } else {
           if (E & CompiledParser::ActBit) {
             if (Vals) {
@@ -214,9 +215,11 @@ StreamStatus StreamParser::pumpT() {
             }
             break;
           }
-          LSc = scankernel::scanBegin(E & 0xffffu, Pos);
-          O = scankernel::scanStep<Tab, Final>(T, Skip, NumSelfSkip,
-                                               NumAccept, LSc, S, Len);
+          // Fresh lexeme: first-byte dispatch entry. An empty window
+          // suspends on the dispatch byte (More with the entry
+          // registers parked in LSc).
+          O = scankernel::scanEnter<Tab, Final>(T, Skip, Tr, E & 0xffffu,
+                                                Pos, S, Len, LSc);
         }
         if (O == ScanOutcome::Match) {
           const int32_t Bs = LSc.Bs;
@@ -293,6 +296,7 @@ StreamStatus StreamParser::pumpT() {
   // Phase::Trail — absorb trailing skip input, then end the stream.
   assert(Ph == Phase::Trail && "pump entered in a terminal phase");
   for (;;) {
+    ScanOutcome O;
     if (!MidScan) {
       if (M->SkipState < 0 || Pos == Len) {
         if (Pos < Len)
@@ -301,13 +305,16 @@ StreamStatus StreamParser::pumpT() {
           return StreamStatus::NeedData;
         return complete();
       }
-      Sc = scankernel::scanBegin(static_cast<uint32_t>(M->SkipState), Pos);
-      MidScan = true;
+      O = scankernel::scanEnter<Tab, Final>(
+          T, Skip, Tr, static_cast<uint32_t>(M->SkipState), Pos, S, Len,
+          Sc);
+    } else {
+      O = scankernel::scanStep<Tab, Final>(T, Skip, Tr, Sc, S, Len);
     }
-    ScanOutcome O = scankernel::scanStep<Tab, Final>(
-        T, Skip, NumSelfSkip, NumAccept, Sc, S, Len);
-    if (O == ScanOutcome::More)
+    if (O == ScanOutcome::More) {
+      MidScan = true;
       return StreamStatus::NeedData;
+    }
     MidScan = false;
     if (O == ScanOutcome::Match && Sc.BestEnd > Pos) {
       Pos = Sc.BestEnd;

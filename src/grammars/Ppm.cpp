@@ -7,12 +7,18 @@
 ///
 /// Netpbm ASCII pixmaps (§6 benchmark (2)): "parse and check semantic
 /// properties (e.g. pixel count, color range)". The header gives
-/// width/height/maxval; pixel samples stream after it. Samples accumulate
-/// count and max in PpmCtx; the root action checks
+/// width/height/maxval; pixel samples stream after it. The per-sample
+/// path is fully devirtualized: each sample is its decimal value (a
+/// TokenInt micro-op) and the stream folds into one packed count+max
+/// statistics scalar (the MaxAccum micro-op) — no custom callable and no
+/// user-context write per sample. The root action (cold, once per
+/// document) unpacks the fold and checks
 ///
 ///   samples == 3·w·h   and   max(sample) ≤ maxval
 ///
-/// and the parse value is that boolean.
+/// and the parse value is that boolean. The PpmCtx tallies are still
+/// populated (from the fold result, in the root) for harnesses that
+/// inspect them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,20 +35,8 @@ std::shared_ptr<GrammarDef> flap::makePpmGrammar() {
   Def->Lexer->skip("[ \\t\\r\\n]");
   Def->Lexer->skip("#[^\\n]*"); // comments run to end of line
 
-  // Each pixel sample updates the running statistics and yields unit.
-  Px Sample = L.map(
-      L.tok(Num),
-      [](ParseContext &Ctx, Value *Args) {
-        int64_t V = spanInt(Ctx, Args[0].asToken());
-        if (auto *C = static_cast<PpmCtx *>(Ctx.User)) {
-          ++C->Samples;
-          if (V > C->MaxSample)
-            C->MaxSample = V;
-        }
-        return Value::unit();
-      },
-      "sample");
-  Px Samples = L.skipMany(Sample);
+  // Sample stream: TokenInt per sample, max-accumulate fold.
+  Px Samples = L.foldMaxAccum(L.mapTokenInt(L.tok(Num), 0, "sample"));
 
   Def->Root = L.all(
       {L.tok(Magic), L.tok(Num), L.tok(Num), L.tok(Num), Samples},
@@ -50,8 +44,13 @@ std::shared_ptr<GrammarDef> flap::makePpmGrammar() {
         int64_t W = spanInt(Ctx, Args[1].asToken());
         int64_t H = spanInt(Ctx, Args[2].asToken());
         int64_t MaxVal = spanInt(Ctx, Args[3].asToken());
-        auto *C = static_cast<PpmCtx *>(Ctx.User);
-        bool Ok = C && C->Samples == 3 * W * H && C->MaxSample <= MaxVal;
+        int64_t Stats = Args[4].asInt();
+        if (auto *C = static_cast<PpmCtx *>(Ctx.User)) {
+          C->Samples = maxAccumCount(Stats);
+          C->MaxSample = maxAccumMax(Stats);
+        }
+        bool Ok = maxAccumCount(Stats) == 3 * W * H &&
+                  maxAccumMax(Stats) <= MaxVal;
         return Value::boolean(Ok);
       },
       "checkPpm");

@@ -10,14 +10,9 @@
 using namespace flap;
 
 int64_t flap::spanInt(ParseContext &Ctx, const Lexeme &L) {
-  int64_t V = 0;
-  for (uint32_t I = L.Begin; I < L.End; ++I) {
-    char C = Ctx.at(I);
-    if (C < '0' || C > '9')
-      break;
-    V = V * 10 + (C - '0');
-  }
-  return V;
+  // One definition of "the decimal value of a lexeme": the TokenInt
+  // micro-op and the grammars' custom actions must not drift.
+  return lexemeInt(Ctx, L);
 }
 
 std::vector<std::shared_ptr<GrammarDef>> flap::allBenchmarkGrammars() {

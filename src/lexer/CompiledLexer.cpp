@@ -7,6 +7,7 @@
 
 #include "lexer/CompiledLexer.h"
 
+#include "engine/DispatchTier.h"
 #include "engine/ScanKernel.h"
 #include "support/StrUtil.h"
 
@@ -94,20 +95,27 @@ CompiledLexer::CompiledLexer(RegexArena &Arena, const CanonicalLexer &Lexer) {
     }
   }
 
-  // Accept-prefix renumbering (same encoding as the staged machine):
-  // accepting states take ids [0, NumAccept), so the scan's per-byte
-  // acceptance test is a register compare, and the matched rule is read
-  // once per lexeme.
+  // Dispatch-tier renumbering: the staged machine's encoding
+  // (engine/DispatchTier.h) minus its self-skip tiers — the lexer DFA
+  // never produces a self-skip accept, so the shared partition yields
+  // terminal accepting states first, then pure accepting runs, then
+  // other accepting states. The scan's per-byte acceptance test is a
+  // register compare, the matched rule is read once per lexeme, and the
+  // first transition's loaded id doubles as the lexeme's first-byte
+  // dispatch classification.
   const size_t NumStates = States.size();
-  std::vector<int32_t> Perm(NumStates);
-  int32_t NextId = 0;
-  for (size_t S = 0; S < NumStates; ++S)
-    if (AcceptRaw[S] >= 0)
-      Perm[S] = NextId++;
-  NumAccept = NextId;
-  for (size_t S = 0; S < NumStates; ++S)
-    if (AcceptRaw[S] < 0)
-      Perm[S] = NextId++;
+  std::vector<int32_t> Perm;
+  dispatchtier::Bounds Tiers = dispatchtier::renumber(
+      Rows, NumStates,
+      [&](size_t S) {
+        return AcceptRaw[S] >= 0 ? dispatchtier::AcceptClass::Regular
+                                 : dispatchtier::AcceptClass::None;
+      },
+      Perm);
+  assert(Tiers.SelfSkip == 0 && "lexer DFA has no self-skip tier");
+  NumTerm = Tiers.TermAcc;
+  NumPureRun = Tiers.PureAcc;
+  NumAccept = Tiers.Accept;
   {
     std::vector<int32_t> PRows(NumStates * 256, Dead);
     for (size_t S = 0; S < NumStates; ++S)
@@ -160,73 +168,109 @@ CompiledLexer::CompiledLexer(RegexArena &Arena, const CanonicalLexer &Lexer) {
   }
 }
 
+namespace {
+
+/// Width-generic longest-match scan with the staged machine's
+/// accelerations: first-byte dispatch over the tier-encoded ids (one
+/// load decides terminal punctuation and hands pure runs straight to
+/// the bulk classifier), per-byte acceptance as a compare against the
+/// accepting prefix, self-loop runs consumed by the bulk classifier,
+/// and terminal/pure-run early exits mid-lexeme. \p DeadV is the
+/// width's dead sentinel. Returns the best accepting state (or -1) and
+/// its end.
+template <typename Cell>
+inline int32_t lexScan(const Cell *T, Cell DeadV, const SkipSet *SkipTab,
+                       int32_t NumTerm, int32_t NumPureRun,
+                       int32_t NumAccept, uint32_t Start, const char *S,
+                       size_t Pos, size_t N, size_t &BestEndOut) {
+  int32_t BestState = -1;
+  size_t BestEnd = Pos, I = Pos;
+  uint32_t State = Start;
+#if !defined(FLAP_NO_DISPATCH)
+  {
+    // First-byte dispatch: the start state's row classifies the entry.
+    Cell D = T[Start * 256 + static_cast<unsigned char>(S[Pos])];
+    if (D == DeadV) {
+      BestEndOut = Pos;
+      return -1;
+    }
+    const int32_t Ds = static_cast<int32_t>(static_cast<uint32_t>(D));
+    I = Pos + 1;
+    if (Ds < NumPureRun) {
+      if (Ds >= NumTerm) {
+        // Pure run: the run is the rest of the lexeme. One-byte
+        // lookahead keeps length-1 runs off the bulk classifier.
+        const SkipSet &SS = SkipTab[Ds];
+        if (I < N && SS.test(static_cast<unsigned char>(S[I])))
+          I = skipRun(SS, S, I + 1, N);
+      }
+      BestEndOut = I; // terminal or run end: decided
+      return Ds;
+    }
+    State = static_cast<uint32_t>(Ds);
+    if (Ds < NumAccept) {
+      BestState = Ds;
+      BestEnd = I;
+    }
+  }
+#endif
+  while (I < N) {
+    Cell Next = T[State * 256 + static_cast<unsigned char>(S[I])];
+    if (Next == DeadV)
+      break;
+    ++I;
+    if (static_cast<uint32_t>(Next) == State) {
+      const SkipSet &SS = SkipTab[State];
+      if (I < N && SS.test(static_cast<unsigned char>(S[I])))
+        I = skipRun(SS, S, I + 1, N);
+      if (static_cast<int32_t>(State) < NumAccept) {
+        BestState = static_cast<int32_t>(State);
+        BestEnd = I;
+#if !defined(FLAP_NO_DISPATCH)
+        if (static_cast<uint32_t>(State - static_cast<uint32_t>(NumTerm)) <
+            static_cast<uint32_t>(NumPureRun - NumTerm))
+          break; // pure run: nothing leaves it but death
+#endif
+      }
+      continue;
+    }
+    State = static_cast<uint32_t>(Next);
+    if (static_cast<int32_t>(State) < NumAccept) {
+      BestState = static_cast<int32_t>(State);
+      BestEnd = I;
+#if !defined(FLAP_NO_DISPATCH)
+      if (static_cast<int32_t>(State) < NumTerm)
+        break; // terminal: no continuation exists
+#endif
+    }
+  }
+  BestEndOut = BestEnd;
+  return BestState;
+}
+
+} // namespace
+
 LexStatus CompiledLexer::nextRaw(std::string_view Input, uint32_t &Pos,
                                  Lexeme &Out) const {
   const uint32_t N = static_cast<uint32_t>(Input.size());
   if (Pos >= N)
     return LexStatus::Eof;
 
-  // Longest-match scan with the staged machine's accelerations: per-byte
-  // acceptance is a compare against the accepting prefix (the Accept
-  // load happens once, after the scan), and self-loop runs are consumed
-  // by the bulk classifier.
-  int32_t BestState = -1;
-  uint32_t BestEnd = Pos;
-  size_t I = Pos;
-  const SkipSet *SkipTab = Skip.data();
-  if (!Trans8.empty()) {
-    const uint8_t *T = Trans8.data();
-    uint32_t State = static_cast<uint32_t>(Start);
-    while (I < N) {
-      uint8_t Next = T[State * 256 + static_cast<unsigned char>(Input[I])];
-      if (Next == Dead8)
-        break;
-      ++I;
-      if (Next == State) {
-        const SkipSet &SS = SkipTab[State];
-        if (I < N && SS.test(static_cast<unsigned char>(Input[I])))
-          I = skipRun(SS, Input.data(), I + 1, N);
-        if (static_cast<int32_t>(State) < NumAccept) {
-          BestState = static_cast<int32_t>(State);
-          BestEnd = static_cast<uint32_t>(I);
-        }
-        continue;
-      }
-      State = Next;
-      if (static_cast<int32_t>(State) < NumAccept) {
-        BestState = static_cast<int32_t>(State);
-        BestEnd = static_cast<uint32_t>(I);
-      }
-    }
-  } else {
-    const int16_t *T = Trans16.data();
-    uint32_t State = static_cast<uint32_t>(Start);
-    while (I < N) {
-      int32_t Next = T[State * 256 + static_cast<unsigned char>(Input[I])];
-      if (Next == Dead)
-        break;
-      ++I;
-      if (static_cast<uint32_t>(Next) == State) {
-        const SkipSet &SS = SkipTab[State];
-        if (I < N && SS.test(static_cast<unsigned char>(Input[I])))
-          I = skipRun(SS, Input.data(), I + 1, N);
-        if (static_cast<int32_t>(State) < NumAccept) {
-          BestState = static_cast<int32_t>(State);
-          BestEnd = static_cast<uint32_t>(I);
-        }
-        continue;
-      }
-      State = static_cast<uint32_t>(Next);
-      if (static_cast<int32_t>(State) < NumAccept) {
-        BestState = static_cast<int32_t>(State);
-        BestEnd = static_cast<uint32_t>(I);
-      }
-    }
-  }
+  size_t BestEnd = Pos;
+  int32_t BestState =
+      !Trans8.empty()
+          ? lexScan<uint8_t>(Trans8.data(), Dead8, Skip.data(), NumTerm,
+                             NumPureRun, NumAccept,
+                             static_cast<uint32_t>(Start), Input.data(),
+                             Pos, N, BestEnd)
+          : lexScan<int16_t>(Trans16.data(), static_cast<int16_t>(-1),
+                             Skip.data(), NumTerm, NumPureRun, NumAccept,
+                             static_cast<uint32_t>(Start), Input.data(),
+                             Pos, N, BestEnd);
   if (BestState < 0)
     return LexStatus::Error;
-  Out = {Toks[Accept[BestState]], Pos, BestEnd};
-  Pos = BestEnd;
+  Out = {Toks[Accept[BestState]], Pos, static_cast<uint32_t>(BestEnd)};
+  Pos = static_cast<uint32_t>(BestEnd);
   return LexStatus::Token;
 }
 
@@ -262,35 +306,43 @@ Result<std::vector<Lexeme>> CompiledLexer::lexAll(std::string_view Input) const 
 //===----------------------------------------------------------------------===//
 
 /// The longest-match scan over the current window, via the resumable
-/// kernel (the lexer DFA is the staged machine with no self-skip tier,
-/// so NumSelfSkip = 0; the accept-prefix renumbering is the same). A
-/// More outcome parks the registers in the members; Final decides
+/// kernel (the lexer DFA is the staged machine with no self-skip tiers,
+/// so the Tiers bundle passes PureSkip = SelfSkip = 0; the dispatch-tier
+/// renumbering is otherwise the same). Fresh lexemes enter through the
+/// first-byte dispatch (scanEnter); a More outcome parks the registers
+/// in the members — suspension on the dispatch byte included — and the
+/// next pump resumes through the general kernel. Final decides
 /// end-of-input like nextRaw does.
 template <typename Tab, bool Final>
 Status StreamLexer::pumpT(std::vector<Lexeme> &Out,
                           const typename Tab::Cell *T) {
   const char *S = Buf.data();
   const size_t Len = Buf.size();
+  const scankernel::Tiers Tr{0, 0, L->NumTerm, L->NumPureRun, L->NumAccept};
   for (;;) {
+    scankernel::ScanState Sc;
+    scankernel::ScanOutcome O;
     if (!MidScan) {
       if (Pos >= Len)
         return Status::success();
-      State = static_cast<uint32_t>(L->Start);
-      BestState = -1;
-      BestEnd = Pos;
-      I = Pos;
-      MidScan = true;
+      O = scankernel::scanEnter<Tab, Final>(
+          T, L->Skip.data(), Tr, static_cast<uint32_t>(L->Start), Pos, S,
+          Len, Sc);
+    } else {
+      Sc = {static_cast<uint32_t>(L->Start), State, BestState, Pos,
+            BestEnd, I};
+      O = scankernel::scanStep<Tab, Final>(T, L->Skip.data(), Tr, Sc, S,
+                                           Len);
     }
-    scankernel::ScanState Sc{static_cast<uint32_t>(L->Start), State,
-                             BestState, Pos, BestEnd, I};
-    scankernel::ScanOutcome O = scankernel::scanStep<Tab, Final>(
-        T, L->Skip.data(), /*NumSelfSkip=*/0, L->NumAccept, Sc, S, Len);
     State = Sc.Cur;
     BestState = Sc.Bs;
+    Pos = Sc.Base;
     BestEnd = Sc.BestEnd;
     I = Sc.I;
-    if (O == scankernel::ScanOutcome::More)
-      return Status::success(); // suspended mid-lexeme
+    if (O == scankernel::ScanOutcome::More) {
+      MidScan = true;
+      return Status::success(); // suspended mid-lexeme (or mid-dispatch)
+    }
     MidScan = false;
     if (O == scankernel::ScanOutcome::Fail)
       return Err(format("lexing failed at offset %llu (no rule matches)",

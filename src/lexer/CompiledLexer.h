@@ -69,6 +69,20 @@ private:
   static constexpr uint8_t Dead8 = 0xff;
   /// Accepting states are renumbered into the id prefix [0, NumAccept),
   /// so the scan tests acceptance with a compare, not an Accept load.
+  /// Within that prefix the ids carry the same dispatch-tier encoding as
+  /// the staged machine (engine/Compile.h), minus the self-skip tiers
+  /// the lexer DFA does not have:
+  ///
+  ///   [0, NumTerm)         terminal accepting (no outgoing transitions):
+  ///                        the lexeme is decided by the first-byte
+  ///                        dispatch load alone (punctuation);
+  ///   [NumTerm, NumPureRun) pure accepting runs (outgoing ⊆ the
+  ///                        nonempty self-loop): the bulk-classified run
+  ///                        is the rest of the lexeme (identifiers,
+  ///                        whitespace);
+  ///   [NumPureRun, NumAccept) other accepting.
+  int32_t NumTerm = 0;
+  int32_t NumPureRun = 0;
   int32_t NumAccept = 0;
   /// Accepting rule index per state (index into Toks), or -1.
   std::vector<int32_t> Accept;

@@ -159,6 +159,60 @@ TEST(ActionDispatchTest, ErrorStringsIdenticalOnCorruptedInputs) {
   }
 }
 
+TEST(ActionDispatchTest, TokenIntAndMaxAccumAgreeWithReferences) {
+  // The TokenInt and MaxAccum micro-op kinds (the devirtualized ppm
+  // per-sample path) against the std::function reference path and the
+  // legacy loop, whole-buffer and at every 2-way split: the packed
+  // count+max fold must come out bit-identical everywhere.
+  auto Def = std::make_shared<GrammarDef>("stats");
+  Lang &L = *Def->L;
+  TokenId Num = Def->Lexer->rule("[0-9]+", "num");
+  Def->Lexer->skip("[ \\n]");
+  Def->Root = L.foldMaxAccum(L.mapTokenInt(L.tok(Num)));
+  DispatchRig R(Def);
+  for (const std::string In :
+       {"", "7", "0", "1 2 3", "9 8 7 6 5", "40 2 40", "007 3",
+        "4294967 1 4294967"}) {
+    R.checkAll(In, {});
+    for (size_t Cut = 0; Cut <= In.size(); ++Cut)
+      R.checkAll(In, {Cut});
+  }
+  // Unpack semantics: count in the low 32 bits, max in the high 32.
+  Result<Value> V = R.P.M.parse("3 1 4 1 5");
+  ASSERT_TRUE(V.ok()) << V.error();
+  EXPECT_EQ(maxAccumCount(V->asInt()), 5);
+  EXPECT_EQ(maxAccumMax(V->asInt()), 5);
+  // Samples past the 32-bit pack saturate to 2^32-1 — still above any
+  // 32-bit bound, so out-of-range detection survives — and must never
+  // corrupt the count half (the shift would otherwise be signed-
+  // overflow UB).
+  Result<Value> Big = R.P.M.parse("42 4294967296 99999999999 7");
+  ASSERT_TRUE(Big.ok()) << Big.error();
+  EXPECT_EQ(maxAccumCount(Big->asInt()), 4);
+  EXPECT_EQ(maxAccumMax(Big->asInt()), 4294967295LL);
+  // ppm: an oversized sample must still fail the color-range check.
+  {
+    auto PpmDef = makePpmGrammar();
+    auto PpmP = compileFlap(PpmDef);
+    ASSERT_TRUE(PpmP.ok());
+    Result<Value> Bad = PpmP->M.parse("P3\n1 1\n255\n0 4294967296 2\n");
+    ASSERT_TRUE(Bad.ok());
+    EXPECT_FALSE(Bad->asBool());
+  }
+  Result<Value> E = R.P.M.parse("");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ(E->asInt(), 0);
+  // The ppm grammar rides these kinds: its hot actions must all be
+  // micro-ops now (only the cold root check stays custom).
+  auto Ppm = makePpmGrammar();
+  auto PP = compileFlap(Ppm);
+  ASSERT_TRUE(PP.ok());
+  int Slow = 0;
+  for (size_t A = 0; A < Ppm->L->Actions.size(); ++A)
+    Slow += Ppm->L->Actions.micro()[A].K == MicroOp::MSlow;
+  EXPECT_EQ(Slow, 1) << "ppm should keep exactly the root check custom";
+}
+
 TEST(ActionDispatchTest, PooledValuesEscapeTheirScratch) {
   // Arena-backed values must stay valid after the scratch (and its
   // pool handle) is gone: the nodes pin the pool pages. arith builds

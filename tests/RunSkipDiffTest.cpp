@@ -192,6 +192,107 @@ TEST(RunSkipDiffTest, EofInsideSkipAttemptStillFindsTokenMatch) {
   R.check("x !");               // reject identically everywhere
 }
 
+TEST(RunSkipDiffTest, DispatchTierInvariantsHoldOnEveryMachine) {
+  // The first-byte dispatch tables are the transition rows under the
+  // dispatch-tier id encoding; the fast paths are sound only if every
+  // state's id range matches its accept kind and outgoing shape. Pin the
+  // encoding structurally for every benchmark machine.
+  for (auto &Def : allBenchmarkGrammars()) {
+    auto P = compileFlap(Def);
+    ASSERT_TRUE(P.ok()) << P.error();
+    const CompiledParser &M = P->M;
+    ASSERT_LE(0, M.NumPureSkip);
+    ASSERT_LE(M.NumPureSkip, M.NumSelfSkip);
+    ASSERT_LE(M.NumSelfSkip, M.NumTermAcc);
+    ASSERT_LE(M.NumTermAcc, M.NumPureAcc);
+    ASSERT_LE(M.NumPureAcc, M.NumAccept);
+    ASSERT_LE(M.NumAccept, M.numStates());
+    for (int32_t S = 0; S < M.numStates(); ++S) {
+      bool Any = false, Other = false;
+      for (int C = 0; C < 256; ++C) {
+        int16_t D = M.Trans16[static_cast<size_t>(S) * 256 + C];
+        if (D < 0)
+          continue;
+        Any = true;
+        Other |= D != S;
+      }
+      int32_t A = M.AcceptCont[S];
+      bool SelfSkip = A >= 0 && M.Conts[A].SelfSkip;
+      SCOPED_TRACE(Def->Name + " state " + std::to_string(S));
+      EXPECT_EQ(A >= 0, S < M.NumAccept);
+      EXPECT_EQ(SelfSkip, S < M.NumSelfSkip);
+      if (S < M.NumPureSkip)
+        EXPECT_FALSE(Other); // pure self-skip run: outgoing ⊆ self-loop
+      else if (S < M.NumSelfSkip)
+        EXPECT_TRUE(Other);
+      else if (S < M.NumTermAcc)
+        EXPECT_FALSE(Any); // terminal accept: no outgoing at all
+      else if (S < M.NumPureAcc) {
+        EXPECT_TRUE(Any); // pure accepting run: nonempty self-loop only
+        EXPECT_FALSE(Other);
+      } else if (S < M.NumAccept)
+        EXPECT_TRUE(Other);
+      // Skip metadata agrees with the self-loop row.
+      for (int C = 0; C < 256; ++C)
+        EXPECT_EQ(M.Skip[S].test(static_cast<unsigned char>(C)),
+                  M.Trans16[static_cast<size_t>(S) * 256 + C] == S)
+            << "byte " << C;
+    }
+  }
+}
+
+TEST(RunSkipDiffTest, StructuralTokenDenseInputs) {
+  // json's structural bytes are terminal-accepting: the lexeme is
+  // decided by the first-byte dispatch load alone. Hammer the dispatch
+  // path with lexemes that are all one byte, with and without
+  // whitespace between them, and with truncations ending exactly on a
+  // dispatch byte.
+  Rig R(makeJsonGrammar());
+  R.check("[]");
+  R.check("{}");
+  R.check("[[[[[[[[]]]]]]]]");
+  R.check("[[],[],[],[]]");
+  R.check("[1,2,3,4,5,6,7,8,9]");
+  R.check("{\"a\":{},\"b\":[{},{}]}");
+  R.check("[ [ ] , [ ] ]");
+  R.check("[true,false,null]");
+  for (int N = 1; N <= 24; ++N) {
+    std::string In = "[";
+    for (int I = 0; I < N; ++I)
+      In += I % 2 ? std::string("{},") : std::string("[],");
+    In += "0]";
+    R.check(In);
+    R.check(In.substr(0, In.size() - 1)); // reject: cut on a terminal
+  }
+}
+
+TEST(RunSkipDiffTest, TerminalVsLongerTokenClassification) {
+  // A token that is a strict prefix of another ("a" / "ab" / "abc"):
+  // the state after 'a' accepts *with* outgoing transitions, so it must
+  // not be classified terminal — ending the input there must still
+  // produce the shorter match everywhere. The "num" rule adds a pure
+  // accepting run alongside.
+  auto Def = std::make_shared<GrammarDef>("prefixy");
+  Lang &L = *Def->L;
+  TokenId A = Def->Lexer->rule("a", "a");
+  TokenId Ab = Def->Lexer->rule("ab", "ab");
+  TokenId Abc = Def->Lexer->rule("abc", "abc");
+  TokenId Num = Def->Lexer->rule("[0-9]+", "num");
+  Def->Lexer->skip("[ ]");
+  Px Tok = L.alt(L.alt(L.tok(A), L.tok(Ab)), L.alt(L.tok(Abc), L.tok(Num)));
+  Def->Root = L.mapConst(L.seq(Tok, L.alt(Tok, L.eps())), Value::integer(1),
+                         "one");
+  Rig R(Def);
+  for (const char *In :
+       {"a", "ab", "abc", "a a", "ab a", "abc ab", "a 1", "ab 12",
+        "abc 123", "1 a", "12 ab", "123 abc", "a ab", "abcd", "abca",
+        "a  b", "ab abc", "1", "12", "a b"})
+    R.check(In);
+  // Truncation of every prefix: end-of-input inside the a/ab/abc chain.
+  for (size_t Cut = 0; Cut <= 7; ++Cut)
+    R.check(std::string("abc abc").substr(0, Cut));
+}
+
 TEST(RunSkipDiffTest, AllGrammarsOnGeneratedCorpora) {
   for (auto &Def : allBenchmarkGrammars()) {
     Rig R(Def);

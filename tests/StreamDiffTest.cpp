@@ -143,6 +143,47 @@ TEST(StreamDiffTest, SplitsInsideSimdRunSkipBlocks) {
   }
 }
 
+TEST(StreamDiffTest, SplitsOnLexemeFirstBytes) {
+  // The dispatch byte is a suspension point: a chunk ending exactly
+  // before a lexeme's first byte parks the scan on the dispatch load
+  // itself, and one ending right after it suspends one transition in.
+  // Cut every workload at every lexeme's first byte (and the byte
+  // after), for every grammar.
+  for (auto &Def : allBenchmarkGrammars()) {
+    StreamRig R(Def);
+    CompiledLexer Lex(*Def->Re, R.P.Canon);
+    Workload W = genWorkload(Def->Name, 31, 500);
+    Result<std::vector<Lexeme>> Toks = Lex.lexAll(W.Input);
+    ASSERT_TRUE(Toks.ok()) << Def->Name << ": " << Toks.error();
+    std::vector<size_t> FirstBytes;
+    for (const Lexeme &L : *Toks) {
+      R.checkSplits(W.Input, {L.Begin});
+      if (L.Begin + 1 <= W.Input.size())
+        R.checkSplits(W.Input, {L.Begin + 1});
+      FirstBytes.push_back(L.Begin);
+    }
+    // All first bytes at once: every lexeme enters through a fresh
+    // dispatch at a chunk boundary.
+    R.checkSplits(W.Input, FirstBytes);
+  }
+}
+
+TEST(StreamDiffTest, CommentRunsSuspendWithoutCommitting) {
+  // A pure self-skip run that is *not* restartable from its interior
+  // (ppm's #-comments: 'x' cannot begin a new skip lexeme): a window
+  // ending mid-comment must suspend mid-run, not commit a partial
+  // whitespace lexeme. Every split of comment-heavy inputs, valid and
+  // corrupted.
+  StreamRig R(makePpmGrammar());
+  const std::string Long(40, 'c'); // straddles the 8/16-byte kernels
+  for (const std::string &In :
+       {std::string("P3\n#") + Long + "\n1 1\n255\n0 0 0\n",
+        std::string("P3\n# a # b\n1 1\n3\n1 2 3\n"),
+        std::string("P3\n1 1\n255\n0 0 #tail comment\n0\n"),
+        std::string("P3\n#") + Long /* reject: truncated header */})
+    R.sweepAllSplits(In);
+}
+
 TEST(StreamDiffTest, RandomMultiWaySplits) {
   Rng Rand(2026);
   for (auto &Def : allBenchmarkGrammars()) {
