@@ -629,6 +629,24 @@ public:
     applyMicroOp(M, Ctx);
   }
 
+  /// The sink-facing application of one staged-machine *pool occurrence*
+  /// (CompiledParser::OpPool): a resolved micro-op runs through the
+  /// inline switch; an MSlow occurrence carries its ActionId in Imm and
+  /// escapes to the out-of-line full dispatch. Every value-producing
+  /// driver (whole-buffer ValueSink, streaming fast mode, the event
+  /// replay in tests) funnels through this one helper so the dispatch
+  /// semantics cannot drift between them.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((always_inline)) inline
+#endif
+  void applyPooled(const MicroOp Op, const ActionTable &AT,
+                   ParseContext &Ctx) {
+    if (Op.K != MicroOp::MSlow)
+      applyMicroOp(Op, Ctx);
+    else
+      applySlowId(AT, static_cast<ActionId>(Op.Imm), Ctx);
+  }
+
   /// Out-of-line full dispatch for action \p Id — the MSlow escape the
   /// residual loops call so the big apply switch never inlines into
   /// their scan code.

@@ -19,6 +19,21 @@
 /// -1 on a parse error. The function count equals
 /// CompiledParser::numStates() — Table 1's "Output Functions".
 ///
+/// Every generated parser also carries the event entry point — the
+/// generated analogue of the library's EventSink policy (engine/Sink.h):
+///
+///   extern "C" long <name>_parse_events(const char *s, size_t len,
+///       void (*ev)(void *user, int kind, long id, long begin, long end),
+///       void *user);
+///
+/// The callback receives the SAX stream — Enter (kind 0, nonterminal
+/// id), Token (kind 1, token id over the [begin, end) span), Reduce
+/// (kind 2, ActionId) and Eps (kind 3, nonterminal id) — over the
+/// *unrewritten* symbol stream (no dead-token elision; the stream the
+/// library's legacy reference loop runs), so replaying token pushes and
+/// action applications in order reproduces the semantic value. Returns
+/// the event count, or -1 on a parse error.
+///
 /// When every semantic action of the grammar compiles to a scalar
 /// micro-op (constants, selection, integer accumulation — i.e. no
 /// custom callables), the emitter additionally generates

@@ -9,6 +9,7 @@
 
 #include "engine/DispatchTier.h"
 #include "engine/ScanKernel.h"
+#include "engine/Sink.h"
 #include "regex/Alphabet.h"
 #include "support/StrUtil.h"
 
@@ -684,21 +685,37 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
     ContPLen[C] = static_cast<uint32_t>(M.PackedPool.size()) - ContPOff[C];
     ContNLen[C] = static_cast<uint32_t>(M.NtPool.size()) - ContNOff[C];
   }
-  M.AccTok.assign(M.NumAccept, NoToken);
-  M.AccTailOff.assign(M.NumAccept, 0);
-  M.AccTailLen.assign(M.NumAccept, 0);
-  M.AccNtOff.assign(M.NumAccept, 0);
-  M.AccNtLen.assign(M.NumAccept, 0);
+  // Dispatch-level accept-metadata fusion: one packed 64-bit entry per
+  // accepting state (token | tail length | tail offset, Compile.h has
+  // the layout) so the drivers resolve a finished lexeme — notably a
+  // terminal-accept dispatch entry — with a single indexed load. The
+  // packing widths get the same graceful-failure treatment as the
+  // packed symbols: no silent wrap.
+  for (size_t C = 0; C < M.Conts.size(); ++C) {
+    if (ContParseTok[C] != NoToken &&
+        static_cast<uint32_t>(ContParseTok[C]) >= CompiledParser::MetaNoTok)
+      return Err(format("token id %d exceeds the 16-bit packed "
+                        "accept-metadata width",
+                        ContParseTok[C]));
+    if (ContPLen[C] > 0xffffu || ContNLen[C] > 0xffffu)
+      return Err(format("continuation tail of %u symbols exceeds the "
+                        "16-bit packed accept-metadata width",
+                        ContPLen[C]));
+  }
+  if (M.PackedPool.size() > 0xffffffffull)
+    return Err("packed symbol pool exceeds the 32-bit accept-metadata "
+               "offset width");
+  M.AccMeta.assign(M.NumAccept, CompiledParser::packMeta(NoToken, 0, 0));
+  M.AccNtMeta.assign(M.NumAccept, CompiledParser::packMeta(NoToken, 0, 0));
   for (size_t S = 0; S < NumStates; ++S) {
     int32_t A = AcceptRaw[S];
     if (A < 0)
       continue;
     int32_t NewS = Perm[S];
-    M.AccTok[NewS] = ContParseTok[A];
-    M.AccTailOff[NewS] = ContPOff[A];
-    M.AccTailLen[NewS] = ContPLen[A];
-    M.AccNtOff[NewS] = ContNOff[A];
-    M.AccNtLen[NewS] = ContNLen[A];
+    M.AccMeta[NewS] =
+        CompiledParser::packMeta(ContParseTok[A], ContPLen[A], ContPOff[A]);
+    M.AccNtMeta[NewS] =
+        CompiledParser::packMeta(NoToken, ContNLen[A], ContNOff[A]);
   }
 
   // Character-class compression (§5.5): bytes with identical columns
@@ -920,21 +937,30 @@ size_t matchTrailingSkipT(const CompiledParser &M, std::string_view Input,
   return Pos;
 }
 
-/// Final-value collection — the shared ValueStack policy.
-Result<Value> collectValues(ValueStack &Values) { return Values.collect(); }
-
-/// The residual loop, instantiated per table width. Work items are
-/// packed symbols: a matched continuation whose tail starts with a
-/// nonterminal continues into it directly (the generated code's direct
-/// tail call) instead of a stack round-trip.
-template <typename Tab>
-Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
-                        std::string_view Input, ParseScratch &Scr,
-                        void *User) {
-  ParseContext Ctx{Input, User, 0, Scr.Pool};
-  Scr.reset();
-  ValueStack &Values = Scr.Values;
-  std::vector<uint32_t> &Stack = Scr.Stack;
+/// The residual loop — ONE templated core for every driver mode,
+/// instantiated per table width × sink policy (engine/Sink.h). Work
+/// items are packed symbols: a matched continuation whose tail starts
+/// with a nonterminal continues into it directly (the generated code's
+/// direct tail call) instead of a stack round-trip. The sink decides
+/// what tokens, markers and ε-fallbacks *mean*: ValueSink reproduces the
+/// former parseImpl bit for bit, NullSink the former recognizeImpl
+/// (markers compiled out, NtPool walked), EventSink appends the SAX
+/// stream. Every hook is force-inlined and every mode split is an
+/// `if constexpr`, so each instantiation specializes to the code its
+/// hand-written predecessor had — BENCH_fig11.json gates this.
+///
+/// A finished lexeme resolves its continuation through the packed
+/// accept-metadata entry (one indexed load off the best state id; see
+/// the fusion note in Compile.h) instead of three dependent array reads
+/// — on json's terminal-accept structural bytes this removes the
+/// dominant share of the per-lexeme residual-loop cost.
+///
+/// \returns true on a complete parse; false after Sk.failParse /
+/// Sk.failTrailing recorded the diagnostic (a no-op for NullSink).
+template <typename Tab, typename Sink>
+bool driveImpl(const CompiledParser &M, NtId StartNt, std::string_view Input,
+               std::vector<uint32_t> &Stack, Sink &Sk) {
+  Stack.clear();
   Stack.push_back(M.packNt(StartNt));
   size_t Pos = 0;
   const size_t Len = Input.size();
@@ -946,38 +972,37 @@ Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
   const int32_t NumTermAcc = M.NumTermAcc;
   const int32_t NumPureAcc = M.NumPureAcc;
   const int32_t NumAccept = M.NumAccept;
-  const uint32_t *Pool = M.PackedPool.data();
-  const ActionTable &AT = *M.Actions;
-  const MicroOp *Ops = M.OpPool.data();
+  const uint64_t *Meta =
+      Sink::Markers ? M.AccMeta.data() : M.AccNtMeta.data();
+  const uint32_t *Pool = Sink::Markers ? M.PackedPool.data()
+                                       : M.NtPool.data();
 
   while (!Stack.empty()) {
     uint32_t E = Stack.back();
     Stack.pop_back();
     for (;;) {
-      if (E & CompiledParser::ActBit) {
-        // Marker: run the occurrence's micro-op (possibly rewritten by
-        // dead-token elision); MSlow escapes into the full Action.
-        const MicroOp Op = Ops[E & ~CompiledParser::ActBit];
-        if (Op.K != MicroOp::MSlow)
-          Values.applyMicroOp(Op, Ctx);
-        else
-          Values.applySlowId(AT, static_cast<ActionId>(Op.Imm), Ctx);
-        break;
+      if constexpr (Sink::Markers) {
+        if (E & CompiledParser::ActBit) {
+          // Marker: the occurrence's micro-op (possibly rewritten by
+          // dead-token elision); MSlow escapes into the full Action.
+          Sk.marker(E & ~CompiledParser::ActBit);
+          break;
+        }
       }
+      if constexpr (Sink::Enters)
+        Sk.enter(CompiledParser::packedNt(E));
       // The residual loop: branch on characters only.
       ScanResult R =
           scan<Tab>(T, Skip, NumPureSkip, NumSelfSkip, NumTermAcc,
                     NumPureAcc, NumAccept, E & 0xffffu, S, Pos, Len);
       Pos = R.Base;
       if (R.Bs >= 0) {
-        const int32_t Bs = R.Bs;
-        TokenId Tok = M.AccTok[Bs]; // NoToken when skip or token elided
-        if (Tok != NoToken)
-          Values.push(Value::token(Tok, static_cast<uint32_t>(Pos),
-                                   static_cast<uint32_t>(R.BestEnd)));
+        const uint64_t Mt = Meta[R.Bs]; // one load: token + packed tail
+        Sk.token(Mt, Pos, R.BestEnd);
         Pos = R.BestEnd;
-        uint32_t TL = M.AccTailLen[Bs], TO = M.AccTailOff[Bs];
+        const uint32_t TL = CompiledParser::metaLen(Mt);
         if (TL != 0) {
+          const uint32_t TO = CompiledParser::metaOff(Mt);
           for (uint32_t J = TL; J-- > 1;)
             Stack.push_back(Pool[TO + J]);
           E = Pool[TO]; // direct continuation into the first tail symbol
@@ -988,81 +1013,30 @@ Result<Value> parseImpl(const CompiledParser &M, NtId StartNt,
       NtId N = CompiledParser::packedNt(E);
       int32_t EpsChain = M.Nts[N].EpsChain;
       if (EpsChain >= 0) {
-        // One table-driven block per ε-marker chain (pre-fused at
-        // compileFused time), not N apply round-trips.
-        const CompiledParser::EpsProgram &EP = M.EpsPrograms[EpsChain];
-        switch (EP.K) {
-        case CompiledParser::EpsProgram::Unit:
-          Values.push(Value::unit());
-          break;
-        case CompiledParser::EpsProgram::OneConst:
-          Values.push(EP.ConstVal);
-          break;
-        case CompiledParser::EpsProgram::Ops:
-          Values.runChain(*M.Actions, M.EpsOps.data() + EP.Off, EP.Len,
-                          EP.MaxGrow, Ctx);
-          break;
-        }
+        Sk.eps(N, EpsChain);
         break;
       }
-      if (!M.NtExpected[N].empty())
-        return Err(format("parse error at offset %zu: expected %s",
-                          Pos, M.NtExpected[N].c_str()));
-      return Err(format("parse error at offset %zu in '%s'", Pos,
-                        M.NtNames[N].c_str()));
+      Sk.failParse(N, Pos);
+      return false;
     }
   }
 
   Pos = matchTrailingSkipT<Tab>(M, Input, Pos);
-  if (Pos != Len)
-    return Err(format("parse error: trailing input at offset %zu", Pos));
-  return collectValues(Values);
+  if (Pos != Len) {
+    Sk.failTrailing(Pos);
+    return false;
+  }
+  return true;
 }
 
-template <typename Tab>
-bool recognizeImpl(const CompiledParser &M, std::string_view Input,
-                   ParseScratch &Scr) {
-  std::vector<uint32_t> &Stack = Scr.Stack;
-  Stack.clear();
-  Stack.push_back(M.packNt(M.Start));
-  size_t Pos = 0;
-  const size_t Len = Input.size();
-  const char *S = Input.data();
-  const typename Tab::Cell *T = Tab::table(M);
-  const SkipSet *Skip = M.Skip.data();
-  const int32_t NumPureSkip = M.NumPureSkip;
-  const int32_t NumSelfSkip = M.NumSelfSkip;
-  const int32_t NumTermAcc = M.NumTermAcc;
-  const int32_t NumPureAcc = M.NumPureAcc;
-  const int32_t NumAccept = M.NumAccept;
-  const uint32_t *Pool = M.NtPool.data(); // markers pre-filtered out
-
-  while (!Stack.empty()) {
-    uint32_t E = Stack.back();
-    Stack.pop_back();
-    for (;;) {
-      ScanResult R =
-          scan<Tab>(T, Skip, NumPureSkip, NumSelfSkip, NumTermAcc,
-                    NumPureAcc, NumAccept, E & 0xffffu, S, Pos, Len);
-      Pos = R.Base;
-      if (R.Bs >= 0) {
-        const int32_t Bs = R.Bs;
-        Pos = R.BestEnd;
-        uint32_t NL = M.AccNtLen[Bs], NO = M.AccNtOff[Bs];
-        if (NL != 0) {
-          for (uint32_t J = NL; J-- > 1;)
-            Stack.push_back(Pool[NO + J]);
-          E = Pool[NO];
-          continue;
-        }
-        break;
-      }
-      if (M.Nts[CompiledParser::packedNt(E)].EpsChain >= 0)
-        break;
-      return false;
-    }
-  }
-  return matchTrailingSkipT<Tab>(M, Input, Pos) == Len;
+/// Width-dispatched driver entry: the table width (and entry checks in
+/// the callers) are decided once per parse — and once per *batch* in
+/// parseBatch — never per scan.
+template <typename Sink>
+bool drive(const CompiledParser &M, NtId StartNt, std::string_view Input,
+           std::vector<uint32_t> &Stack, Sink &Sk) {
+  return M.Trans8.empty() ? driveImpl<Tab16>(M, StartNt, Input, Stack, Sk)
+                          : driveImpl<Tab8>(M, StartNt, Input, Stack, Sk);
 }
 
 //===--------------------------------------------------------------------===//
@@ -1154,14 +1128,76 @@ Result<Value> CompiledParser::parseFrom(NtId StartNt, std::string_view Input,
   // take the legacy (unrewritten) loop instead.
   if (Nts[StartNt].ValueFree)
     return parseLegacyFrom(StartNt, Input, User);
-  return Trans8.empty() ? parseImpl<Tab16>(*this, StartNt, Input, Scratch, User)
-                        : parseImpl<Tab8>(*this, StartNt, Input, Scratch, User);
+  Scratch.reset();
+  ValueSink Sk(*this, Scratch, Input, User);
+  return Sk.result(drive(*this, StartNt, Input, Scratch.Stack, Sk));
 }
 
 bool CompiledParser::recognize(std::string_view Input,
                                ParseScratch &Scratch) const {
-  return Trans8.empty() ? recognizeImpl<Tab16>(*this, Input, Scratch)
-                        : recognizeImpl<Tab8>(*this, Input, Scratch);
+  NullSink Sk;
+  return drive(*this, Start, Input, Scratch.Stack, Sk);
+}
+
+Status CompiledParser::parseEvents(NtId StartNt, std::string_view Input,
+                                   ParseScratch &Scratch,
+                                   std::vector<ParseEvent> &Events) const {
+  assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  // The event stream mirrors the rewritten machine; a ValueFree entry's
+  // tokens were compiled away, so its stream could not be replayed into
+  // the entry's value (same restriction as the streaming parser).
+  if (Nts[StartNt].ValueFree)
+    return Err("entry nonterminal's value was compiled away by dead-token "
+               "elision; use parseLegacyFrom for this entry point");
+  EventSink Sk(*this, Input, Events);
+  return Sk.result(drive(*this, StartNt, Input, Scratch.Stack, Sk));
+}
+
+Status CompiledParser::parseEvents(NtId StartNt, std::string_view Input,
+                                   std::vector<ParseEvent> &Events) const {
+  assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  if (Nts[StartNt].ValueFree)
+    return Err("entry nonterminal's value was compiled away by dead-token "
+               "elision; use parseLegacyFrom for this entry point");
+  // The event driver uses only the symbol stack — no ParseScratch (and
+  // no value-pool allocation) needed.
+  std::vector<uint32_t> Stack;
+  EventSink Sk(*this, Input, Events);
+  return Sk.result(drive(*this, StartNt, Input, Stack, Sk));
+}
+
+std::vector<Result<Value>>
+CompiledParser::parseBatch(NtId StartNt, const std::string_view *Inputs,
+                           size_t N, ParseScratch &Scratch,
+                           void *User) const {
+  assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  std::vector<Result<Value>> Out;
+  Out.reserve(N);
+  if (Nts[StartNt].ValueFree) {
+    for (size_t I = 0; I < N; ++I)
+      Out.push_back(parseLegacyFrom(StartNt, Inputs[I], User));
+    return Out;
+  }
+  // The serving loop: entry checks, the table width, and the sink (with
+  // its pool-handle refcount and user context) are hoisted out; the
+  // scratch's stacks and pool arena stay warm across inputs, so the
+  // per-input set-up is a rebind and two stack clears. Earlier results
+  // stay valid while later inputs run — pooled nodes recycle only once
+  // their value dies, and escaped values pin the pages.
+  const bool Small = !Trans8.empty();
+  Scratch.reset();
+  ValueSink Sk(*this, Scratch, std::string_view(), User);
+  for (size_t I = 0; I < N; ++I) {
+    // No per-input reset: driveImpl clears the symbol stack itself and
+    // ValueSink::result leaves the value stack empty on both outcomes.
+    Sk.rebind(Inputs[I]);
+    const bool Ok =
+        Small ? driveImpl<Tab8>(*this, StartNt, Inputs[I], Scratch.Stack, Sk)
+              : driveImpl<Tab16>(*this, StartNt, Inputs[I], Scratch.Stack,
+                                 Sk);
+    Out.push_back(Sk.result(Ok));
+  }
+  return Out;
 }
 
 Result<Value> CompiledParser::parseLegacyFrom(NtId StartNt,
@@ -1238,7 +1274,8 @@ Result<Value> CompiledParser::parseLegacyFrom(NtId StartNt,
   Pos = matchTrailingSkipLegacy(*this, Input, Pos);
   if (Pos != Len)
     return Err(format("parse error: trailing input at offset %zu", Pos));
-  return collectValues(Values);
+  // Final-value collection — the shared ValueStack policy.
+  return Values.collect();
 }
 
 bool CompiledParser::recognizeLegacy(std::string_view Input) const {

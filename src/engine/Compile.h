@@ -85,6 +85,46 @@ struct ParseScratch {
   }
 };
 
+/// One SAX event emitted by the machine's EventSink driver (engine/
+/// Sink.h). The stream mirrors the *rewritten* machine the value engine
+/// runs: dead-token elision applies (elided tokens emit no event), and
+/// Reduce events name marker occurrences in CompiledParser::OpPool, not
+/// raw ActionIds. Token events carry the lexeme text *eagerly
+/// materialized* — an event outlives the input window that produced it,
+/// which is what bounds the streaming carry to the in-progress lexeme.
+///
+/// Ordering contract (replayable into a value builder, see
+/// tests/SinkDiffTest.cpp): Enter(N) precedes every scan attempt of
+/// nonterminal N; a successful scan emits Token (when the continuation
+/// pushes one) before the events of its tail, whose symbols follow left
+/// to right; when N's scan instead takes the ε/lookahead fallback,
+/// Eps(N) follows that same Enter(N) in place of the Token/tail events.
+/// Replaying the stream over a ValueStack — push on Token, run the
+/// OpPool occurrence on Reduce, run the nonterminal's pre-fused
+/// ε-program (runEpsProgram, engine/Sink.h) on Eps — reproduces the
+/// ValueSink result exactly.
+enum class EventKind : uint8_t {
+  Enter, ///< a scan of nonterminal Nt begins
+  Token, ///< lexeme accepted: Tok over [Begin, End), text in Text
+  Reduce, ///< marker occurrence Op (an index into CompiledParser::OpPool)
+  Eps    ///< nonterminal Nt took its ε/lookahead continuation
+};
+struct ParseEvent {
+  EventKind Kind = EventKind::Enter;
+  NtId Nt = NoNt;        ///< Enter / Eps
+  TokenId Tok = NoToken; ///< Token
+  uint32_t Op = 0;       ///< Reduce: OpPool occurrence index
+  uint64_t Begin = 0;    ///< Token: absolute span start
+  uint64_t End = 0;      ///< Token: absolute span end
+  std::string Text;      ///< Token: eagerly materialized lexeme text
+
+  bool operator==(const ParseEvent &O) const {
+    return Kind == O.Kind && Nt == O.Nt && Tok == O.Tok && Op == O.Op &&
+           Begin == O.Begin && End == O.End && Text == O.Text;
+  }
+  bool operator!=(const ParseEvent &O) const { return !(*this == O); }
+};
+
 /// A fully staged, token-free parser.
 class CompiledParser {
 public:
@@ -128,12 +168,48 @@ public:
                           ParseScratch &Scratch, void *User = nullptr) const;
 
   /// Recognition only: no values, no actions. Used by the ablation bench
-  /// to price the value machinery.
+  /// to price the value machinery. Internally this is the same templated
+  /// driver as parseFrom, instantiated with the NullSink policy
+  /// (engine/Sink.h) — the sink seam is compile-time, so the recognizer
+  /// pays nothing for the value machinery it does not run.
   bool recognize(std::string_view Input) const {
     ParseScratch Scratch;
     return recognize(Input, Scratch);
   }
   bool recognize(std::string_view Input, ParseScratch &Scratch) const;
+
+  /// SAX entry point: runs the machine with the EventSink policy,
+  /// appending the event stream (see ParseEvent for the ordering and
+  /// lifetime contract) to \p Events instead of building values. Token
+  /// text is materialized eagerly, so the events are self-contained —
+  /// they remain valid after Input is gone. Fails (with the same
+  /// diagnostics as parseFrom) on parse errors, and on ValueFree entry
+  /// nonterminals, whose event stream was rewritten away by dead-token
+  /// elision.
+  Status parseEvents(NtId StartNt, std::string_view Input,
+                     ParseScratch &Scratch,
+                     std::vector<ParseEvent> &Events) const;
+  /// Scratchless convenience; allocates only the symbol stack the event
+  /// driver actually uses (no value pool).
+  Status parseEvents(NtId StartNt, std::string_view Input,
+                     std::vector<ParseEvent> &Events) const;
+
+  /// Batch entry point for serving workloads: parses every input with
+  /// one warmed scratch (symbol/value stacks and the pool arena carry
+  /// their capacity across inputs) and the table width / entry checks
+  /// hoisted out of the loop, amortizing per-parse set-up that a
+  /// one-shot parseFrom pays every time. Results may outlive the batch
+  /// and the scratch (pooled nodes pin their pages, see
+  /// engine/README.md). \p User is passed to every input's actions.
+  std::vector<Result<Value>> parseBatch(NtId StartNt,
+                                        const std::string_view *Inputs,
+                                        size_t N, ParseScratch &Scratch,
+                                        void *User = nullptr) const;
+  std::vector<Result<Value>>
+  parseBatch(NtId StartNt, const std::vector<std::string_view> &Inputs,
+             ParseScratch &Scratch, void *User = nullptr) const {
+    return parseBatch(StartNt, Inputs.data(), Inputs.size(), Scratch, User);
+  }
 
   /// Pre-acceleration reference loop: byte-at-a-time table walk with a
   /// dependent AcceptCont load per byte, per-parse stack allocation, and
@@ -234,16 +310,36 @@ public:
   // State-indexed accept metadata ([0, NumAccept) entries): the scan
   // resolves a finished lexeme with direct loads off the best state id,
   // no AcceptCont→Conts pointer chase.
+  //
+  // Dispatch-level accept-metadata fusion: the token, tail length and
+  // tail offset are *packed into one 64-bit entry* per accepting state —
+  // [63:48] token id (MetaNoTok when the continuation pushes nothing, or
+  // dead-token elision proved the value unobservable), [47:32] tail
+  // length, [31:0] tail offset — so a finished lexeme (in particular a
+  // terminal-accept dispatch entry, json's structural bytes) resolves
+  // its whole continuation with a single indexed load and shifts instead
+  // of three dependent array reads. compileFused guards the packing
+  // widths like every other packed format (no silent wrap).
   //===--------------------------------------------------------------===//
 
-  /// Token pushed for the lexeme by the *parse* loop, or NoToken: the
-  /// continuation's PushTok, except where dead-token elision (below)
-  /// proved the value unobservable. The recognize loop never pushes.
-  std::vector<TokenId> AccTok;
-  /// Packed continuation tail in PackedPool (parse loop).
-  std::vector<uint32_t> AccTailOff, AccTailLen;
-  /// Packed nonterminals-only tail in NtPool (recognize loop).
-  std::vector<uint32_t> AccNtOff, AccNtLen;
+  /// Parse-loop entries (tails in PackedPool, token possibly elided).
+  std::vector<uint64_t> AccMeta;
+  /// Recognize-loop entries (tails in NtPool, token always MetaNoTok).
+  std::vector<uint64_t> AccNtMeta;
+  static constexpr uint32_t MetaNoTok = 0xffffu;
+  static uint32_t metaTok(uint64_t M) {
+    return static_cast<uint32_t>(M >> 48);
+  }
+  static uint32_t metaLen(uint64_t M) {
+    return static_cast<uint32_t>(M >> 32) & 0xffffu;
+  }
+  static uint32_t metaOff(uint64_t M) { return static_cast<uint32_t>(M); }
+  static uint64_t packMeta(TokenId Tok, uint32_t Len, uint32_t Off) {
+    const uint64_t T = Tok == NoToken
+                           ? static_cast<uint64_t>(MetaNoTok)
+                           : static_cast<uint64_t>(static_cast<uint32_t>(Tok));
+    return (T << 48) | (static_cast<uint64_t>(Len) << 32) | Off;
+  }
 
   /// Packed symbols: bit 31 set → action marker; clear → nonterminal,
   /// bits 16..30 the NtId and bits 0..15 its scan start state (so
@@ -262,7 +358,8 @@ public:
   /// Dead-token elision: a production that pushes a token whose value is
   /// consumed by a scalar micro-op marker that provably ignores it (the
   /// width discipline makes the token's argument position exact at
-  /// compile time) never materializes the token — AccTok is NoToken and
+  /// compile time) never materializes the token — the AccMeta entry's
+  /// token field is MetaNoTok and
   /// the consuming occurrence's op here has the token argument compiled
   /// out. A Select reduced to the identity becomes MNop and is dropped
   /// from the pool entirely.

@@ -110,6 +110,23 @@ struct FlapParser {
     return M.parseFrom(It->second, Input, User);
   }
 
+  /// SAX event parse (the EventSink policy, engine/Sink.h): appends the
+  /// machine's Enter/Token/Reduce/Eps stream to \p Events instead of
+  /// building values; token text arrives eagerly materialized.
+  Status parseEvents(std::string_view Input,
+                     std::vector<ParseEvent> &Events) const {
+    return M.parseEvents(M.Start, Input, Events);
+  }
+
+  /// Batch entry point for serving workloads: parses every input with
+  /// one warmed scratch (see CompiledParser::parseBatch); pair with
+  /// StreamParser::reset() for the connection-oriented analogue.
+  std::vector<Result<Value>>
+  parseBatch(const std::vector<std::string_view> &Inputs,
+             ParseScratch &Scratch, void *User = nullptr) const {
+    return M.parseBatch(M.Start, Inputs, Scratch, User);
+  }
+
   /// A push-style streaming parse over the same machine (engine/
   /// Stream.h): feed chunks, finish, take the value. The FlapParser must
   /// outlive the returned StreamParser.

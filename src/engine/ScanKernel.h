@@ -44,14 +44,18 @@
 ///
 /// The Final flag is a template parameter so a whole-buffer
 /// instantiation folds every More path away. Note the perf-gated
-/// whole-buffer entry points in Compile.cpp nevertheless keep their own
-/// literal copy of the Final=true loop: routing them through this kernel
-/// (in any shape we tried — by-reference state, by-value state, scalar
-/// reference parameters) cost GCC 12 register-allocation churn worth
-/// 3-5% of recognition throughput. The two loops must stay in lockstep;
-/// tests/StreamDiffTest.cpp asserts byte-identical behaviour at every
-/// chunk split point and tests/RunSkipDiffTest.cpp pins both to the
-/// Fig. 9 interpreter.
+/// whole-buffer driver in Compile.cpp (driveImpl — the sink-
+/// parameterized residual loop, engine/Sink.h) nevertheless keeps its
+/// own literal copy of the Final=true scan: routing it through this
+/// kernel (in any shape we tried — by-reference state, by-value state,
+/// scalar reference parameters) cost GCC 12 register-allocation churn
+/// worth 3-5% of recognition throughput. The sink seam shares the
+/// *residual loop* across parse/recognize/event modes with zero-cost
+/// templates, but the scan kernels stay two deliberate instantiations.
+/// The two must stay in lockstep; tests/StreamDiffTest.cpp and
+/// tests/SinkDiffTest.cpp assert byte-identical behaviour (values,
+/// events, error strings) at every chunk split point and
+/// tests/RunSkipDiffTest.cpp pins both to the Fig. 9 interpreter.
 ///
 /// All positions in a ScanState are window-relative; streaming callers
 /// maintain the window-base-to-absolute-offset mapping and rebase the

@@ -7,6 +7,7 @@
 
 #include "engine/Stream.h"
 
+#include "engine/Sink.h"
 #include "support/StrUtil.h"
 
 #include <algorithm>
@@ -20,8 +21,9 @@ using scankernel::Tab8;
 StreamParser::StreamParser(const CompiledParser &Machine, StreamOptions Opts)
     : M(&Machine), StartNt(Opts.Start == NoNt ? Machine.Start : Opts.Start),
       User(Opts.User), Recognize(Opts.Recognize),
+      EventMode(!Opts.Recognize && Opts.Events),
       RefActions(Opts.RefActions),
-      TrackRetain(!Opts.Recognize && Machine.Actions &&
+      TrackRetain(!Opts.Recognize && !EventMode && Machine.Actions &&
                   Machine.Actions->readsInput()) {
   assert(StartNt < M->Nts.size() && "entry nonterminal out of range");
   // A ValueFree entry's value was compiled away by dead-token elision
@@ -52,8 +54,13 @@ void StreamParser::reset() {
   NumVals = 0;
   Retain.clear();
   ErrMsg.clear();
+  ErrOff = 0;
   Out = Value();
+  EvLog.clear();
   CarryHW = 0;
+  // Deliberately kept: the warmed Pool arena, the machine/table
+  // references, and every buffer's capacity — one StreamParser serves
+  // many connections without re-paying its set-up.
 }
 
 // Final-value collection is the shared ValueStack::collect() policy —
@@ -62,14 +69,12 @@ void StreamParser::reset() {
 inline void StreamParser::applyOp(const MicroOp &Op, ActionId Act,
                                   ParseContext &Ctx) {
   if (!TrackRetain && !RefActions) {
-    // Fast mode — same dispatch as the whole-buffer loop. No action in
-    // this grammar reads lexeme text, so the window never needs to
-    // cover argument spans: skip watermark bookkeeping wholesale
-    // (ROADMAP follow-up (a)).
-    if (Op.K != MicroOp::MSlow)
-      Values.applyMicroOp(Op, Ctx);
-    else
-      Values.applySlowId(*M->Actions, Act, Ctx);
+    // Fast mode — the same shared dispatch as the whole-buffer loop
+    // (every caller guarantees an MSlow op carries its ActionId in Imm;
+    // see applyActionId). No action in this grammar reads lexeme text,
+    // so the window never needs to cover argument spans: skip watermark
+    // bookkeeping wholesale (ROADMAP follow-up (a)).
+    Values.applyPooled(Op, *M->Actions, Ctx);
     return;
   }
   // Execute honoring the mode. Rewritten (token-elided) occurrences have
@@ -118,8 +123,100 @@ inline void StreamParser::applyOp(const MicroOp &Op, ActionId Act,
 }
 
 inline void StreamParser::applyActionId(ActionId A, ParseContext &Ctx) {
-  applyOp(M->Actions->micro()[A], A, Ctx);
+  MicroOp Op = M->Actions->micro()[A];
+  if (Op.K == MicroOp::MSlow)
+    Op.Imm = static_cast<int64_t>(A); // the table's MSlow ops carry no
+                                      // ActionId (only pool occurrences
+                                      // do); applyOp's fast path
+                                      // dispatches through Imm
+  applyOp(Op, A, Ctx);
 }
+
+//===----------------------------------------------------------------------===//
+// The streaming sink policies — the same compile-time contract as the
+// whole-buffer sinks (engine/Sink.h), so pumpT() is one templated core
+// for all three modes. Each is constructed per pump from (parser,
+// context); hooks receive *absolute* stream offsets.
+//===----------------------------------------------------------------------===//
+
+/// Value mode: token pushes + pooled micro-op dispatch, with the
+/// streaming extras the whole-buffer ValueSink does not need — retain
+/// watermark bookkeeping and the RefActions differential path, both
+/// routed through StreamParser::applyOp.
+struct StreamParser::VSink {
+  static constexpr bool Markers = true;
+  static constexpr bool Enters = false;
+
+  StreamParser &SP;
+  ParseContext &Ctx;
+
+  VSink(StreamParser &SP, ParseContext &Ctx) : SP(SP), Ctx(Ctx) {}
+
+  FLAP_SINK_INLINE void enter(NtId) {}
+
+  FLAP_SINK_INLINE void marker(uint32_t Idx) {
+    SP.applyOp(SP.M->OpPool[Idx], SP.M->OpActs[Idx], Ctx);
+  }
+
+  FLAP_SINK_INLINE void token(uint64_t Meta, uint64_t Begin, uint64_t End) {
+    const uint32_t Tok = CompiledParser::metaTok(Meta);
+    if (Tok != CompiledParser::MetaNoTok) { // NoTok when skip or elided
+      SP.Values.push(Value::token(static_cast<TokenId>(Tok),
+                                  static_cast<uint32_t>(Begin),
+                                  static_cast<uint32_t>(End)));
+      if (SP.TrackRetain)
+        SP.pushRetain(SP.NumVals++, Begin);
+    }
+  }
+
+  void eps(NtId, int32_t Chain) {
+    if (!SP.TrackRetain && !SP.RefActions) {
+      // The same pre-fused block as the whole-buffer loop — literally:
+      // one shared implementation (engine/Sink.h).
+      runEpsProgram(*SP.M, Chain, SP.Values, Ctx);
+      return;
+    }
+    const std::vector<ActionId> &ChainIds = SP.M->EpsChains[Chain];
+    if (ChainIds.empty()) {
+      SP.Values.push(Value::unit()); // scalar: no retain entry
+      if (SP.TrackRetain)
+        ++SP.NumVals;
+    } else {
+      for (ActionId A : ChainIds)
+        SP.applyActionId(A, Ctx);
+    }
+  }
+};
+
+/// Event mode: delegates to the library EventSink over the current
+/// window (base = WinBase), so the streamed event stream is emitted by
+/// the *same code* as a whole-buffer parseEvents and the two cannot
+/// drift. Token text is materialized inside the hook — after it returns
+/// the window bytes are droppable, which is what keeps the carry at
+/// O(in-progress lexeme).
+struct StreamParser::ESink {
+  static constexpr bool Markers = true;
+  static constexpr bool Enters = true;
+
+  EventSink Inner;
+
+  ESink(StreamParser &SP, ParseContext &Ctx)
+      : Inner(*SP.M, Ctx.Input, SP.EvLog, Ctx.Base) {}
+
+  void enter(NtId N) { Inner.enter(N); }
+  void marker(uint32_t Idx) { Inner.marker(Idx); }
+  void token(uint64_t Meta, uint64_t Begin, uint64_t End) {
+    Inner.token(Meta, Begin, End);
+  }
+  void eps(NtId N, int32_t Chain) { Inner.eps(N, Chain); }
+};
+
+/// Recognize mode: the whole-buffer NullSink itself, given the
+/// streaming ctor shape — one set of no-op hooks to keep in lockstep
+/// with the contract.
+struct StreamParser::RSink : NullSink {
+  RSink(StreamParser &, ParseContext &) {}
+};
 
 void StreamParser::compact() {
   uint64_t KeepAbs = WinBase + (MidScan ? Sc.Base : Pos);
@@ -152,19 +249,45 @@ StreamStatus StreamParser::failParse(NtId N) {
   else
     ErrMsg = format("parse error at offset %llu in '%s'", Off,
                     M->NtNames[N].c_str());
-  Ph = Phase::Fail;
+  releaseAfterError(Off);
   return StreamStatus::Error;
 }
 
 StreamStatus StreamParser::failTrailing() {
-  ErrMsg = format("parse error: trailing input at offset %llu",
-                  static_cast<unsigned long long>(WinBase + Pos));
-  Ph = Phase::Fail;
+  unsigned long long Off = WinBase + Pos;
+  ErrMsg = format("parse error: trailing input at offset %llu", Off);
+  releaseAfterError(Off);
   return StreamStatus::Error;
 }
 
+void StreamParser::releaseAfterError(uint64_t ErrOffset) {
+  // The post-error contract (Stream.h reset() doc): the diagnostic, its
+  // position, and any *undrained events* are all an errored stream
+  // keeps. The carry bytes, live values, retain watermarks, suspended
+  // scan, symbol stack and any unconsumed result are released *now* —
+  // an errored parser sitting in a connection pool holds no stale input
+  // or pool nodes while it waits for take()/reset(). Before this,
+  // take()-after-error left them all live until the next reset().
+  // EvLog deliberately survives: events are consumer *output*, already
+  // "sent" — dropping them would make the delivered stream depend on
+  // when the consumer last drained (the split-invariance tests compare
+  // the error-prefix streams verbatim); a consumer that drains between
+  // feeds holds them all anyway.
+  Ph = Phase::Fail;
+  ErrOff = ErrOffset;
+  Stack.clear();
+  Values.clear();
+  NumVals = 0;
+  Retain.clear();
+  MidScan = false;
+  WinBase += Buf.size(); // streamedBytes() == WinBase + Buf.size() holds
+  Buf.clear();
+  Pos = 0;
+  Out = Value();
+}
+
 StreamStatus StreamParser::complete() {
-  Out = Recognize ? Value::unit() : Values.collect();
+  Out = (Recognize || EventMode) ? Value::unit() : Values.collect();
   NumVals = 0;
   Retain.clear();
   Ph = Phase::Done;
@@ -172,20 +295,27 @@ StreamStatus StreamParser::complete() {
 }
 
 /// The residual loop with suspension points — the streaming counterpart
-/// of parseImpl/recognizeImpl in Compile.cpp, with the same direct
-/// continuation into a matched tail's first symbol. A suspension (More)
-/// re-pushes the in-flight work item and parks the scan registers in
-/// Sc; the next pump pops it back and resumes the scan where the window
-/// ended.
-template <typename Tab, bool Vals, bool Final>
+/// of driveImpl in Compile.cpp, the same templated core shape
+/// parameterized by the sink policy (VSink/ESink/RSink above), with the
+/// same direct continuation into a matched tail's first symbol. A
+/// suspension (More) re-pushes the in-flight work item and parks the
+/// scan registers in Sc; the next pump pops it back and resumes the scan
+/// where the window ended. Enter events fire on the *fresh* entry only —
+/// a resumed scan is the same attempt, so a chunk boundary never
+/// duplicates an event (the SinkDiffTest split sweeps pin this).
+template <typename Tab, typename SinkT, bool Final>
 StreamStatus StreamParser::pumpT() {
   const char *S = Buf.data();
   const size_t Len = Buf.size();
   const typename Tab::Cell *T = Tab::table(*M);
   const SkipSet *Skip = M->Skip.data();
   const scankernel::Tiers Tr = scankernel::tiersOf(*M);
-  const uint32_t *SymPool = Vals ? M->PackedPool.data() : M->NtPool.data();
+  const uint64_t *Meta =
+      SinkT::Markers ? M->AccMeta.data() : M->AccNtMeta.data();
+  const uint32_t *SymPool =
+      SinkT::Markers ? M->PackedPool.data() : M->NtPool.data();
   ParseContext Ctx{std::string_view(S, Len), User, WinBase, Pool};
+  SinkT Sk(*this, Ctx);
 
   if (Ph == Phase::Run) {
     bool Resume = MidScan;
@@ -208,13 +338,14 @@ StreamStatus StreamParser::pumpT() {
           LSc = Sc;
           O = scankernel::scanStep<Tab, Final>(T, Skip, Tr, LSc, S, Len);
         } else {
-          if (E & CompiledParser::ActBit) {
-            if (Vals) {
-              uint32_t Idx = E & ~CompiledParser::ActBit;
-              applyOp(M->OpPool[Idx], M->OpActs[Idx], Ctx);
+          if constexpr (SinkT::Markers) {
+            if (E & CompiledParser::ActBit) {
+              Sk.marker(E & ~CompiledParser::ActBit);
+              break;
             }
-            break;
           }
+          if constexpr (SinkT::Enters)
+            Sk.enter(CompiledParser::packedNt(E));
           // Fresh lexeme: first-byte dispatch entry. An empty window
           // suspends on the dispatch byte (More with the entry
           // registers parked in LSc).
@@ -222,21 +353,12 @@ StreamStatus StreamParser::pumpT() {
                                                 Pos, S, Len, LSc);
         }
         if (O == ScanOutcome::Match) {
-          const int32_t Bs = LSc.Bs;
-          uint32_t TL = Vals ? M->AccTailLen[Bs] : M->AccNtLen[Bs];
-          uint32_t TO = Vals ? M->AccTailOff[Bs] : M->AccNtOff[Bs];
-          if (Vals) {
-            TokenId Tok = M->AccTok[Bs]; // NoToken when skip or elided
-            if (Tok != NoToken) {
-              Values.push(Value::token(
-                  Tok, static_cast<uint32_t>(WinBase + LSc.Base),
-                  static_cast<uint32_t>(WinBase + LSc.BestEnd)));
-              if (TrackRetain)
-                pushRetain(NumVals++, WinBase + LSc.Base);
-            }
-          }
+          const uint64_t Mt = Meta[LSc.Bs]; // one fused metadata load
+          Sk.token(Mt, WinBase + LSc.Base, WinBase + LSc.BestEnd);
           Pos = LSc.BestEnd;
+          const uint32_t TL = CompiledParser::metaLen(Mt);
           if (TL != 0) {
+            const uint32_t TO = CompiledParser::metaOff(Mt);
             for (uint32_t J = TL; J-- > 1;)
               Stack.push_back(SymPool[TO + J]);
             E = SymPool[TO]; // direct continuation into the first tail symbol
@@ -254,39 +376,9 @@ StreamStatus StreamParser::pumpT() {
         Pos = LSc.Base;
         NtId N = CompiledParser::packedNt(E);
         int32_t EpsChain = M->Nts[N].EpsChain;
-        if (EpsChain < 0) {
-          Stack.push_back(E); // keep the failing item for diagnostics
+        if (EpsChain < 0)
           return failParse(N);
-        }
-        if (Vals) {
-          if (!TrackRetain && !RefActions) {
-            // The same pre-fused micro-op block as the whole-buffer loop.
-            const CompiledParser::EpsProgram &EP =
-                M->EpsPrograms[EpsChain];
-            switch (EP.K) {
-            case CompiledParser::EpsProgram::Unit:
-              Values.push(Value::unit());
-              break;
-            case CompiledParser::EpsProgram::OneConst:
-              Values.push(EP.ConstVal);
-              break;
-            case CompiledParser::EpsProgram::Ops:
-              Values.runChain(*M->Actions, M->EpsOps.data() + EP.Off,
-                              EP.Len, EP.MaxGrow, Ctx);
-              break;
-            }
-          } else {
-            const std::vector<ActionId> &Chain = M->EpsChains[EpsChain];
-            if (Chain.empty()) {
-              Values.push(Value::unit()); // scalar: no retain entry
-              if (TrackRetain)
-                ++NumVals;
-            } else {
-              for (ActionId A : Chain)
-                applyActionId(A, Ctx);
-            }
-          }
-        }
+        Sk.eps(N, EpsChain);
         break;
       }
     }
@@ -330,11 +422,18 @@ StreamStatus StreamParser::pumpT() {
 }
 
 template <bool Final> StreamStatus StreamParser::pump() {
-  if (M->Trans8.empty())
-    return Recognize ? pumpT<Tab16, false, Final>()
-                     : pumpT<Tab16, true, Final>();
-  return Recognize ? pumpT<Tab8, false, Final>()
-                   : pumpT<Tab8, true, Final>();
+  if (M->Trans8.empty()) {
+    if (Recognize)
+      return pumpT<Tab16, RSink, Final>();
+    if (EventMode)
+      return pumpT<Tab16, ESink, Final>();
+    return pumpT<Tab16, VSink, Final>();
+  }
+  if (Recognize)
+    return pumpT<Tab8, RSink, Final>();
+  if (EventMode)
+    return pumpT<Tab8, ESink, Final>();
+  return pumpT<Tab8, VSink, Final>();
 }
 
 StreamStatus StreamParser::feed(std::string_view Chunk) {
@@ -344,7 +443,7 @@ StreamStatus StreamParser::feed(std::string_view Chunk) {
     if (Chunk.empty())
       return StreamStatus::Done;
     ErrMsg = "feed() after finish()";
-    Ph = Phase::Fail;
+    releaseAfterError(WinBase + Pos);
     return StreamStatus::Error;
   }
   // Token spans (and Lexeme offsets generally) are uint32: one stream is
@@ -353,12 +452,14 @@ StreamStatus StreamParser::feed(std::string_view Chunk) {
   // packed-symbol widths in compileFused).
   if (WinBase + Buf.size() + Chunk.size() > uint64_t(UINT32_MAX)) {
     ErrMsg = "stream exceeds the 32-bit offset space (4 GiB)";
-    Ph = Phase::Fail;
+    releaseAfterError(WinBase + Buf.size());
     return StreamStatus::Error;
   }
   if (!Chunk.empty())
     Buf.append(Chunk.data(), Chunk.size());
   StreamStatus St = pump</*Final=*/false>();
+  if (St == StreamStatus::Error)
+    return St; // the error path already released the carry
   compact();
   return St;
 }

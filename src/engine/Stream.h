@@ -44,6 +44,10 @@
 ///   - Actions must not stash absolute offsets in user context and
 ///     dereference them in a *later* action; spans are only addressable
 ///     while a value referencing them is live on the value stack.
+///   - *Event mode* (StreamOptions::Events) sidesteps value retention
+///     entirely: token text is materialized into the event at match
+///     time, so the carry is the in-progress lexeme — O(longest lexeme)
+///     even for the document-spanning bracket structures above.
 ///
 /// Offsets: all reported offsets — token spans in values, error
 /// messages, offset() — are absolute stream offsets, identical to a
@@ -81,8 +85,17 @@ struct StreamOptions {
   /// Opaque pointer exposed to actions as ParseContext::User.
   void *User = nullptr;
   /// Recognition only: no values, no actions (the streaming analogue of
-  /// CompiledParser::recognize).
+  /// CompiledParser::recognize). Takes precedence over Events.
   bool Recognize = false;
+  /// SAX event mode: instead of building values, the parser appends
+  /// ParseEvents (drained with takeEvents()) with token text
+  /// materialized *eagerly* at match time. Because an event never
+  /// references the window after its hook returns, the parser retains
+  /// no input beyond the in-progress lexeme — the carry stays
+  /// O(longest lexeme) even on a document-spanning bracket structure
+  /// that value mode would legitimately retain back to its opening
+  /// delimiter. take() yields unit on success.
+  bool Events = false;
   /// Runs every action through the retained std::function reference
   /// path (ActionTable::ref) with heap-allocated values instead of the
   /// tagged switch dispatch. Differential testing only
@@ -106,9 +119,23 @@ public:
   /// trailing skip input, and completes the parse.
   StreamStatus finish();
 
-  /// After finish(): the semantic value (or unit in Recognize mode), or
-  /// the parse error. Calling take() before finish() returns an error.
+  /// After finish(): the semantic value (or unit in Recognize/Events
+  /// mode), or the parse error. Calling take() before finish() returns
+  /// an error. After a parse error, take() is repeatable: every call
+  /// returns the same diagnostic (the post-error contract — see
+  /// reset()).
   Result<Value> take();
+
+  /// Event mode: moves out the events accumulated since the last call.
+  /// Drain between feeds to keep consumer memory bounded — the parser
+  /// itself never retains input beyond the in-progress lexeme.
+  std::vector<ParseEvent> takeEvents() {
+    std::vector<ParseEvent> Out;
+    Out.swap(EvLog);
+    return Out;
+  }
+  /// The undrained events (event mode).
+  const std::vector<ParseEvent> &events() const { return EvLog; }
 
   StreamStatus status() const {
     return Ph == Phase::Done   ? StreamStatus::Done
@@ -117,8 +144,13 @@ public:
   }
 
   /// Absolute stream offset of the next unconsumed byte (the in-progress
-  /// lexeme's base while suspended mid-lexeme).
-  uint64_t offset() const { return WinBase + (MidScan ? Sc.Base : Pos); }
+  /// lexeme's base while suspended mid-lexeme; the error position after
+  /// a failed parse).
+  uint64_t offset() const {
+    if (Ph == Phase::Fail)
+      return ErrOff;
+    return WinBase + (MidScan ? Sc.Base : Pos);
+  }
 
   /// Total bytes fed so far.
   uint64_t streamedBytes() const { return WinBase + Buf.size(); }
@@ -129,14 +161,39 @@ public:
   /// Largest carry ever held — the streaming memory high-water mark.
   size_t carryHighWater() const { return CarryHW; }
 
-  /// Restarts the parser for a new stream, reusing allocated buffers
-  /// (the streaming analogue of a reused ParseScratch).
+  /// Restarts the parser for a new stream — the serving primitive: one
+  /// StreamParser handles many connections back to back. Reuses every
+  /// allocated buffer and keeps the warmed pool arena and the table
+  /// references (the streaming analogue of a reused ParseScratch), from
+  /// any terminal or mid-stream state.
+  ///
+  /// Post-error contract (pinned by tests/StreamDiffTest.cpp): a parse
+  /// error releases the carry, the live values, their retain watermarks
+  /// and any unconsumed result immediately — an errored parser holds
+  /// only the diagnostic, its position, and (in event mode) the
+  /// undrained events, which are consumer output and stay retrievable
+  /// via takeEvents(). take() returns the error, repeatably;
+  /// feed()/finish() keep returning Error; offset() reports the error
+  /// position; and reset() fully recovers the parser for the next
+  /// stream.
   void reset();
+
+  /// The per-stream value arena (kept warm across reset()); escaped
+  /// values pin its pages. Exposed so serving code and tests can observe
+  /// arena reuse.
+  const ValuePoolRef &pool() const { return Pool; }
 
 private:
   enum class Phase : uint8_t { Run, Trail, Done, Fail };
 
-  template <typename Tab, bool Vals, bool Final> StreamStatus pumpT();
+  /// The streaming sink policies (Stream.cpp): value building with
+  /// retain tracking, SAX events, recognition. Same contract as the
+  /// whole-buffer sinks in engine/Sink.h.
+  struct VSink;
+  struct ESink;
+  struct RSink;
+
+  template <typename Tab, typename SinkT, bool Final> StreamStatus pumpT();
   template <bool Final> StreamStatus pump();
   /// Runs one marker occurrence (a PackedPool op), honoring the mode:
   /// tagged dispatch, reference std::function dispatch, and/or retain
@@ -154,12 +211,17 @@ private:
   void compact();
   StreamStatus failParse(NtId N);
   StreamStatus failTrailing();
+  /// Enters Phase::Fail: records the error offset and releases the
+  /// carry, values, retain watermarks, suspended scan and symbol stack
+  /// (the post-error contract; see reset()).
+  void releaseAfterError(uint64_t ErrOffset);
   StreamStatus complete();
 
   const CompiledParser *M;
   NtId StartNt;
   void *User;
   bool Recognize;
+  bool EventMode;
   bool RefActions;
   /// False when no registered action reads lexeme text
   /// (ActionTable::readsInput()): retain watermarks then need no
@@ -193,7 +255,9 @@ private:
   std::vector<RetainEnt> Retain;
   static constexpr uint64_t NoRetain = ~uint64_t(0);
   std::string ErrMsg;
+  uint64_t ErrOff = 0; ///< absolute error position (Phase::Fail only)
   Value Out;
+  std::vector<ParseEvent> EvLog; ///< event mode: undrained events
   size_t CarryHW = 0;
   /// Per-stream value arena (see ParseScratch::Pool); reset() keeps it.
   ValuePoolRef Pool = std::make_shared<ValuePool>();

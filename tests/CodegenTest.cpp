@@ -105,6 +105,15 @@ public:
         dlsym(Handle, (Name + "_parse_value").c_str()));
   }
 
+  using EventCb = void (*)(void *, int, long, long, long);
+  using EventFn = long (*)(const char *, size_t, EventCb, void *);
+  EventFn eventFn(const std::string &Name) const {
+    if (!Handle)
+      return nullptr;
+    return reinterpret_cast<EventFn>(
+        dlsym(Handle, (Name + "_parse_events").c_str()));
+  }
+
 private:
   std::string SrcPath, SoPath;
   void *Handle = nullptr;
@@ -188,6 +197,100 @@ TEST(CodegenTest, GeneratedValueMachineAgrees) {
       if (L.ok())
         EXPECT_EQ(V, static_cast<long>(L->asInt())) << Name << " '" << In
                                                     << "'";
+    }
+  }
+}
+
+/// One generated-driver event, as delivered through the C callback.
+struct GenEvent {
+  int Kind; // 0 Enter, 1 Token, 2 Reduce, 3 Eps (library EventKind order)
+  long Id, Begin, End;
+};
+
+TEST(CodegenTest, EmitsEventEntryPointForAllBenchmarks) {
+  // Unlike the value machine, the event driver exists for *every*
+  // grammar — it reports the symbol stream instead of executing it, so
+  // custom actions are no obstacle.
+  for (const auto &Def : allBenchmarkGrammars()) {
+    auto P = compileFlap(Def);
+    ASSERT_TRUE(P.ok()) << Def->Name;
+    EXPECT_NE(emitCpp(P->M, Def->Name).find(Def->Name + "_parse_events"),
+              std::string::npos)
+        << Def->Name;
+  }
+}
+
+TEST(CodegenTest, GeneratedEventDriverReplaysToLibraryValue) {
+  // The generated event stream carries the *unrewritten* symbols (raw
+  // ActionIds, every pushed token — the stream the library's legacy
+  // reference loop runs), so replaying token pushes and action
+  // applications in order must reproduce the library engines' value.
+  for (const char *Name : {"sexp", "json"}) {
+    std::shared_ptr<GrammarDef> Def;
+    for (auto &G : allBenchmarkGrammars())
+      if (G->Name == Name)
+        Def = G;
+    auto P = compileFlap(Def);
+    ASSERT_TRUE(P.ok());
+    CompiledSo So(emitCpp(P->M, Name), std::string("ev_") + Name);
+    auto Fn = So.eventFn(Name);
+    if (!Fn)
+      GTEST_SKIP() << "no working system compiler for the generated code";
+
+    Workload W = genWorkload(Name, 27, 20000);
+    std::vector<GenEvent> Evs;
+    auto Cb = [](void *U, int K, long Id, long B, long E) {
+      static_cast<std::vector<GenEvent> *>(U)->push_back({K, Id, B, E});
+    };
+    long N = Fn(W.Input.data(), W.Input.size(), Cb, &Evs);
+    ASSERT_GE(N, 0) << Name;
+    EXPECT_EQ(static_cast<size_t>(N), Evs.size()) << Name;
+
+    // Replay over the library's action table (the boxed reference path's
+    // semantics: unelided stream, raw ActionIds).
+    const ActionTable &AT = Def->L->Actions;
+    ParseContext Ctx{W.Input, nullptr};
+    ValueStack Vals;
+    for (const GenEvent &E : Evs) {
+      switch (E.Kind) {
+      case 0:
+        break; // Enter
+      case 1:
+        Vals.push(Value::token(static_cast<TokenId>(E.Id),
+                               static_cast<uint32_t>(E.Begin),
+                               static_cast<uint32_t>(E.End)));
+        break;
+      case 2:
+        Vals.applyMicro(AT, static_cast<ActionId>(E.Id), Ctx);
+        break;
+      case 3: {
+        const auto &Info = P->M.Nts[E.Id];
+        ASSERT_GE(Info.EpsChain, 0) << Name;
+        const std::vector<ActionId> &Chain = P->M.EpsChains[Info.EpsChain];
+        if (Chain.empty())
+          Vals.push(Value::unit());
+        else
+          for (ActionId A : Chain)
+            Vals.applyMicro(AT, A, Ctx);
+        break;
+      }
+      default:
+        FAIL() << "unknown event kind " << E.Kind;
+      }
+    }
+    Result<Value> Lib = P->M.parse(W.Input);
+    ASSERT_TRUE(Lib.ok()) << Name;
+    EXPECT_EQ(*Lib, Vals.collect()) << Name << " generated-event replay";
+
+    // Rejections agree on a truncation sweep; a null callback is legal.
+    std::string Base = Name == std::string("sexp")
+                           ? "(ab (cd e) (f))"
+                           : "{\"k\": [1, {}, {\"x\": 2}]}";
+    for (size_t Cut = 0; Cut <= Base.size(); ++Cut) {
+      std::string In = Base.substr(0, Cut);
+      EXPECT_EQ(Fn(In.data(), In.size(), nullptr, nullptr) >= 0,
+                P->M.parse(In).ok())
+          << Name << " '" << In << "'";
     }
   }
 }

@@ -1,0 +1,375 @@
+//===- tests/SinkDiffTest.cpp - Sink-policy differential tests ----------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The Sink policy seam (engine/Sink.h) must be observationally
+/// invisible: the EventSink stream, replayed into a value builder, must
+/// equal the ValueSink output — values and error strings — on every
+/// grammar, whole-buffer and at every chunk split of the streaming
+/// driver; the streamed event stream must be byte-identical (spans and
+/// materialized text included) to the whole-buffer one; and event-mode
+/// streaming must retain no input beyond the in-progress lexeme, even on
+/// the document-spanning bracket corpora (sexp, ppm) whose value-mode
+/// retention is legitimately document-sized. parseBatch must agree with
+/// one-shot parseFrom input for input.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Pipeline.h"
+#include "engine/Sink.h"
+#include "engine/Stream.h"
+#include "grammars/Grammars.h"
+#include "lexer/CompiledLexer.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace flap;
+
+namespace {
+
+/// Replays an EventSink stream into a value builder: token events push
+/// token values, Reduce events run the named pool occurrence, Eps events
+/// run the nonterminal's pre-fused ε-program — the SAX consumer contract
+/// from engine/README.md. \p Input backs input-reading actions (the
+/// events themselves carry the text; the replay checks it against the
+/// spans).
+Value replayEvents(const CompiledParser &M,
+                   const std::vector<ParseEvent> &Evs,
+                   std::string_view Input, void *User) {
+  ParseScratch Scr;
+  ParseContext Ctx{Input, User, 0, Scr.Pool};
+  ValueStack &Vals = Scr.Values;
+  for (const ParseEvent &E : Evs) {
+    switch (E.Kind) {
+    case EventKind::Enter:
+      break; // structural only
+    case EventKind::Token:
+      // Lexeme-text lifetime contract: the materialized text is the span.
+      EXPECT_EQ(E.Text, Input.substr(static_cast<size_t>(E.Begin),
+                                     static_cast<size_t>(E.End - E.Begin)));
+      Vals.push(Value::token(E.Tok, static_cast<uint32_t>(E.Begin),
+                             static_cast<uint32_t>(E.End)));
+      break;
+    case EventKind::Reduce:
+      Vals.applyPooled(M.OpPool[E.Op], *M.Actions, Ctx);
+      break;
+    case EventKind::Eps:
+      runEpsProgram(M, M.Nts[E.Nt].EpsChain, Vals, Ctx);
+      break;
+    }
+  }
+  return Vals.collect();
+}
+
+struct SinkRig {
+  std::shared_ptr<GrammarDef> Def;
+  FlapParser P;
+
+  explicit SinkRig(std::shared_ptr<GrammarDef> D) : Def(std::move(D)) {
+    auto R = compileFlap(Def);
+    if (!R.ok()) {
+      ADD_FAILURE() << "compile failed: " << R.error();
+      return;
+    }
+    P = R.take();
+  }
+
+  void *fresh(std::shared_ptr<void> &C) {
+    if (Def->NewCtx)
+      C = Def->NewCtx();
+    return C.get();
+  }
+
+  /// Whole-buffer: ValueSink vs EventSink+replay — same verdict, same
+  /// value, same error string.
+  void checkWholeBuffer(std::string_view In) {
+    std::shared_ptr<void> C1, C2;
+    Result<Value> Val = P.M.parse(In, fresh(C1));
+    std::vector<ParseEvent> Evs;
+    Status Ev = P.M.parseEvents(P.M.Start, In, Evs);
+    ASSERT_EQ(Val.ok(), Ev.ok()) << Def->Name << " on '" << In << "'";
+    if (!Val.ok()) {
+      EXPECT_EQ(Val.error(), Ev.error()) << Def->Name;
+      return;
+    }
+    Value Re = replayEvents(P.M, Evs, In, fresh(C2));
+    EXPECT_EQ(*Val, Re) << Def->Name << " replay drift on '" << In << "'";
+  }
+
+  /// Streams \p In in event mode, cut at \p Cuts, draining events after
+  /// every feed (the bounded-consumer pattern).
+  StreamStatus streamEvents(std::string_view In,
+                            const std::vector<size_t> &Cuts,
+                            std::vector<ParseEvent> &Evs, std::string &Err,
+                            size_t *CarryHW = nullptr) {
+    StreamOptions O;
+    O.Events = true;
+    StreamParser SP(P.M, O);
+    size_t Prev = 0;
+    for (size_t Cut : Cuts) {
+      SP.feed(In.substr(Prev, Cut - Prev));
+      for (ParseEvent &E : SP.takeEvents())
+        Evs.push_back(std::move(E));
+      Prev = Cut;
+    }
+    SP.feed(In.substr(Prev));
+    SP.finish();
+    for (ParseEvent &E : SP.takeEvents())
+      Evs.push_back(std::move(E));
+    if (CarryHW)
+      *CarryHW = SP.carryHighWater();
+    if (SP.status() == StreamStatus::Error)
+      Err = SP.take().error();
+    return SP.status();
+  }
+
+  /// Streamed-at-Cuts event stream == whole-buffer event stream,
+  /// event for event (kind, ids, spans, materialized text), same error
+  /// strings; replay agrees with ValueSink.
+  void checkEventSplits(std::string_view In,
+                        const std::vector<size_t> &Cuts) {
+    std::vector<ParseEvent> Whole;
+    Status WS = P.M.parseEvents(P.M.Start, In, Whole);
+    std::vector<ParseEvent> Str;
+    std::string StrErr;
+    StreamStatus SS = streamEvents(In, Cuts, Str, StrErr);
+    ASSERT_EQ(WS.ok(), SS == StreamStatus::Done)
+        << Def->Name << " (" << Cuts.size() << " cuts) on '" << In << "'";
+    ASSERT_EQ(Whole.size(), Str.size())
+        << Def->Name << " event count drift (" << Cuts.size() << " cuts)";
+    for (size_t I = 0; I < Whole.size(); ++I)
+      ASSERT_EQ(Whole[I], Str[I])
+          << Def->Name << " event " << I << " drift";
+    if (!WS.ok()) {
+      EXPECT_EQ(WS.error(), StrErr) << Def->Name;
+      return;
+    }
+    std::shared_ptr<void> C1, C2;
+    Result<Value> Val = P.M.parse(In, fresh(C1));
+    ASSERT_TRUE(Val.ok()) << Def->Name << ": " << Val.error();
+    EXPECT_EQ(*Val, replayEvents(P.M, Str, In, fresh(C2))) << Def->Name;
+  }
+};
+
+TEST(SinkDiffTest, EventReplayMatchesValueSinkAllGrammars) {
+  for (auto &Def : allBenchmarkGrammars()) {
+    SinkRig R(Def);
+    Workload W = genWorkload(Def->Name, 5, 2000);
+    R.checkWholeBuffer(W.Input);
+    // Truncations land inside every construct; errors must match too.
+    for (size_t Cut = 0; Cut < W.Input.size(); Cut += 7)
+      R.checkWholeBuffer(std::string_view(W.Input).substr(0, Cut));
+  }
+}
+
+TEST(SinkDiffTest, EventReplayMatchesValueSinkOnCorruptedInputs) {
+  Rng Rand(31);
+  for (auto &Def : allBenchmarkGrammars()) {
+    SinkRig R(Def);
+    Workload W = genWorkload(Def->Name, 9, 400);
+    for (int Round = 0; Round < 16; ++Round) {
+      std::string In = W.Input;
+      size_t At = Rand.below(In.size());
+      switch (Rand.below(3)) {
+      case 0:
+        In[At] = static_cast<char>(1 + Rand.below(127));
+        break;
+      case 1:
+        In.erase(At, 1 + Rand.below(3));
+        break;
+      default:
+        In.insert(At, 1, "(){}[]\"!,;"[Rand.below(10)]);
+        break;
+      }
+      R.checkWholeBuffer(In);
+    }
+  }
+}
+
+TEST(SinkDiffTest, StreamedEventsIdenticalAtEveryTwoWaySplit) {
+  for (auto &Def : allBenchmarkGrammars()) {
+    SinkRig R(Def);
+    Workload W = genWorkload(Def->Name, 11, 300);
+    for (size_t Cut = 0; Cut <= W.Input.size(); ++Cut)
+      R.checkEventSplits(W.Input, {Cut});
+    // Every-byte chunks: each lexeme enters through a suspension.
+    std::vector<size_t> Every;
+    for (size_t Cut = 1; Cut < W.Input.size(); ++Cut)
+      Every.push_back(Cut);
+    R.checkEventSplits(W.Input, Every);
+  }
+}
+
+TEST(SinkDiffTest, StreamedEventsRandomMultiWaySplits) {
+  Rng Rand(2027);
+  for (auto &Def : allBenchmarkGrammars()) {
+    SinkRig R(Def);
+    Workload W = genWorkload(Def->Name, 13, 5000);
+    for (int Round = 0; Round < 6; ++Round) {
+      std::vector<size_t> Cuts;
+      size_t At = 0;
+      while (At < W.Input.size()) {
+        At += 1 + Rand.below(Rand.chance(1, 3) ? 8 : 512);
+        if (At < W.Input.size())
+          Cuts.push_back(At);
+      }
+      R.checkEventSplits(W.Input, Cuts);
+    }
+  }
+}
+
+TEST(SinkDiffTest, StreamedEventErrorsIdenticalAtSplits) {
+  Rng Rand(17);
+  for (auto &Def : allBenchmarkGrammars()) {
+    SinkRig R(Def);
+    Workload W = genWorkload(Def->Name, 19, 300);
+    for (int Round = 0; Round < 8; ++Round) {
+      std::string In = W.Input;
+      In[Rand.below(In.size())] = static_cast<char>(1 + Rand.below(127));
+      for (size_t Cut = 0; Cut <= In.size(); Cut += 5)
+        R.checkEventSplits(In, {Cut});
+    }
+  }
+}
+
+/// The carry bound of the sink refactor: in event mode the parser keeps
+/// no input beyond the in-progress lexeme (token or skip run), so the
+/// carry high-water on a *document-spanning bracket structure* — whose
+/// value-mode retention is legitimately document-sized — is the longest
+/// lexeme, not the document.
+TEST(SinkDiffTest, EventModeCarryIsLexemeBoundedOnBracketCorpora) {
+  for (const char *Name : {"sexp", "ppm"}) {
+    std::shared_ptr<GrammarDef> Def;
+    for (auto &G : allBenchmarkGrammars())
+      if (G->Name == Name)
+        Def = G;
+    SinkRig R(Def);
+    Workload W = genWorkload(Name, 3, 256 * 1024);
+
+    // The bound: the longest lexeme or inter-lexeme skip run.
+    CompiledLexer Lex(*Def->Re, R.P.Canon);
+    auto Toks = Lex.lexAll(W.Input);
+    ASSERT_TRUE(Toks.ok()) << Name << ": " << Toks.error();
+    size_t MaxLex = 0, Prev = 0;
+    for (const Lexeme &L : *Toks) {
+      MaxLex = std::max(MaxLex, static_cast<size_t>(L.End - L.Begin));
+      MaxLex = std::max(MaxLex, static_cast<size_t>(L.Begin) - Prev);
+      Prev = L.End;
+    }
+    MaxLex = std::max(MaxLex, W.Input.size() - Prev);
+
+    std::vector<size_t> Cuts;
+    for (size_t At = 4096; At < W.Input.size(); At += 4096)
+      Cuts.push_back(At);
+
+    std::vector<ParseEvent> Evs;
+    std::string Err;
+    size_t EventCarry = 0;
+    ASSERT_EQ(R.streamEvents(W.Input, Cuts, Evs, Err, &EventCarry),
+              StreamStatus::Done)
+        << Name << ": " << Err;
+    EXPECT_LE(EventCarry, MaxLex + 8)
+        << Name << " event-mode carry exceeds the in-progress lexeme "
+        << "(max lexeme/skip run " << MaxLex << ")";
+
+    // Contrast on ppm (whose actions read input, so value mode retains
+    // back to the header tokens the root action consumes at the end):
+    // the refactor turns document-sized retention into lexeme-sized.
+    if (std::string(Name) == "ppm") {
+      std::shared_ptr<void> C;
+      StreamOptions VO;
+      VO.User = R.fresh(C);
+      StreamParser VP(R.P.M, VO);
+      size_t Prev2 = 0;
+      for (size_t Cut : Cuts) {
+        VP.feed(std::string_view(W.Input).substr(Prev2, Cut - Prev2));
+        Prev2 = Cut;
+      }
+      VP.feed(std::string_view(W.Input).substr(Prev2));
+      ASSERT_EQ(VP.finish(), StreamStatus::Done);
+      EXPECT_GT(VP.carryHighWater(), W.Input.size() / 2)
+          << "ppm value-mode carry unexpectedly small: the contrast this "
+             "test documents has changed";
+      EXPECT_LT(EventCarry * 16, VP.carryHighWater())
+          << "event mode should beat value-mode retention by orders of "
+             "magnitude on ppm";
+    }
+  }
+}
+
+TEST(SinkDiffTest, ParseBatchMatchesOneShot) {
+  for (const char *Name : {"json", "csv", "sexp"}) {
+    std::shared_ptr<GrammarDef> Def;
+    for (auto &G : allBenchmarkGrammars())
+      if (G->Name == Name)
+        Def = G;
+    SinkRig R(Def);
+
+    // A server-shaped batch: many small independent documents, a few
+    // corrupted ones mixed in.
+    std::vector<std::string> Docs;
+    for (uint64_t I = 0; I < 64; ++I) {
+      Workload W = genWorkload(Name, 100 + I, 200 + 13 * I);
+      if (I % 9 == 4 && !W.Input.empty())
+        W.Input[W.Input.size() / 2] = '!';
+      Docs.push_back(std::move(W.Input));
+    }
+    std::vector<std::string_view> Views(Docs.begin(), Docs.end());
+
+    ParseScratch Scratch;
+    std::vector<Result<Value>> Batch =
+        R.P.M.parseBatch(R.P.M.Start, Views, Scratch);
+    ASSERT_EQ(Batch.size(), Views.size());
+    for (size_t I = 0; I < Views.size(); ++I) {
+      Result<Value> One = R.P.M.parseFrom(R.P.M.Start, Views[I]);
+      ASSERT_EQ(One.ok(), Batch[I].ok()) << Name << " doc " << I;
+      if (One.ok())
+        EXPECT_EQ(*One, *Batch[I]) << Name << " doc " << I;
+      else
+        EXPECT_EQ(One.error(), Batch[I].error()) << Name << " doc " << I;
+    }
+  }
+}
+
+TEST(SinkDiffTest, ParseBatchResultsOutliveTheBatch) {
+  // Pool-backed values from earlier batch inputs must stay valid while
+  // later inputs reuse the same scratch, and after the scratch dies.
+  SinkRig R(makeJsonGrammar());
+  std::vector<std::string> Docs;
+  for (uint64_t I = 0; I < 16; ++I)
+    Docs.push_back(genWorkload("json", 200 + I, 400).Input);
+  std::vector<std::string_view> Views(Docs.begin(), Docs.end());
+
+  std::vector<Result<Value>> Batch;
+  {
+    ParseScratch Scratch;
+    Batch = R.P.M.parseBatch(R.P.M.Start, Views, Scratch);
+  } // scratch (and its pool handle) gone; values pin the pages
+  for (size_t I = 0; I < Views.size(); ++I) {
+    Result<Value> One = R.P.M.parseFrom(R.P.M.Start, Views[I]);
+    ASSERT_TRUE(One.ok() && Batch[I].ok()) << I;
+    EXPECT_EQ(*One, *Batch[I]) << I;
+  }
+}
+
+TEST(SinkDiffTest, ParseEventsRejectsValueFreeEntries) {
+  // A pure token nonterminal erased by dead-token elision cannot emit a
+  // replayable stream; the event API must refuse it like streaming does.
+  SinkRig R(makeSexpGrammar());
+  for (NtId N = 0; N < static_cast<NtId>(R.P.M.Nts.size()); ++N) {
+    if (!R.P.M.Nts[N].ValueFree)
+      continue;
+    std::vector<ParseEvent> Evs;
+    Status S = R.P.M.parseEvents(N, ")", Evs);
+    EXPECT_FALSE(S.ok());
+    return; // one is enough
+  }
+  GTEST_SKIP() << "no ValueFree nonterminal in this machine";
+}
+
+} // namespace

@@ -273,6 +273,116 @@ TEST(StreamDiffTest, ResetReusesTheParser) {
   }
 }
 
+TEST(StreamDiffTest, TakeAfterMidStreamErrorAndResetRecovers) {
+  // The post-error contract (Stream.h reset() doc): a mid-stream error
+  // releases the carry and live values immediately; take() returns the
+  // diagnostic, repeatably; offset() reports the error position; further
+  // feeds keep failing; and reset() fully recovers the parser for the
+  // next stream. Before this contract, take()-after-error left the
+  // carry/retain state live until reset().
+  StreamRig R(makeJsonGrammar());
+  Workload Good = genWorkload("json", 23, 600);
+  std::string Bad = Good.Input;
+  // Corrupt a structural byte (a '!' inside a string literal would
+  // still parse).
+  size_t At = Bad.find_first_of("{}[],", Bad.size() / 2);
+  ASSERT_NE(At, std::string::npos);
+  Bad[At] = '!';
+  Result<Value> Whole = R.P.M.parse(Bad);
+  ASSERT_FALSE(Whole.ok());
+
+  StreamParser SP(R.P.M);
+  for (size_t At = 0; At < Bad.size(); At += 17)
+    if (SP.feed(std::string_view(Bad).substr(At, 17)) == StreamStatus::Error)
+      break;
+  ASSERT_EQ(SP.status(), StreamStatus::Error) << "corruption not detected";
+
+  // Carry and values released at the error, not at reset().
+  EXPECT_EQ(SP.carryBytes(), 0u);
+  // take() is repeatable and byte-identical to the whole-buffer error.
+  Result<Value> E1 = SP.take();
+  Result<Value> E2 = SP.take();
+  ASSERT_FALSE(E1.ok());
+  ASSERT_FALSE(E2.ok());
+  EXPECT_EQ(E1.error(), Whole.error());
+  EXPECT_EQ(E2.error(), Whole.error());
+  // The error position survives take(); further feeds keep failing.
+  EXPECT_EQ(SP.feed("{}"), StreamStatus::Error);
+  EXPECT_EQ(SP.finish(), StreamStatus::Error);
+
+  // reset() recovers: the same parser serves the next stream, and the
+  // warmed pool arena is kept.
+  size_t Pages = SP.pool()->pageCount();
+  SP.reset();
+  EXPECT_EQ(SP.pool()->pageCount(), Pages) << "reset dropped the arena";
+  for (size_t At = 0; At < Good.Input.size(); At += 13)
+    SP.feed(std::string_view(Good.Input).substr(At, 13));
+  ASSERT_EQ(SP.finish(), StreamStatus::Done) << SP.take().error();
+  Result<Value> Str = SP.take();
+  Result<Value> WholeGood = R.P.M.parse(Good.Input);
+  ASSERT_TRUE(Str.ok() && WholeGood.ok());
+  EXPECT_EQ(*WholeGood, *Str);
+}
+
+TEST(StreamDiffTest, ErrorOffsetReportedAfterRelease) {
+  // offset() after an error must report the error position even though
+  // the carry was released (the window bookkeeping moved past it).
+  StreamRig R(makeSexpGrammar());
+  const std::string In = "(abc !def)"; // '!' fails at offset 5
+  Result<Value> Whole = R.P.M.parse(In);
+  ASSERT_FALSE(Whole.ok());
+  for (size_t Cut = 0; Cut <= In.size(); ++Cut) {
+    StreamParser SP(R.P.M);
+    SP.feed(std::string_view(In).substr(0, Cut));
+    SP.feed(std::string_view(In).substr(Cut));
+    SP.finish();
+    ASSERT_EQ(SP.status(), StreamStatus::Error) << "cut " << Cut;
+    EXPECT_EQ(SP.take().error(), Whole.error()) << "cut " << Cut;
+    EXPECT_EQ(SP.offset(), 5u) << "cut " << Cut;
+    // Bytes fed after the error are rejected, so streamedBytes() counts
+    // what the parser accepted: everything up to (at least) the error.
+    EXPECT_GE(SP.streamedBytes(), 6u) << "cut " << Cut;
+    EXPECT_LE(SP.streamedBytes(), In.size()) << "cut " << Cut;
+    EXPECT_EQ(SP.carryBytes(), 0u) << "cut " << Cut;
+  }
+}
+
+TEST(StreamDiffTest, ResetServesManyConnectionsAcrossModes) {
+  // One StreamParser, many streams — value mode and event mode, valid
+  // and erroring, back to back; reset() must leave no residue (stale
+  // events, stale errors, stale carry) between them.
+  StreamRig R(makeJsonGrammar());
+  StreamOptions O;
+  O.Events = true;
+  StreamParser SP(R.P.M, O);
+  for (int Conn = 0; Conn < 4; ++Conn) {
+    Workload W = genWorkload("json", 40 + static_cast<uint64_t>(Conn), 400);
+    std::string In = W.Input;
+    const bool Corrupt = Conn % 2 == 1;
+    if (Corrupt) {
+      size_t At = In.find_first_of("{}[],", In.size() / 3);
+      ASSERT_NE(At, std::string::npos);
+      In[At] = '!';
+    }
+    for (size_t At = 0; At < In.size(); At += 11)
+      if (SP.feed(std::string_view(In).substr(At, 11)) ==
+          StreamStatus::Error)
+        break;
+    SP.finish();
+    std::vector<ParseEvent> Evs = SP.takeEvents();
+    std::vector<ParseEvent> WholeEvs;
+    Status WS = R.P.M.parseEvents(R.P.M.Start, In, WholeEvs);
+    ASSERT_EQ(WS.ok(), SP.status() == StreamStatus::Done) << Conn;
+    ASSERT_EQ(WholeEvs.size(), Evs.size()) << Conn;
+    for (size_t I = 0; I < Evs.size(); ++I)
+      ASSERT_EQ(WholeEvs[I], Evs[I]) << "conn " << Conn << " event " << I;
+    if (Corrupt)
+      EXPECT_EQ(SP.take().error(), WS.error()) << Conn;
+    SP.reset();
+    EXPECT_TRUE(SP.events().empty()) << "reset left undrained events";
+  }
+}
+
 TEST(StreamDiffTest, FeedAfterFinishFails) {
   StreamRig R(makeSexpGrammar());
   StreamParser SP(R.P.M);
