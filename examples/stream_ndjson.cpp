@@ -13,9 +13,14 @@
 ///   ./example_stream_ndjson [chunk_bytes]      # synthetic 2 MB stream
 ///   ... | ./example_stream_ndjson [chunk_bytes]  # read stdin instead
 ///
-/// The json grammar parses a *stream* of documents (paper Fig. 12's
-/// "msgs"), so one StreamParser instance handles the whole connection;
-/// the semantic value is the total object count across every document.
+/// This example runs the stream in *recovery mode* (StreamOptions::
+/// Recover, see engine/README.md "The recovery contract"): a corrupted
+/// record does not kill the connection. The parser reports a structured
+/// ParseDiagnostic (offset, line/column, expected set, resync action),
+/// skips to the next record boundary, and keeps serving — the synthetic
+/// stream deliberately corrupts a byte every ~128 KB to show the
+/// contract in action. Completed values arrive per recovered segment
+/// via takeValues(); diagnostics drain mid-stream via takeErrors().
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,12 +49,25 @@ int main(int argc, char **argv) {
     return 1;
   }
   FlapParser P = PR.take();
-  StreamParser SP = P.stream();
+  StreamOptions O;
+  O.Recover = true; // corrupt records yield diagnostics, not dead streams
+  StreamParser SP = P.stream(O);
 
-  size_t Feeds = 0;
+  size_t Feeds = 0, Reported = 0;
   auto Push = [&](std::string_view Chunk) {
     ++Feeds;
-    return SP.feed(Chunk) != StreamStatus::Error;
+    StreamStatus St = SP.feed(Chunk);
+    // In recovery mode diagnostics accumulate instead of failing the
+    // feed; drain them as they arrive, like a server writing its error
+    // log while the connection stays up.
+    for (const ParseDiagnostic &D : SP.takeErrors()) {
+      ++Reported;
+      std::fprintf(stderr, "recovered (line %llu, col %llu): %s\n",
+                   static_cast<unsigned long long>(D.Line),
+                   static_cast<unsigned long long>(D.Col),
+                   D.message().c_str());
+    }
+    return St != StreamStatus::Error;
   };
 
   bool FromStdin = isatty(STDIN_FILENO) == 0;
@@ -64,27 +82,55 @@ int main(int argc, char **argv) {
   }
   if (!FromStdin) {
     // No pipe: synthesize ~2 MB of newline-delimited documents (the
-    // Fig. 12 json workload is exactly that shape) and replay it in
-    // fixed-size chunks as a socket would deliver it.
+    // Fig. 12 json workload is exactly that shape), corrupt the first
+    // byte of a record every ~128 KB, and replay it in fixed-size
+    // chunks as a socket would deliver it.
     Rng R(42);
     Workload W = genJson(R, 2'000'000);
+    std::string S = std::move(W.Input);
+    size_t Corrupted = 0;
+    for (size_t At = 64 * 1024; At < S.size(); At += 128 * 1024) {
+      size_t Nl = S.find('\n', At);
+      if (Nl == std::string::npos || Nl + 1 >= S.size())
+        break;
+      S[Nl + 1] = '!'; // '!' starts no json token outside a string
+      ++Corrupted;
+    }
     std::printf("(no stdin pipe; replaying a synthetic %zu-byte NDJSON "
-                "stream in %zu-byte chunks)\n",
-                W.Input.size(), ChunkBytes);
-    std::string_view In = W.Input;
+                "stream, %zu records corrupted, in %zu-byte chunks)\n",
+                S.size(), Corrupted, ChunkBytes);
+    std::string_view In = S;
     for (size_t At = 0; At < In.size(); At += ChunkBytes)
       if (!Push(In.substr(At, ChunkBytes)))
         break;
   }
 
-  SP.finish();
-  Result<Value> V = SP.take();
-  if (!V.ok()) {
-    std::fprintf(stderr, "parse: %s\n", V.error().c_str());
+  if (SP.finish() == StreamStatus::Error) {
+    // Only a fatal diagnostic (MaxErrors exhausted / no sync token)
+    // fails the stream in recovery mode.
+    Result<Value> V = SP.take();
+    std::fprintf(stderr, "fatal: %s\n", V.error().c_str());
     return 1;
   }
-  std::printf("stream ok: %lld objects in %llu bytes, %zu feeds\n",
-              static_cast<long long>(V->asInt()),
+
+  // Completed values survive per recovered segment; the per-segment
+  // json value is that segment's document count.
+  long long Objects = 0;
+  std::vector<Value> Segs = SP.takeValues();
+  for (const Value &V : Segs)
+    Objects += static_cast<long long>(V.asInt());
+  for (const ParseDiagnostic &D : SP.takeErrors()) {
+    ++Reported;
+    std::fprintf(stderr, "recovered (line %llu, col %llu): %s\n",
+                 static_cast<unsigned long long>(D.Line),
+                 static_cast<unsigned long long>(D.Col),
+                 D.message().c_str());
+  }
+
+  std::printf("stream ok: %lld objects across %zu segments, %zu "
+              "diagnostics%s, %llu bytes, %zu feeds\n",
+              Objects, Segs.size(), Reported,
+              SP.truncated() ? " (truncated)" : "",
               static_cast<unsigned long long>(SP.streamedBytes()), Feeds);
   std::printf("carry high-water: %zu bytes (vs whole-buffer %llu)\n",
               SP.carryHighWater(),

@@ -15,6 +15,7 @@
 
 #include <cassert>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 using namespace flap;
@@ -460,6 +461,114 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
     }
     if (Rounds >= 64)
       std::fill(NtUsable.begin(), NtUsable.end(), 0);
+  }
+
+  //===------------------------------------------------------------===//
+  // Recovery sync sets (sibling fixpoint of the elision analysis
+  // above, over the same fused productions).
+  //
+  // LAST(n) — the tokens that can end a completed parse of n — is a
+  // grounded fixpoint like Phase A's net-effect walk: each non-skip
+  // production's tail is walked right to left, unioning LAST of each
+  // trailing nonterminal and stopping at the first one that cannot
+  // derive ε (HasEps is exact nullability in DGNF: every production
+  // starts with a non-nullable lexer regex); a walk that clears the
+  // whole tail adds the production's own head token. A LAST token
+  // contributes a *sync byte* when its lexer rule is a short literal
+  // (≤ 4 bytes, decided by walking the unique live byte of each
+  // derivative) whose final byte is structural (non-alphanumeric):
+  // NDJSON's '}' and ']', csv's "\r\n", sexp's ')', pgn's '*' — while
+  // 'true'/'null'/"1-0" are rejected, since resynchronizing at a word
+  // tail inside arbitrary garbage is noise. When the skip language
+  // contains '\n', the newline joins every set: records in any
+  // line-oriented corpus end at one. The recovery drivers skip to the
+  // next sync byte after a failure and re-enter the entry nonterminal
+  // just past it (engine/README.md, "Error recovery").
+  //===------------------------------------------------------------===//
+  M.SyncSpecs.resize(NumNts);
+  {
+    // Representative lexer-rule regex per token (F1 inlines the same
+    // canonical regex at every occurrence of a token).
+    std::map<TokenId, RegexId> TokRe;
+    for (NtId N = 0; N < NumNts; ++N)
+      for (const FusedProd &P : F.Nts[N].Prods)
+        if (!P.isSkip())
+          TokRe.emplace(P.FromTok, P.Re);
+
+    std::vector<std::set<TokenId>> LastTok(NumNts);
+    bool Grew = true;
+    while (Grew) {
+      Grew = false;
+      for (NtId N = 0; N < NumNts; ++N)
+        for (const FusedProd &P : F.Nts[N].Prods) {
+          if (P.isSkip())
+            continue;
+          bool Open = true; // can the walk still reach this position?
+          for (size_t J = P.Tail.size(); J-- > 0 && Open;) {
+            const Sym &S = P.Tail[J];
+            if (!S.isNt())
+              continue; // markers consume no input
+            for (TokenId T : LastTok[S.Idx])
+              Grew |= LastTok[N].insert(T).second;
+            Open = F.Nts[S.Idx].HasEps;
+          }
+          if (Open)
+            Grew |= LastTok[N].insert(P.FromTok).second;
+        }
+    }
+
+    // L(Re) == {Lit} for one short literal: at every derivative step
+    // there must be exactly one live byte. classes(Re) partitions the
+    // alphabet with the derivative constant per class, so "one live
+    // class of size one" is exact, not approximate.
+    auto ShortLiteral = [&Arena](RegexId Re, std::string &Lit) {
+      Lit.clear();
+      RegexId R = Re;
+      for (;;) {
+        int Live = -1;
+        std::vector<CharSet> Parts = Arena.classes(R); // copy: memo moves
+        for (const CharSet &Part : Parts) {
+          unsigned char B = Part.first();
+          if (Arena.isEmptyLang(Arena.derive(R, B)))
+            continue;
+          if (Live >= 0 || Part.size() != 1)
+            return false; // branching: more than one string
+          Live = B;
+        }
+        if (Arena.nullable(R))
+          // Live >= 0 would make Lit a proper prefix of a longer match.
+          return Live < 0 && !Lit.empty();
+        if (Live < 0 || Lit.size() >= 4)
+          return false; // dead end, or longer than the literal cap
+        Lit.push_back(static_cast<char>(Live));
+        R = Arena.derive(R, static_cast<unsigned char>(Live));
+      }
+    };
+    auto IsAlnum = [](unsigned char B) {
+      return (B >= '0' && B <= '9') || (B >= 'a' && B <= 'z') ||
+             (B >= 'A' && B <= 'Z');
+    };
+    const bool SkipHasNl =
+        HaveSkip && !Arena.isEmptyLang(Arena.derive(F.SkipRe, '\n'));
+    std::string Lit;
+    for (NtId N = 0; N < NumNts; ++N) {
+      CompiledParser::SyncSpec &SS = M.SyncSpecs[N];
+      for (TokenId T : LastTok[N]) {
+        if (!ShortLiteral(TokRe[T], Lit))
+          continue;
+        unsigned char B = static_cast<unsigned char>(Lit.back());
+        if (!IsAlnum(B))
+          SS.Sync.set(B);
+      }
+      if (SkipHasNl)
+        SS.Sync.set('\n');
+      SS.HasSync = !SS.Sync.empty();
+      SS.Sync.finalize();
+      for (int C = 0; C < 256; ++C)
+        if (!SS.Sync.test(static_cast<unsigned char>(C)))
+          SS.NotSync.set(static_cast<unsigned char>(C));
+      SS.NotSync.finalize();
+    }
   }
 
   // Pure token nonterminals: value is exactly one token.
@@ -959,10 +1068,10 @@ size_t matchTrailingSkipT(const CompiledParser &M, std::string_view Input,
 /// Sk.failTrailing recorded the diagnostic (a no-op for NullSink).
 template <typename Tab, typename Sink>
 bool driveImpl(const CompiledParser &M, NtId StartNt, std::string_view Input,
-               std::vector<uint32_t> &Stack, Sink &Sk) {
+               std::vector<uint32_t> &Stack, Sink &Sk, size_t Pos0 = 0) {
   Stack.clear();
   Stack.push_back(M.packNt(StartNt));
-  size_t Pos = 0;
+  size_t Pos = Pos0;
   const size_t Len = Input.size();
   const char *S = Input.data();
   const typename Tab::Cell *T = Tab::table(M);
@@ -1034,9 +1143,97 @@ bool driveImpl(const CompiledParser &M, NtId StartNt, std::string_view Input,
 /// parseBatch — never per scan.
 template <typename Sink>
 bool drive(const CompiledParser &M, NtId StartNt, std::string_view Input,
-           std::vector<uint32_t> &Stack, Sink &Sk) {
-  return M.Trans8.empty() ? driveImpl<Tab16>(M, StartNt, Input, Stack, Sk)
-                          : driveImpl<Tab8>(M, StartNt, Input, Stack, Sk);
+           std::vector<uint32_t> &Stack, Sink &Sk, size_t Pos0 = 0) {
+  return M.Trans8.empty()
+             ? driveImpl<Tab16>(M, StartNt, Input, Stack, Sk, Pos0)
+             : driveImpl<Tab8>(M, StartNt, Input, Stack, Sk, Pos0);
+}
+
+//===--------------------------------------------------------------------===//
+// Sync-token recovery (whole-buffer)
+//===--------------------------------------------------------------------===//
+
+/// Finds where to resume after a failure at \p Off: the first position
+/// just past a sync byte whose following byte can enter the recovery
+/// nonterminal's dispatch row (so re-entry starts on a live byte — F2
+/// makes whitespace live too). The bulk sync scan reuses skipRun over
+/// the complement set. Returns Input.size() with Action::SkipToEnd when
+/// no viable sync point remains (including a sync byte as the very last
+/// byte: there is nothing after it to re-enter on).
+size_t findResume(const CompiledParser &M, NtId R,
+                  const CompiledParser::SyncSpec &SS, std::string_view Input,
+                  size_t Off, ParseDiagnostic::Action &Act) {
+  const size_t Len = Input.size();
+  size_t P = Off;
+  while (P < Len) {
+    size_t J = skipRun(SS.NotSync, Input.data(), P, Len); // next sync byte
+    if (J + 1 >= Len)
+      break;
+    if (M.entryLive(R, static_cast<unsigned char>(Input[J + 1]))) {
+      Act = ParseDiagnostic::Action::Resync;
+      return J + 1;
+    }
+    P = J + 1;
+  }
+  Act = ParseDiagnostic::Action::SkipToEnd;
+  return Len;
+}
+
+/// The shared whole-buffer recovery loop: parse full segments of the
+/// entry nonterminal, and after each failure record a ParseDiagnostic,
+/// skip to the next viable sync point (findResume) and re-enter the
+/// machine there. \p OnSegment is invoked with true when a segment
+/// completed (collect its value) and false when a segment failed
+/// mid-parse (drop its partial values); a trailing-input failure counts
+/// as a completed segment followed by garbage. Diagnostic line/column
+/// come from one LineTracker pass over the input, so every byte is
+/// scanned at most once no matter how many errors accumulate.
+template <typename SinkT, typename SegFn>
+void recoverLoop(const CompiledParser &M, NtId R, std::string_view Input,
+                 std::vector<uint32_t> &Stack, SinkT &Sk, SegFn &&OnSegment,
+                 const RecoverOptions &Opts, RecoveredParse &Out) {
+  const CompiledParser::SyncSpec &SS = M.SyncSpecs[R];
+  const size_t MaxErrors = Opts.MaxErrors ? Opts.MaxErrors : 1;
+  LineTracker LT;
+  size_t Q = 0;
+  for (;;) {
+    if (drive(M, R, Input, Stack, Sk, Q)) {
+      OnSegment(true);
+      return;
+    }
+    const bool Trailing = Sk.FailTrailing;
+    const uint64_t Off = Sk.FailOff;
+    // A trailing failure means the segment's value completed before the
+    // garbage began — deliver it; a parse failure drops the partials.
+    OnSegment(Trailing);
+    ParseDiagnostic D;
+    D.K = Trailing ? ParseDiagnostic::Kind::Trailing
+                   : ParseDiagnostic::Kind::Parse;
+    D.Off = Off;
+    if (!Trailing) {
+      D.Nt = Sk.FailNt;
+      D.Expected = M.NtExpected[Sk.FailNt];
+      D.Where = M.NtNames[Sk.FailNt];
+    }
+    LT.advance(Input.data() + LT.ScannedTo,
+               static_cast<size_t>(Off) - static_cast<size_t>(LT.ScannedTo));
+    D.Line = LT.Line;
+    D.Col = LT.colAt(Off);
+    if (Out.Errors.size() + 1 >= MaxErrors || !SS.HasSync) {
+      // Error-limit circuit breaker, or a grammar with no sync bytes.
+      Out.Truncated |= Out.Errors.size() + 1 >= MaxErrors;
+      D.Act = ParseDiagnostic::Action::Fatal;
+      D.ResumeOff = Off;
+      Out.Errors.push_back(std::move(D));
+      return;
+    }
+    Q = findResume(M, R, SS, Input, static_cast<size_t>(Off), D.Act);
+    D.ResumeOff = Q;
+    const bool End = D.Act == ParseDiagnostic::Action::SkipToEnd;
+    Out.Errors.push_back(std::move(D));
+    if (End)
+      return;
+  }
 }
 
 //===--------------------------------------------------------------------===//
@@ -1200,6 +1397,114 @@ CompiledParser::parseBatch(NtId StartNt, const std::string_view *Inputs,
   return Out;
 }
 
+std::vector<Result<Value>>
+CompiledParser::parseBatch(NtId StartNt, const std::string_view *Inputs,
+                           void *const *Users, size_t N,
+                           ParseScratch &Scratch) const {
+  assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  std::vector<Result<Value>> Out;
+  Out.reserve(N);
+  if (Nts[StartNt].ValueFree) {
+    for (size_t I = 0; I < N; ++I)
+      Out.push_back(parseLegacyFrom(StartNt, Inputs[I], Users[I]));
+    return Out;
+  }
+  // Same hoisted serving loop as the shared-User overload; the rebind
+  // re-aims both the input view and the per-input action context.
+  const bool Small = !Trans8.empty();
+  Scratch.reset();
+  ValueSink Sk(*this, Scratch, std::string_view(), nullptr);
+  for (size_t I = 0; I < N; ++I) {
+    Sk.rebind(Inputs[I], Users[I]);
+    const bool Ok =
+        Small ? driveImpl<Tab8>(*this, StartNt, Inputs[I], Scratch.Stack, Sk)
+              : driveImpl<Tab16>(*this, StartNt, Inputs[I], Scratch.Stack,
+                                 Sk);
+    Out.push_back(Sk.result(Ok));
+  }
+  return Out;
+}
+
+RecoveredParse CompiledParser::parseRecoverFrom(NtId StartNt,
+                                                std::string_view Input,
+                                                ParseScratch &Scratch,
+                                                void *User,
+                                                const RecoverOptions &Opts) const {
+  assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  RecoveredParse Out;
+  if (Nts[StartNt].ValueFree) {
+    // Dead-token elision compiled this entry's value away and the legacy
+    // loop has no recovery mode: fail fast with one structured
+    // diagnostic instead of silently delivering nothing.
+    ParseDiagnostic D;
+    D.Act = ParseDiagnostic::Action::Fatal;
+    D.Nt = StartNt;
+    D.Expected = NtExpected[StartNt];
+    D.Where = NtNames[StartNt];
+    Out.Errors.push_back(std::move(D));
+    Out.Truncated = true;
+    return Out;
+  }
+  Scratch.reset();
+  ValueSink Sk(*this, Scratch, Input, User);
+  recoverLoop(*this, StartNt, Input, Scratch.Stack, Sk,
+              [&](bool Completed) {
+                if (Completed)
+                  Out.Values.push_back(Sk.collectSegment());
+                else
+                  Sk.discardPartial();
+              },
+              Opts, Out);
+  return Out;
+}
+
+RecoveredParse CompiledParser::parseEventsRecover(
+    NtId StartNt, std::string_view Input, ParseScratch &Scratch,
+    std::vector<ParseEvent> &Events, const RecoverOptions &Opts) const {
+  assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  RecoveredParse Out;
+  if (Nts[StartNt].ValueFree) {
+    ParseDiagnostic D;
+    D.Act = ParseDiagnostic::Action::Fatal;
+    D.Nt = StartNt;
+    D.Expected = NtExpected[StartNt];
+    D.Where = NtNames[StartNt];
+    Out.Errors.push_back(std::move(D));
+    Out.Truncated = true;
+    return Out;
+  }
+  // Events already appended before a failure stay in the stream (the
+  // same contract as the streaming event log across a recovered error).
+  EventSink Sk(*this, Input, Events);
+  recoverLoop(*this, StartNt, Input, Scratch.Stack, Sk, [](bool) {}, Opts,
+              Out);
+  return Out;
+}
+
+RecoveredParse
+CompiledParser::recognizeRecover(NtId StartNt, std::string_view Input,
+                                 ParseScratch &Scratch,
+                                 const RecoverOptions &Opts) const {
+  assert(StartNt < Nts.size() && "entry nonterminal out of range");
+  RecoveredParse Out;
+  RecoverNullSink Sk;
+  recoverLoop(*this, StartNt, Input, Scratch.Stack, Sk, [](bool) {}, Opts,
+              Out);
+  return Out;
+}
+
+std::vector<RecoveredParse> CompiledParser::parseBatchRecover(
+    NtId StartNt, const std::string_view *Inputs, size_t N,
+    ParseScratch &Scratch, void *const *Users,
+    const RecoverOptions &Opts) const {
+  std::vector<RecoveredParse> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(parseRecoverFrom(StartNt, Inputs[I], Scratch,
+                                   Users ? Users[I] : nullptr, Opts));
+  return Out;
+}
+
 Result<Value> CompiledParser::parseLegacyFrom(NtId StartNt,
                                               std::string_view Input,
                                               void *User) const {
@@ -1210,7 +1515,7 @@ Result<Value> CompiledParser::parseLegacyFrom(NtId StartNt,
   // the *unrewritten* symbol stream (no dead-token elision). The
   // differential suites pin the accelerated loop to this one.
   assert(StartNt < Nts.size() && "entry nonterminal out of range");
-  ParseContext Ctx{Input, User};
+  ParseContext Ctx{Input, User, 0, {}};
   ValueStack Values;
   std::vector<Sym> Stack;
   Stack.push_back(Sym::nt(StartNt));
@@ -1261,19 +1566,15 @@ Result<Value> CompiledParser::parseLegacyFrom(NtId StartNt,
       }
       continue;
     }
-    // Same diagnostics as the accelerated loop: expected-token sets and
-    // absolute offsets must not drift between kernels (the differential
-    // fuzzer compares error strings verbatim).
-    if (!NtExpected[S.Idx].empty())
-      return Err(format("parse error at offset %zu: expected %s", Pos,
-                        NtExpected[S.Idx].c_str()));
-    return Err(format("parse error at offset %zu in '%s'", Pos,
-                      NtNames[S.Idx].c_str()));
+    // Same diagnostics as the accelerated loop — rendered through the
+    // ONE shared formatter (engine/Diagnostic.h), so the kernels cannot
+    // drift (the differential fuzzer compares error strings verbatim).
+    return Err(formatParseErrorAt(Pos, NtExpected[S.Idx], NtNames[S.Idx]));
   }
 
   Pos = matchTrailingSkipLegacy(*this, Input, Pos);
   if (Pos != Len)
-    return Err(format("parse error: trailing input at offset %zu", Pos));
+    return Err(formatTrailingAt(Pos));
   // Final-value collection — the shared ValueStack policy.
   return Values.collect();
 }

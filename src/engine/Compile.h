@@ -54,6 +54,7 @@
 
 #include "cfe/Action.h"
 #include "core/Fuse.h"
+#include "engine/Diagnostic.h"
 #include "engine/RunSkip.h"
 #include "support/Result.h"
 
@@ -62,6 +63,29 @@
 #include <vector>
 
 namespace flap {
+
+/// Knobs for the recovery entry points (parseRecover and friends, and
+/// StreamParser with StreamOptions::Recover).
+struct RecoverOptions {
+  /// Stop parsing (Truncated = true) once this many diagnostics have
+  /// accumulated — a malformed-input circuit breaker for serving paths.
+  size_t MaxErrors = 100;
+};
+
+/// Result of a recovery-mode parse: the values of every *completed*
+/// segment (a segment is one full run of the entry nonterminal, from
+/// the start of input or a resynchronization point to the next failure
+/// or end of input), plus the structured error list. A clean input
+/// yields exactly one value and no errors, byte-identical to parseFrom.
+struct RecoveredParse {
+  std::vector<Value> Values;
+  std::vector<ParseDiagnostic> Errors;
+  /// True when parsing stopped early because RecoverOptions::MaxErrors
+  /// was reached (the final diagnostic's Action is Fatal).
+  bool Truncated = false;
+
+  bool clean() const { return Errors.empty() && !Truncated; }
+};
 
 /// Reusable per-parse working memory. Parsing never shrinks capacity, so
 /// a scratch reused across parses makes the residual loop allocation-free
@@ -209,6 +233,75 @@ public:
   parseBatch(NtId StartNt, const std::vector<std::string_view> &Inputs,
              ParseScratch &Scratch, void *User = nullptr) const {
     return parseBatch(StartNt, Inputs.data(), Inputs.size(), Scratch, User);
+  }
+
+  /// Per-input user-context variant: \p Users[i] is passed to input i's
+  /// actions (entries may be null). This is what opens batch serving to
+  /// the context-accumulating grammars (csv/pgn/ppm), which need one
+  /// fresh context per document rather than one shared across the batch.
+  std::vector<Result<Value>> parseBatch(NtId StartNt,
+                                        const std::string_view *Inputs,
+                                        void *const *Users, size_t N,
+                                        ParseScratch &Scratch) const;
+  std::vector<Result<Value>>
+  parseBatch(NtId StartNt, const std::vector<std::string_view> &Inputs,
+             const std::vector<void *> &Users, ParseScratch &Scratch) const {
+    return parseBatch(StartNt, Inputs.data(), Users.data(), Inputs.size(),
+                      Scratch);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Recovery entry points: sync-token resynchronization
+  //
+  // On failure the drivers skip to the next *sync byte* of the entry
+  // nonterminal (derived at compileFused time, see SyncSpec), re-enter
+  // the machine at that nonterminal, and keep collecting values while
+  // accumulating ParseDiagnostics — instead of dying on the first bad
+  // byte. On clean input these are the ordinary drivers plus one branch
+  // per parse, so recovery mode is free when nothing fails
+  // (BENCH_recovery.json gates this at 5%).
+  //===--------------------------------------------------------------===//
+
+  /// Value-building recovery parse from the grammar start symbol.
+  RecoveredParse parseRecover(std::string_view Input, ParseScratch &Scratch,
+                              void *User = nullptr,
+                              const RecoverOptions &Opts = {}) const {
+    return parseRecoverFrom(Start, Input, Scratch, User, Opts);
+  }
+  /// Entry-point variant. A ValueFree entry nonterminal cannot deliver
+  /// values (its value was compiled away); the result carries a single
+  /// Fatal diagnostic at offset 0 and Truncated = true.
+  RecoveredParse parseRecoverFrom(NtId StartNt, std::string_view Input,
+                                  ParseScratch &Scratch, void *User = nullptr,
+                                  const RecoverOptions &Opts = {}) const;
+
+  /// SAX recovery: appends the events of every segment (completed or
+  /// not — events already emitted before a failure stay, exactly like
+  /// the streaming event log) and returns the error list. The returned
+  /// RecoveredParse carries no values.
+  RecoveredParse parseEventsRecover(NtId StartNt, std::string_view Input,
+                                    ParseScratch &Scratch,
+                                    std::vector<ParseEvent> &Events,
+                                    const RecoverOptions &Opts = {}) const;
+
+  /// Recognition-mode recovery: diagnostics only, NullSink speed.
+  RecoveredParse recognizeRecover(NtId StartNt, std::string_view Input,
+                                  ParseScratch &Scratch,
+                                  const RecoverOptions &Opts = {}) const;
+
+  /// Batch recovery: one RecoveredParse per input, one warmed scratch.
+  /// \p Users (when non-null) supplies a per-input action context.
+  std::vector<RecoveredParse>
+  parseBatchRecover(NtId StartNt, const std::string_view *Inputs, size_t N,
+                    ParseScratch &Scratch, void *const *Users = nullptr,
+                    const RecoverOptions &Opts = {}) const;
+  std::vector<RecoveredParse>
+  parseBatchRecover(NtId StartNt, const std::vector<std::string_view> &Inputs,
+                    ParseScratch &Scratch,
+                    const std::vector<void *> *Users = nullptr,
+                    const RecoverOptions &Opts = {}) const {
+    return parseBatchRecover(StartNt, Inputs.data(), Inputs.size(), Scratch,
+                             Users ? Users->data() : nullptr, Opts);
   }
 
   /// Pre-acceleration reference loop: byte-at-a-time table walk with a
@@ -394,6 +487,36 @@ public:
   /// "rpar, atom" — derived from the fused productions' provenance and
   /// used in parse error messages.
   std::vector<std::string> NtExpected;
+
+  /// Per-nonterminal resynchronization metadata, derived at compileFused
+  /// time by the same net-effect fixpoint family that drives dead-token
+  /// elision: a LAST(n) fixpoint collects the tokens that can *end* a
+  /// completed parse of n, and a token contributes a sync byte when its
+  /// lexer rule is a short literal ending in a structural (non-
+  /// alphanumeric) byte — NDJSON's '}'/']', csv's "\r\n", sexp's ')',
+  /// pgn's '*'. When the grammar's skip language contains '\n', the
+  /// newline joins the set (records in every line-oriented corpus end at
+  /// one). Recovery skips to the next sync byte and re-enters the entry
+  /// nonterminal just past it.
+  struct SyncSpec {
+    bool HasSync = false;
+    /// The sync bytes themselves (membership tests, introspection).
+    SkipSet Sync;
+    /// Complement of Sync, finalized: skipRun() over it lands exactly on
+    /// the next sync byte, reusing the bulk run-skip kernels for the
+    /// resynchronization scan.
+    SkipSet NotSync;
+  };
+  std::vector<SyncSpec> SyncSpecs; ///< parallel to Nts
+
+  /// True when the entry dispatch row of \p N has a transition on \p B —
+  /// the recovery drivers' test that a candidate resume point can start
+  /// a lexeme (skip bytes count: F2 gives every nonterminal a
+  /// whitespace production, so its dispatch row covers them).
+  bool entryLive(NtId N, unsigned char B) const {
+    const size_t Row = static_cast<size_t>(Nts[N].StartState) * 256 + B;
+    return Trans8.empty() ? Trans16[Row] >= 0 : Trans8[Row] != Dead8;
+  }
   std::vector<std::vector<ActionId>> EpsChains;
 
   /// A pre-fused ε-marker chain: the micro-op program the hot loops run

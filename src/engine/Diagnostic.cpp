@@ -1,0 +1,34 @@
+//===- engine/Diagnostic.cpp - Structured parse diagnostics --------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Diagnostic.h"
+
+#include "support/StrUtil.h"
+
+namespace flap {
+
+std::string formatParseErrorAt(uint64_t Off, const std::string &Expected,
+                               const std::string &Where) {
+  if (!Expected.empty())
+    return format("parse error at offset %llu: expected %s",
+                  static_cast<unsigned long long>(Off), Expected.c_str());
+  return format("parse error at offset %llu in '%s'",
+                static_cast<unsigned long long>(Off), Where.c_str());
+}
+
+std::string formatTrailingAt(uint64_t Off) {
+  return format("parse error: trailing input at offset %llu",
+                static_cast<unsigned long long>(Off));
+}
+
+std::string ParseDiagnostic::message() const {
+  if (K == Kind::Trailing)
+    return formatTrailingAt(Off);
+  return formatParseErrorAt(Off, Expected, Where);
+}
+
+} // namespace flap

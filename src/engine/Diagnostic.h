@@ -1,0 +1,110 @@
+//===- engine/Diagnostic.h - Structured parse diagnostics ------*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ONE diagnostic record every engine path shares. Before recovery,
+/// the whole-buffer sinks (engine/Sink.h), the legacy reference loop
+/// (Compile.cpp) and the streaming parser (Stream.cpp) each formatted
+/// their own copy of the "parse error at offset N" strings; the
+/// differential suites compared them verbatim, which kept them honest
+/// but triplicated. They now all render through formatParseErrorAt /
+/// formatTrailingAt below, and the recovery tier surfaces the same
+/// information structurally as ParseDiagnostic — absolute offset,
+/// lazily materialized line/column, the expected-set text from
+/// CompiledParser::NtExpected, and the resynchronization action taken.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_ENGINE_DIAGNOSTIC_H
+#define FLAP_ENGINE_DIAGNOSTIC_H
+
+#include "core/Grammar.h"
+
+#include <cstdint>
+#include <string>
+
+namespace flap {
+
+/// Renders the parse-failure message every path emits: prefers the
+/// expected-set form when \p Expected is non-empty, else falls back to
+/// naming the failing nonterminal \p Where.
+std::string formatParseErrorAt(uint64_t Off, const std::string &Expected,
+                               const std::string &Where);
+
+/// Renders the trailing-input message (stack empty, input left over).
+std::string formatTrailingAt(uint64_t Off);
+
+/// One structured parse error. Produced by the recovery entry points
+/// (CompiledParser::parseRecover and friends, StreamParser in recovery
+/// mode); message() reproduces exactly the string the non-recovery
+/// paths would have failed with, so the first diagnostic of a recovered
+/// parse equals the legacy error verbatim.
+struct ParseDiagnostic {
+  enum class Kind : uint8_t {
+    Parse,   ///< no production matched while parsing Nt
+    Trailing ///< a value completed but input remained
+  };
+  /// What the recovery driver did after recording the error.
+  enum class Action : uint8_t {
+    Fatal,    ///< stopped: no sync bytes, or the error limit was hit
+    Resync,   ///< skipped to ResumeOff (just past a sync byte) and
+              ///< re-entered the machine at the recovery nonterminal
+    SkipToEnd ///< no viable sync point before end of input; the rest
+              ///< of the input was discarded (ResumeOff == input size)
+  };
+
+  Kind K = Kind::Parse;
+  Action Act = Action::Fatal;
+  NtId Nt = NoNt;         ///< failing nonterminal (Kind::Parse only)
+  uint64_t Off = 0;       ///< absolute stream offset of the failure
+  uint64_t ResumeOff = 0; ///< absolute offset parsing resumed at
+  uint32_t Line = 1;      ///< 1-based line of Off
+  uint32_t Col = 1;       ///< 1-based column of Off (byte-oriented)
+  std::string Expected;   ///< expected-set text (NtExpected), may be ""
+  std::string Where;      ///< failing nonterminal's name (NtNames)
+
+  /// The exact string the corresponding non-recovery path fails with.
+  std::string message() const;
+
+  bool operator==(const ParseDiagnostic &O) const {
+    return K == O.K && Act == O.Act && Nt == O.Nt && Off == O.Off &&
+           ResumeOff == O.ResumeOff && Line == O.Line && Col == O.Col &&
+           Expected == O.Expected && Where == O.Where;
+  }
+  bool operator!=(const ParseDiagnostic &O) const { return !(*this == O); }
+};
+
+/// Incremental line/column accounting. Diagnostics are cold, so neither
+/// driver counts newlines on the hot path: the tracker advances over
+/// each input byte at most once — through the compacted-away prefix in
+/// the streaming parser, and lazily up to the failure offset when a
+/// diagnostic materializes — giving identical line/column numbers on
+/// the whole-buffer, batch and streaming paths for O(n) total work.
+struct LineTracker {
+  uint64_t ScannedTo = 0; ///< absolute offset scanned so far
+  uint64_t LineStart = 0; ///< absolute offset of the current line start
+  uint32_t Line = 1;      ///< 1-based line number at ScannedTo
+
+  /// Absorbs the \p N bytes at absolute offset ScannedTo.
+  void advance(const char *S, size_t N) {
+    for (size_t I = 0; I < N; ++I)
+      if (S[I] == '\n') {
+        ++Line;
+        LineStart = ScannedTo + I + 1;
+      }
+    ScannedTo += N;
+  }
+
+  /// Column of \p Off, which must satisfy LineStart <= Off == ScannedTo.
+  uint32_t colAt(uint64_t Off) const {
+    return static_cast<uint32_t>(Off - LineStart) + 1;
+  }
+};
+
+} // namespace flap
+
+#endif // FLAP_ENGINE_DIAGNOSTIC_H

@@ -127,6 +127,28 @@ struct FlapParser {
     return M.parseBatch(M.Start, Inputs, Scratch, User);
   }
 
+  /// Sync-token error recovery over a whole buffer (see
+  /// CompiledParser::parseRecover and engine/README.md "The recovery
+  /// contract"): skips corrupted records, returns every completed
+  /// segment value plus the structured diagnostic list.
+  RecoveredParse parseRecover(std::string_view Input, ParseScratch &Scratch,
+                              void *User = nullptr,
+                              RecoverOptions Opts = {}) const {
+    return M.parseRecover(Input, Scratch, User, Opts);
+  }
+
+  /// Recovery-mode batch serving: one RecoveredParse per input, warmed
+  /// scratch shared across the batch (the malformed-input serving
+  /// contract — a corrupt document yields its diagnostics, never
+  /// poisons its neighbours).
+  std::vector<RecoveredParse>
+  parseBatchRecover(const std::vector<std::string_view> &Inputs,
+                    ParseScratch &Scratch,
+                    const std::vector<void *> *Users = nullptr,
+                    RecoverOptions Opts = {}) const {
+    return M.parseBatchRecover(M.Start, Inputs, Scratch, Users, Opts);
+  }
+
   /// A push-style streaming parse over the same machine (engine/
   /// Stream.h): feed chunks, finish, take the value. The FlapParser must
   /// outlive the returned StreamParser.

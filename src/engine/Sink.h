@@ -69,23 +69,29 @@
 
 namespace flap {
 
-/// Shared diagnostics mix-in: the whole-buffer error strings, identical
-/// across every value-producing sink (the differential suites compare
-/// them verbatim against the legacy loop and the streaming parser).
+/// Shared diagnostics mix-in: renders the whole-buffer error strings
+/// through the ONE formatter every path uses (engine/Diagnostic.h) and
+/// records the failure site structurally, which is what the recovery
+/// drivers read to build ParseDiagnostics. The differential suites
+/// compare the strings verbatim against the legacy loop and the
+/// streaming parser.
 struct SinkDiagnostics {
   std::string ErrMsg;
+  NtId FailNt = NoNt;       ///< failing nonterminal (parse failures)
+  uint64_t FailOff = 0;     ///< absolute failure offset
+  bool FailTrailing = false;
 
   void failParse(const CompiledParser &M, NtId N, uint64_t Pos) {
-    if (!M.NtExpected[N].empty())
-      ErrMsg = format("parse error at offset %zu: expected %s",
-                      static_cast<size_t>(Pos), M.NtExpected[N].c_str());
-    else
-      ErrMsg = format("parse error at offset %zu in '%s'",
-                      static_cast<size_t>(Pos), M.NtNames[N].c_str());
+    FailNt = N;
+    FailOff = Pos;
+    FailTrailing = false;
+    ErrMsg = formatParseErrorAt(Pos, M.NtExpected[N], M.NtNames[N]);
   }
   void failTrailing(uint64_t Pos) {
-    ErrMsg = format("parse error: trailing input at offset %zu",
-                    static_cast<size_t>(Pos));
+    FailNt = NoNt;
+    FailOff = Pos;
+    FailTrailing = true;
+    ErrMsg = formatTrailingAt(Pos);
   }
 };
 
@@ -114,7 +120,7 @@ inline void runEpsProgram(const CompiledParser &M, int32_t Chain,
 /// parse loop had — token pushes off the packed accept metadata, pooled
 /// micro-op dispatch with the MSlow escape, pre-fused ε-programs, and
 /// the shared ValueStack::collect() final-value policy.
-class ValueSink : SinkDiagnostics {
+class ValueSink : public SinkDiagnostics {
 public:
   static constexpr bool Markers = true;
   static constexpr bool Enters = false;
@@ -130,6 +136,13 @@ public:
   /// parseBatch's loop is just this assignment (the caller resets the
   /// scratch separately).
   void rebind(std::string_view Input) { Ctx.Input = Input; }
+  /// Per-input user-context variant, for the parseBatch overload that
+  /// takes a Users array (context-accumulating grammars need one fresh
+  /// context per document).
+  void rebind(std::string_view Input, void *User) {
+    Ctx.Input = Input;
+    Ctx.User = User;
+  }
 
   FLAP_SINK_INLINE void enter(NtId) {}
 
@@ -167,6 +180,12 @@ public:
     return Values.collect();
   }
 
+  /// Recovery support: take the completed segment's value (the stack
+  /// holds exactly the finished parse's values), or drop a failed
+  /// segment's partial values.
+  Value collectSegment() { return Values.collect(); }
+  void discardPartial() { Values.clear(); }
+
 private:
   const CompiledParser &M;
   ValueStack &Values;
@@ -178,7 +197,7 @@ private:
 /// text is materialized eagerly from the input window — the event stream
 /// never references the input after the hook returns, which is what lets
 /// the streaming driver drop every byte behind the in-progress lexeme.
-class EventSink : SinkDiagnostics {
+class EventSink : public SinkDiagnostics {
 public:
   static constexpr bool Markers = true;
   static constexpr bool Enters = true;
@@ -257,6 +276,33 @@ struct NullSink {
   FLAP_SINK_INLINE void eps(NtId, int32_t) {}
   FLAP_SINK_INLINE void failParse(NtId, uint64_t) {}
   FLAP_SINK_INLINE void failTrailing(uint64_t) {}
+};
+
+/// Recognition-mode recovery sink: NullSink behaviour (no values, no
+/// events, NtPool walk) plus the bare failure site — no strings; the
+/// recovery driver builds the ParseDiagnostic from the recorded fields.
+struct RecoverNullSink {
+  static constexpr bool Markers = false;
+  static constexpr bool Enters = false;
+
+  NtId FailNt = NoNt;
+  uint64_t FailOff = 0;
+  bool FailTrailing = false;
+
+  FLAP_SINK_INLINE void enter(NtId) {}
+  FLAP_SINK_INLINE void token(uint64_t, uint64_t, uint64_t) {}
+  FLAP_SINK_INLINE void marker(uint32_t) {}
+  FLAP_SINK_INLINE void eps(NtId, int32_t) {}
+  void failParse(NtId N, uint64_t Pos) {
+    FailNt = N;
+    FailOff = Pos;
+    FailTrailing = false;
+  }
+  void failTrailing(uint64_t Pos) {
+    FailNt = NoNt;
+    FailOff = Pos;
+    FailTrailing = true;
+  }
 };
 
 } // namespace flap

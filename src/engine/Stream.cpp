@@ -22,7 +22,8 @@ StreamParser::StreamParser(const CompiledParser &Machine, StreamOptions Opts)
     : M(&Machine), StartNt(Opts.Start == NoNt ? Machine.Start : Opts.Start),
       User(Opts.User), Recognize(Opts.Recognize),
       EventMode(!Opts.Recognize && Opts.Events),
-      RefActions(Opts.RefActions),
+      RefActions(Opts.RefActions), RecoverMode(Opts.Recover),
+      MaxErrors(Opts.MaxErrors ? Opts.MaxErrors : 1),
       TrackRetain(!Opts.Recognize && !EventMode && Machine.Actions &&
                   Machine.Actions->readsInput()) {
   assert(StartNt < M->Nts.size() && "entry nonterminal out of range");
@@ -57,6 +58,14 @@ void StreamParser::reset() {
   ErrOff = 0;
   Out = Value();
   EvLog.clear();
+  Errs.clear();
+  SegVals.clear();
+  Pending = ParseDiagnostic();
+  HavePending = false;
+  Truncated = false;
+  ErrCount = 0;
+  RePos = 0;
+  LT = LineTracker();
   CarryHW = 0;
   // Deliberately kept: the warmed Pool arena, the machine/table
   // references, and every buffer's capacity — one StreamParser serves
@@ -219,14 +228,32 @@ struct StreamParser::RSink : NullSink {
 };
 
 void StreamParser::compact() {
-  uint64_t KeepAbs = WinBase + (MidScan ? Sc.Base : Pos);
-  if (!Retain.empty())
-    KeepAbs = std::min(KeepAbs, Retain.back().RunMin);
+  uint64_t KeepAbs;
+  if (Ph == Phase::Resync) {
+    // Mid-resynchronization the only live position is the scan cursor
+    // (the segment's values were collected or dropped at the failure,
+    // so no retain watermark reaches further back).
+    KeepAbs = WinBase + RePos;
+  } else {
+    KeepAbs = WinBase + (MidScan ? Sc.Base : Pos);
+    if (!Retain.empty())
+      KeepAbs = std::min(KeepAbs, Retain.back().RunMin);
+  }
+  // Diagnostics need line/column for offsets whose prefix may be
+  // compacted away: absorb the bytes once, before they go.
+  if (RecoverMode && KeepAbs > LT.ScannedTo)
+    LT.advance(Buf.data() + static_cast<size_t>(LT.ScannedTo - WinBase),
+               static_cast<size_t>(KeepAbs - LT.ScannedTo));
   size_t Cut = static_cast<size_t>(KeepAbs - WinBase);
   if (Cut != 0) {
     Buf.erase(0, Cut);
     WinBase += Cut;
-    Pos -= Cut;
+    if (Ph == Phase::Resync) {
+      RePos -= Cut;
+      Pos = 0; // stale (the failure position); resync resolution resets it
+    } else {
+      Pos -= Cut;
+    }
     if (MidScan) {
       Sc.Base -= Cut;
       Sc.BestEnd -= Cut;
@@ -240,24 +267,132 @@ void StreamParser::compact() {
 }
 
 StreamStatus StreamParser::failParse(NtId N) {
-  // Byte-identical diagnostics to the whole-buffer loop, with absolute
-  // stream offsets (%zu and %llu print the same digits).
-  unsigned long long Off = WinBase + Pos;
-  if (!M->NtExpected[N].empty())
-    ErrMsg = format("parse error at offset %llu: expected %s", Off,
-                    M->NtExpected[N].c_str());
-  else
-    ErrMsg = format("parse error at offset %llu in '%s'", Off,
-                    M->NtNames[N].c_str());
+  const uint64_t Off = WinBase + Pos;
+  if (RecoverMode)
+    return recoverAt(N, /*Trailing=*/false, Off);
+  // Byte-identical diagnostics to the whole-buffer loop, rendered by
+  // the one shared formatter (engine/Diagnostic.h), with absolute
+  // stream offsets.
+  ErrMsg = formatParseErrorAt(Off, M->NtExpected[N], M->NtNames[N]);
   releaseAfterError(Off);
   return StreamStatus::Error;
 }
 
 StreamStatus StreamParser::failTrailing() {
-  unsigned long long Off = WinBase + Pos;
-  ErrMsg = format("parse error: trailing input at offset %llu", Off);
+  const uint64_t Off = WinBase + Pos;
+  if (RecoverMode)
+    return recoverAt(NoNt, /*Trailing=*/true, Off);
+  ErrMsg = formatTrailingAt(Off);
   releaseAfterError(Off);
   return StreamStatus::Error;
+}
+
+StreamStatus StreamParser::recoverAt(NtId N, bool Trailing, uint64_t Off) {
+  // Close the segment first — the whole-buffer recovery driver's
+  // OnSegment policy: a Trailing failure means a value *completed*
+  // before the leftover input, so it ships; a parse failure drops the
+  // partial. (Event mode keeps the failed segment's partial events in
+  // EvLog — they were delivered at match time, same as the whole-buffer
+  // parseEventsRecover's output vector.)
+  if (!Recognize && !EventMode) {
+    if (Trailing)
+      SegVals.push_back(Values.collect());
+    else
+      Values.clear();
+  }
+  NumVals = 0;
+  Retain.clear();
+  MidScan = false;
+
+  ParseDiagnostic D;
+  D.K = Trailing ? ParseDiagnostic::Kind::Trailing
+                 : ParseDiagnostic::Kind::Parse;
+  D.Off = Off;
+  if (!Trailing) {
+    D.Nt = N;
+    D.Expected = M->NtExpected[N];
+    D.Where = M->NtNames[N];
+  }
+  // Lazily absorb the window bytes up to the failure (compact() already
+  // absorbed everything before the window).
+  if (Off > LT.ScannedTo)
+    LT.advance(Buf.data() + static_cast<size_t>(LT.ScannedTo - WinBase),
+               static_cast<size_t>(Off - LT.ScannedTo));
+  D.Line = LT.Line;
+  D.Col = LT.colAt(Off);
+
+  const CompiledParser::SyncSpec &SS = M->SyncSpecs[StartNt];
+  if (ErrCount + 1 >= MaxErrors || !SS.HasSync) {
+    // Same stop rule as the whole-buffer recoverLoop: the error limit
+    // (Truncated) or a grammar with no sync tokens. The stream then
+    // fails like a non-recovery parse — ErrMsg is exactly the string
+    // the non-recovery path would have produced — but Errs, SegVals
+    // and EvLog survive the release: they are consumer output.
+    Truncated |= ErrCount + 1 >= MaxErrors;
+    D.Act = ParseDiagnostic::Action::Fatal;
+    D.ResumeOff = Off;
+    ErrMsg = D.message();
+    Errs.push_back(std::move(D));
+    ++ErrCount;
+    releaseAfterError(Off);
+    return StreamStatus::Error;
+  }
+  Pending = std::move(D);
+  HavePending = true;
+  RePos = static_cast<size_t>(Off - WinBase);
+  Stack.clear();
+  Ph = Phase::Resync;
+  return StreamStatus::NeedData; // drivePump() resumes the resync scan
+}
+
+bool StreamParser::stepResync(bool Final) {
+  assert(HavePending && "resync phase without a pending diagnostic");
+  const char *S = Buf.data();
+  const size_t Len = Buf.size();
+  const CompiledParser::SyncSpec &SS = M->SyncSpecs[StartNt];
+  size_t P = RePos;
+  for (;;) {
+    // First sync byte at or after P (the whole-buffer findResume rule,
+    // restartable at a chunk boundary: the decision at a sync byte J
+    // depends only on the byte at J+1).
+    const size_t J = skipRun(SS.NotSync, S, P, Len);
+    if (J + 1 >= Len) {
+      // No sync byte in the window, or the sync byte is the last byte
+      // seen so far — either way undecidable until more input arrives
+      // (the byte *after* the sync byte determines viability). Park the
+      // cursor on the first unresolved position; compact() keeps the
+      // window from there.
+      RePos = J;
+      if (!Final)
+        return false;
+      // End of stream: no viable re-entry point — same resolution as
+      // the whole-buffer driver (a sync byte as the very last byte
+      // yields SkipToEnd, not a phantom empty segment).
+      Pending.Act = ParseDiagnostic::Action::SkipToEnd;
+      Pending.ResumeOff = WinBase + Len;
+      Errs.push_back(std::move(Pending));
+      ++ErrCount;
+      HavePending = false;
+      Pos = Len;
+      Out = Value::unit();
+      Ph = Phase::Done;
+      return true;
+    }
+    if (M->entryLive(StartNt, static_cast<unsigned char>(S[J + 1]))) {
+      // Viable: re-enter the machine at the recovery nonterminal just
+      // past the sync byte.
+      Pending.Act = ParseDiagnostic::Action::Resync;
+      Pending.ResumeOff = WinBase + J + 1;
+      Errs.push_back(std::move(Pending));
+      ++ErrCount;
+      HavePending = false;
+      Pos = J + 1;
+      Stack.push_back(M->packNt(StartNt));
+      Ph = Phase::Run;
+      return true;
+    }
+    P = J + 1;
+  }
 }
 
 void StreamParser::releaseAfterError(uint64_t ErrOffset) {
@@ -287,7 +422,15 @@ void StreamParser::releaseAfterError(uint64_t ErrOffset) {
 }
 
 StreamStatus StreamParser::complete() {
-  Out = (Recognize || EventMode) ? Value::unit() : Values.collect();
+  if (RecoverMode) {
+    // The final segment ran to a clean end-of-stream: ship its value
+    // like every earlier completed segment; take() yields unit.
+    if (!Recognize && !EventMode)
+      SegVals.push_back(Values.collect());
+    Out = Value::unit();
+  } else {
+    Out = (Recognize || EventMode) ? Value::unit() : Values.collect();
+  }
   NumVals = 0;
   Retain.clear();
   Ph = Phase::Done;
@@ -436,6 +579,26 @@ template <bool Final> StreamStatus StreamParser::pump() {
   return pumpT<Tab8, VSink, Final>();
 }
 
+template <bool Final> StreamStatus StreamParser::drivePump() {
+  // Without recovery this is one pump. With it, a failure inside pump()
+  // parks the stream in Phase::Resync; when the sync point is already
+  // in the window the resync resolves immediately and parsing re-enters
+  // — possibly several times per chunk on dense corruption. Termination
+  // mirrors the whole-buffer driver: every re-entry point is strictly
+  // past the previous failure offset.
+  for (;;) {
+    if (Ph == Phase::Resync && !stepResync(Final))
+      return StreamStatus::NeedData; // suspended mid-resync
+    if (Ph == Phase::Done)
+      return StreamStatus::Done; // SkipToEnd resolution ended the stream
+    if (Ph == Phase::Fail)
+      return StreamStatus::Error;
+    StreamStatus St = pump<Final>();
+    if (Ph != Phase::Resync)
+      return St;
+  }
+}
+
 StreamStatus StreamParser::feed(std::string_view Chunk) {
   if (Ph == Phase::Fail)
     return StreamStatus::Error;
@@ -457,7 +620,7 @@ StreamStatus StreamParser::feed(std::string_view Chunk) {
   }
   if (!Chunk.empty())
     Buf.append(Chunk.data(), Chunk.size());
-  StreamStatus St = pump</*Final=*/false>();
+  StreamStatus St = drivePump</*Final=*/false>();
   if (St == StreamStatus::Error)
     return St; // the error path already released the carry
   compact();
@@ -469,7 +632,7 @@ StreamStatus StreamParser::finish() {
     return StreamStatus::Error;
   if (Ph == Phase::Done)
     return StreamStatus::Done;
-  StreamStatus St = pump</*Final=*/true>();
+  StreamStatus St = drivePump</*Final=*/true>();
   assert(St != StreamStatus::NeedData && "final pump cannot suspend");
   if (St == StreamStatus::Done) {
     // The stream is fully consumed; drop the carry (keeping offset() and

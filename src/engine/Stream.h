@@ -62,6 +62,7 @@
 #define FLAP_ENGINE_STREAM_H
 
 #include "engine/Compile.h"
+#include "engine/Diagnostic.h"
 #include "engine/ScanKernel.h"
 
 #include <algorithm>
@@ -101,6 +102,24 @@ struct StreamOptions {
   /// tagged switch dispatch. Differential testing only
   /// (tests/ActionDispatchTest.cpp) — slow.
   bool RefActions = false;
+  /// Sync-token error recovery — the streaming analogue of
+  /// CompiledParser::parseRecover, with byte-identical diagnostics (the
+  /// recovery differential suite compares the ParseDiagnostic lists at
+  /// every chunk split). On a parse failure the parser skips to the
+  /// next viable sync point (engine/README.md "The recovery contract"),
+  /// re-enters the machine at the entry nonterminal, and keeps going:
+  /// feed() keeps returning NeedData, completed segment values
+  /// accumulate for takeValues(), and the structured error list
+  /// accumulates for errors()/takeErrors(). The resynchronization scan
+  /// itself suspends across chunk boundaries — a diagnostic is never
+  /// exposed until its recovery action (Resync/SkipToEnd/Fatal) is
+  /// known. take() yields unit on success. Composes with Events and
+  /// Recognize.
+  bool Recover = false;
+  /// Recovery only: stop after this many recorded errors (the last one
+  /// is marked Action::Fatal and truncated() turns true; the stream
+  /// then errors like a non-recovery failure). 0 behaves as 1.
+  size_t MaxErrors = 100;
 };
 
 /// A resumable parse over one input stream. Not thread-safe; one
@@ -137,6 +156,28 @@ public:
   /// The undrained events (event mode).
   const std::vector<ParseEvent> &events() const { return EvLog; }
 
+  /// Recovery mode: moves out the values of the segments completed
+  /// since the last call (one Value per recovered record). Drain
+  /// between feeds to keep consumer memory bounded.
+  std::vector<Value> takeValues() {
+    std::vector<Value> Out;
+    Out.swap(SegVals);
+    return Out;
+  }
+  /// Recovery mode: the undrained structured diagnostics. A failure
+  /// whose resynchronization is still in flight is *not* listed — every
+  /// exposed diagnostic has its recovery action resolved.
+  const std::vector<ParseDiagnostic> &errors() const { return Errs; }
+  /// Recovery mode: moves out the diagnostics accumulated since the
+  /// last call. Draining does not reset the MaxErrors accounting.
+  std::vector<ParseDiagnostic> takeErrors() {
+    std::vector<ParseDiagnostic> Out;
+    Out.swap(Errs);
+    return Out;
+  }
+  /// Recovery mode: true once MaxErrors stopped the stream early.
+  bool truncated() const { return Truncated; }
+
   StreamStatus status() const {
     return Ph == Phase::Done   ? StreamStatus::Done
            : Ph == Phase::Fail ? StreamStatus::Error
@@ -144,11 +185,14 @@ public:
   }
 
   /// Absolute stream offset of the next unconsumed byte (the in-progress
-  /// lexeme's base while suspended mid-lexeme; the error position after
-  /// a failed parse).
+  /// lexeme's base while suspended mid-lexeme; the resynchronization
+  /// scan cursor while recovering; the error position after a failed
+  /// parse).
   uint64_t offset() const {
     if (Ph == Phase::Fail)
       return ErrOff;
+    if (Ph == Phase::Resync)
+      return WinBase + RePos;
     return WinBase + (MidScan ? Sc.Base : Pos);
   }
 
@@ -184,7 +228,10 @@ public:
   const ValuePoolRef &pool() const { return Pool; }
 
 private:
-  enum class Phase : uint8_t { Run, Trail, Done, Fail };
+  /// Resync: recovery mode only — a failure was recorded and the parser
+  /// is scanning for the next viable sync point (possibly across many
+  /// chunks); status() reports NeedData.
+  enum class Phase : uint8_t { Run, Trail, Resync, Done, Fail };
 
   /// The streaming sink policies (Stream.cpp): value building with
   /// retain tracking, SAX events, recognition. Same contract as the
@@ -195,6 +242,23 @@ private:
 
   template <typename Tab, typename SinkT, bool Final> StreamStatus pumpT();
   template <bool Final> StreamStatus pump();
+  /// The outer drive loop: alternates pump() with resynchronization
+  /// until the window is exhausted or the stream reaches a terminal
+  /// phase. Recovery restarts (fail → resync → re-enter) resolve within
+  /// one call when the sync point is already in the window.
+  template <bool Final> StreamStatus drivePump();
+  /// Recovery: records the failure as the pending diagnostic, closes
+  /// the current segment (a Trailing failure completed its value; a
+  /// parse failure drops the partial), and either enters Phase::Resync
+  /// or — at the error limit, or for a grammar with no sync tokens —
+  /// seals the diagnostic as Fatal and fails the stream.
+  StreamStatus recoverAt(NtId N, bool Trailing, uint64_t Off);
+  /// Advances the resynchronization scan over the window. Returns false
+  /// when suspended waiting for more input (never when \p Final);
+  /// returns true once resolved — the pending diagnostic is pushed with
+  /// its action (Resync: parsing re-enters at the sync point;
+  /// SkipToEnd: the stream completes) and Ph has left Resync.
+  bool stepResync(bool Final);
   /// Runs one marker occurrence (a PackedPool op), honoring the mode:
   /// tagged dispatch, reference std::function dispatch, and/or retain
   /// watermark bookkeeping. \p Act is the originating action
@@ -223,6 +287,8 @@ private:
   bool Recognize;
   bool EventMode;
   bool RefActions;
+  bool RecoverMode;
+  size_t MaxErrors; ///< normalized: at least 1
   /// False when no registered action reads lexeme text
   /// (ActionTable::readsInput()): retain watermarks then need no
   /// tracking at all — the carry is just the in-progress lexeme — and
@@ -258,6 +324,23 @@ private:
   uint64_t ErrOff = 0; ///< absolute error position (Phase::Fail only)
   Value Out;
   std::vector<ParseEvent> EvLog; ///< event mode: undrained events
+  /// Recovery state. The scan cursor RePos is window-relative; the
+  /// pending diagnostic is complete except for Act/ResumeOff, which the
+  /// resynchronization scan fills in before it reaches Errs. ErrCount
+  /// tracks every diagnostic ever recorded this stream so takeErrors()
+  /// draining cannot reset the MaxErrors accounting. LT mirrors the
+  /// whole-buffer recovery driver's lazy line/column tracker — it
+  /// absorbs each input byte at most once (compacted-away prefixes in
+  /// compact(), the remainder when a diagnostic materializes), so the
+  /// streamed Line/Col equal a whole-buffer parse's exactly.
+  std::vector<ParseDiagnostic> Errs; ///< resolved, undrained diagnostics
+  std::vector<Value> SegVals;        ///< completed segment values
+  ParseDiagnostic Pending;           ///< failure awaiting its action
+  bool HavePending = false;
+  bool Truncated = false; ///< MaxErrors stopped the stream early
+  size_t ErrCount = 0;    ///< total recorded (drain-immune)
+  size_t RePos = 0;       ///< window-relative resync scan cursor
+  LineTracker LT;
   size_t CarryHW = 0;
   /// Per-stream value arena (see ParseScratch::Pool); reset() keeps it.
   ValuePoolRef Pool = std::make_shared<ValuePool>();

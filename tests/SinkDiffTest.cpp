@@ -336,6 +336,44 @@ TEST(SinkDiffTest, ParseBatchMatchesOneShot) {
   }
 }
 
+TEST(SinkDiffTest, ParseBatchPerInputContexts) {
+  // The per-input Users overload: each batch input gets its own action
+  // context, so the ctx-accumulating grammars (csv/pgn/ppm) can be
+  // batch-served without cross-document contamination. Each document's
+  // value AND its context tallies must match a one-shot parse with a
+  // fresh context.
+  SinkRig R(makePgnGrammar());
+  std::vector<std::string> Docs;
+  for (uint64_t I = 0; I < 24; ++I)
+    Docs.push_back(genWorkload("pgn", 300 + I, 200 + 17 * I).Input);
+  std::vector<std::string_view> Views(Docs.begin(), Docs.end());
+
+  std::vector<std::shared_ptr<void>> Ctxs(Views.size());
+  std::vector<void *> Users(Views.size());
+  for (size_t I = 0; I < Views.size(); ++I) {
+    Ctxs[I] = R.Def->NewCtx();
+    Users[I] = Ctxs[I].get();
+  }
+
+  ParseScratch Scratch;
+  std::vector<Result<Value>> Batch =
+      R.P.M.parseBatch(R.P.M.Start, Views, Users, Scratch);
+  ASSERT_EQ(Batch.size(), Views.size());
+  for (size_t I = 0; I < Views.size(); ++I) {
+    std::shared_ptr<void> OneCtx = R.Def->NewCtx();
+    Result<Value> One = R.P.M.parseFrom(R.P.M.Start, Views[I], OneCtx.get());
+    ASSERT_EQ(One.ok(), Batch[I].ok()) << "doc " << I;
+    if (One.ok())
+      EXPECT_EQ(*One, *Batch[I]) << "doc " << I;
+    const PgnCtx &B = *static_cast<PgnCtx *>(Users[I]);
+    const PgnCtx &O = *static_cast<PgnCtx *>(OneCtx.get());
+    EXPECT_EQ(B.White, O.White) << "doc " << I;
+    EXPECT_EQ(B.Black, O.Black) << "doc " << I;
+    EXPECT_EQ(B.Draw, O.Draw) << "doc " << I;
+    EXPECT_EQ(B.Unknown, O.Unknown) << "doc " << I;
+  }
+}
+
 TEST(SinkDiffTest, ParseBatchResultsOutliveTheBatch) {
   // Pool-backed values from earlier batch inputs must stay valid while
   // later inputs reuse the same scratch, and after the scratch dies.
@@ -354,6 +392,63 @@ TEST(SinkDiffTest, ParseBatchResultsOutliveTheBatch) {
     Result<Value> One = R.P.M.parseFrom(R.P.M.Start, Views[I]);
     ASSERT_TRUE(One.ok() && Batch[I].ok()) << I;
     EXPECT_EQ(*One, *Batch[I]) << I;
+  }
+}
+
+TEST(SinkDiffTest, RecoveryDiagnosticsIdenticalAcrossSinkPolicies) {
+  // The recovery drivers run once per sink policy — parseRecover
+  // (ValueSink), parseEventsRecover (EventSink), recognizeRecover
+  // (NullSink) — but must report byte-identical structured diagnostics:
+  // same offsets, line/column, expected sets, resync actions, same
+  // truncation flag. And the first diagnostic's message() must equal
+  // the legacy error string of the non-recovery parse — the
+  // single-formatter seam of engine/Diagnostic.h that replaced the
+  // three printf copies.
+  Rng Rand(47);
+  for (auto &Def : allBenchmarkGrammars()) {
+    SinkRig R(Def);
+    Workload W = genWorkload(Def->Name, 21, 350);
+    ParseScratch Scratch;
+    for (int Round = 0; Round < 12; ++Round) {
+      std::string In = W.Input;
+      size_t At = Rand.below(In.size());
+      switch (Rand.below(3)) {
+      case 0:
+        In[At] = static_cast<char>(1 + Rand.below(127));
+        break;
+      case 1:
+        In.erase(At, 1 + Rand.below(3));
+        break;
+      default:
+        In.insert(At, 1, "(){}[]\"!,;"[Rand.below(10)]);
+        break;
+      }
+      std::shared_ptr<void> C1, C2;
+      RecoveredParse V = R.P.M.parseRecover(In, Scratch, R.fresh(C1));
+      std::vector<ParseEvent> Evs;
+      RecoveredParse E =
+          R.P.M.parseEventsRecover(R.P.M.Start, In, Scratch, Evs);
+      RecoveredParse N = R.P.M.recognizeRecover(R.P.M.Start, In, Scratch);
+      ASSERT_EQ(V.Errors.size(), E.Errors.size())
+          << Def->Name << " round " << Round;
+      ASSERT_EQ(V.Errors.size(), N.Errors.size())
+          << Def->Name << " round " << Round;
+      for (size_t I = 0; I < V.Errors.size(); ++I) {
+        ASSERT_EQ(V.Errors[I], E.Errors[I])
+            << Def->Name << " value-vs-event diagnostic " << I;
+        ASSERT_EQ(V.Errors[I], N.Errors[I])
+            << Def->Name << " value-vs-recognize diagnostic " << I;
+      }
+      EXPECT_EQ(V.Truncated, E.Truncated) << Def->Name;
+      EXPECT_EQ(V.Truncated, N.Truncated) << Def->Name;
+
+      Result<Value> Plain = R.P.M.parse(In, R.fresh(C2));
+      ASSERT_EQ(Plain.ok(), V.Errors.empty())
+          << Def->Name << " round " << Round;
+      if (!Plain.ok())
+        EXPECT_EQ(Plain.error(), V.Errors[0].message())
+            << Def->Name << " legacy formatter drift";
+    }
   }
 }
 

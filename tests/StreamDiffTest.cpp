@@ -443,6 +443,55 @@ TEST(StreamDiffTest, StreamLexerErrorOffsets) {
   }
 }
 
+TEST(StreamDiffTest, RecoveryModeMatchesWholeBufferAtRandomSplits) {
+  // Recovery-mode streaming (StreamOptions::Recover) gets the same
+  // differential discipline as plain streaming: the recovered segment
+  // values, the structured diagnostic list, and the truncation flag
+  // must match CompiledParser::parseRecover over the concatenated
+  // buffer for random multi-way cuts — cuts that land inside lexemes,
+  // inside the resync skipRun scan, and on the sync byte itself.
+  // (tests/RecoveryDiffTest.cpp sweeps every two-way split of small
+  // inputs; this covers large workloads times random chunking.)
+  Rng Rand(515);
+  for (auto &Def : allBenchmarkGrammars()) {
+    StreamRig R(Def);
+    ParseScratch Scratch;
+    for (uint64_t Seed = 1; Seed <= 2; ++Seed) {
+      Workload W = genWorkload(Def->Name, Seed + 60, 1500);
+      std::string In = W.Input;
+      // A handful of corruptions spread across the buffer (some may
+      // land inside string literals and stay legal — the differential
+      // holds either way).
+      for (int K = 0; K < 4; ++K)
+        In[Rand.below(In.size())] = "!\"%{)];"[Rand.below(7)];
+      RecoveredParse Whole = R.P.parseRecover(In, Scratch);
+      for (int Round = 0; Round < 6; ++Round) {
+        StreamOptions O;
+        O.Recover = true;
+        StreamParser SP(R.P.M, O);
+        size_t At = 0;
+        while (At < In.size()) {
+          size_t N = 1 + Rand.below(Rand.chance(1, 3) ? 8 : 256);
+          SP.feed(std::string_view(In).substr(At, N));
+          At += N;
+        }
+        SP.finish();
+        std::vector<Value> Vals = SP.takeValues();
+        std::vector<ParseDiagnostic> Errs = SP.takeErrors();
+        ASSERT_EQ(Whole.Errors.size(), Errs.size())
+            << Def->Name << " seed " << Seed << " round " << Round;
+        for (size_t I = 0; I < Errs.size(); ++I)
+          ASSERT_EQ(Whole.Errors[I], Errs[I])
+              << Def->Name << " diagnostic " << I;
+        ASSERT_EQ(Whole.Values.size(), Vals.size()) << Def->Name;
+        for (size_t I = 0; I < Vals.size(); ++I)
+          ASSERT_EQ(Whole.Values[I], Vals[I]) << Def->Name << " value " << I;
+        EXPECT_EQ(Whole.Truncated, SP.truncated()) << Def->Name;
+      }
+    }
+  }
+}
+
 TEST(StreamDiffTest, MultiEntryStreaming) {
   // Streaming from a non-default entry point: same machine, same tables
   // (paper §8), entry selected via StreamOptions::Start.
