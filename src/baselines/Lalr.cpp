@@ -140,7 +140,7 @@ public:
     return Id;
   }
 
-  void buildAutomaton(uint32_t StartNt) {
+  void buildAutomaton(uint32_t /*StartNt*/) {
     std::vector<Item> Kernel = {makeItem(AugRule, 0, Eof)};
     uint32_t Start = internState(closure(std::move(Kernel)));
     (void)Start;
@@ -270,7 +270,7 @@ Result<LalrParser> LalrParser::build(const BnfGrammar &G, size_t NumTokens,
 Result<Value> LalrParser::parse(const std::vector<Lexeme> &Toks,
                                 const ActionTable &Actions,
                                 std::string_view Input, void *User) const {
-  ParseContext Ctx{Input, User};
+  ParseContext Ctx{Input, User, 0, nullptr};
   ValueStack Values;
   std::vector<uint32_t> StateStack = {0};
   const size_t Cols = NumToks + 1;

@@ -215,7 +215,7 @@ Result<Value> flap::parseRdTokens(const TokenTables &T,
                                   const ActionTable &Actions,
                                   const std::vector<Lexeme> &Toks,
                                   std::string_view Input, void *User) {
-  ParseContext Ctx{Input, User};
+  ParseContext Ctx{Input, User, 0, nullptr};
   VectorLookahead Look(Toks);
   RdEngine<VectorLookahead> E(T, Actions, Look, Ctx);
   E.parseNt(T.Start);
@@ -226,7 +226,7 @@ Result<Value> flap::parseAspTokens(const TokenTables &T,
                                    const ActionTable &Actions,
                                    const std::vector<Lexeme> &Toks,
                                    std::string_view Input, void *User) {
-  ParseContext Ctx{Input, User};
+  ParseContext Ctx{Input, User, 0, nullptr};
   ValueStack Values;
   std::vector<Sym> Stack;
   Stack.push_back(Sym::nt(T.Start));
@@ -272,7 +272,7 @@ Result<Value> flap::parseAspTokens(const TokenTables &T,
 
 Result<Value> PartsStreamParser::parse(std::string_view Input,
                                        void *User) const {
-  ParseContext Ctx{Input, User};
+  ParseContext Ctx{Input, User, 0, nullptr};
   PullLookahead Look(Lex, Input);
   RdEngine<PullLookahead> E(T, *Actions, Look, Ctx);
   E.parseNt(T.Start);

@@ -208,13 +208,15 @@ public:
     if (hasPtr())
       new (&R.P) BoxPtr(O.R.P);
     else
-      std::memcpy(&R, &O.R, sizeof(Rep));
+      std::memcpy(static_cast<void *>(&R), static_cast<const void *>(&O.R),
+                  sizeof(Rep)); // trivial members only (!hasPtr())
   }
   Value(Value &&O) noexcept : T(O.T) {
     if (hasPtr())
       new (&R.P) BoxPtr(std::move(O.R.P)); // leaves O's slot null
     else
-      std::memcpy(&R, &O.R, sizeof(Rep));
+      std::memcpy(static_cast<void *>(&R), static_cast<const void *>(&O.R),
+                  sizeof(Rep)); // trivial members only (!hasPtr())
   }
   Value &operator=(Value &&O) noexcept {
     if (this == &O)
@@ -230,7 +232,8 @@ public:
     if (O.hasPtr())
       new (&R.P) BoxPtr(std::move(O.R.P));
     else
-      std::memcpy(&R, &O.R, sizeof(Rep));
+      std::memcpy(static_cast<void *>(&R), static_cast<const void *>(&O.R),
+                  sizeof(Rep)); // trivial members only (!hasPtr())
     return *this;
   }
   Value &operator=(const Value &O) {

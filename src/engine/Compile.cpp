@@ -9,6 +9,7 @@
 
 #include "engine/DispatchTier.h"
 #include "engine/ScanKernel.h"
+#include "engine/Verify.h"
 #include "engine/Sink.h"
 #include "regex/Alphabet.h"
 #include "support/StrUtil.h"
@@ -553,15 +554,35 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
     std::string Lit;
     for (NtId N = 0; N < NumNts; ++N) {
       CompiledParser::SyncSpec &SS = M.SyncSpecs[N];
+      // A single-byte literal makes its byte a standalone sync byte. A
+      // multi-byte literal (csv's "\r\n") contributes its last byte too,
+      // but only as the tail of the full sequence: a bare '\n' with no
+      // '\r' before it can sit inside the very token class being
+      // recovered from, so resuming there would re-fail immediately.
+      std::set<unsigned char> Standalone;
+      std::set<std::string> SeqLits;
       for (TokenId T : LastTok[N]) {
         if (!ShortLiteral(TokRe[T], Lit))
           continue;
         unsigned char B = static_cast<unsigned char>(Lit.back());
-        if (!IsAlnum(B))
-          SS.Sync.set(B);
+        if (IsAlnum(B))
+          continue;
+        SS.Sync.set(B);
+        if (Lit.size() == 1)
+          Standalone.insert(B);
+        else
+          SeqLits.insert(Lit);
       }
-      if (SkipHasNl)
+      if (SkipHasNl) {
         SS.Sync.set('\n');
+        Standalone.insert('\n');
+      }
+      for (const std::string &Q : SeqLits)
+        if (!Standalone.count(static_cast<unsigned char>(Q.back()))) {
+          SS.SeqOnly.set(static_cast<unsigned char>(Q.back()));
+          SS.Seqs.push_back(Q);
+        }
+      SS.SeqOnly.finalize();
       SS.HasSync = !SS.Sync.empty();
       SS.Sync.finalize();
       for (int C = 0; C < 256; ++C)
@@ -866,6 +887,25 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
           M.Trans8[S * 256 + C] = static_cast<uint8_t>(D);
       }
   }
+
+  // Post-compilation audit (engine/Verify.h): in assert builds — and
+  // everywhere under -DFLAP_VERIFY_TABLES — re-prove every invariant the
+  // hot loops assume before the tables can reach an engine entry point.
+  // A construction bug fails the compile with a structured finding
+  // instead of corrupting a parse.
+#if !defined(NDEBUG) || defined(FLAP_VERIFY_TABLES)
+  {
+    VerifyOptions VO;
+    VO.Lints = false;
+    VerifyReport VR = verifyCompiledParser(M, VO);
+    if (!VR.ok()) {
+      for (const VerifyFinding &VF : VR.Findings)
+        if (VF.Sev == VerifyFinding::Severity::Error)
+          return Err(format("compileFused produced inconsistent tables: %s",
+                            VF.message().c_str()));
+    }
+  }
+#endif
   return M;
 }
 
@@ -1169,7 +1209,8 @@ size_t findResume(const CompiledParser &M, NtId R,
     size_t J = skipRun(SS.NotSync, Input.data(), P, Len); // next sync byte
     if (J + 1 >= Len)
       break;
-    if (M.entryLive(R, static_cast<unsigned char>(Input[J + 1]))) {
+    if (SS.admissible(Input.data(), J) &&
+        M.entryLive(R, static_cast<unsigned char>(Input[J + 1]))) {
       Act = ParseDiagnostic::Action::Resync;
       return J + 1;
     }

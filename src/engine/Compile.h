@@ -58,6 +58,7 @@
 #include "engine/RunSkip.h"
 #include "support/Result.h"
 
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -506,6 +507,45 @@ public:
     /// the next sync byte, reusing the bulk run-skip kernels for the
     /// resynchronization scan.
     SkipSet NotSync;
+    /// Sync bytes that are only valid as the tail of a multi-byte sync
+    /// *sequence* (csv's "\r\n": a bare '\n' inside a quoted field's
+    /// replacement text is not a record boundary). The scan still lands
+    /// on the byte via NotSync; admissible() then confirms the preceding
+    /// bytes spell one of Seqs before recovery resumes there. Bytes in
+    /// Sync but not SeqOnly stay standalone.
+    SkipSet SeqOnly;
+    /// The sync sequences backing SeqOnly, each ending in a Sync byte.
+    std::vector<std::string> Seqs;
+    static constexpr size_t MaxSeqLen = 4;
+
+    /// True when the sync byte at \p S[J] may anchor a resume: either it
+    /// is standalone, or the bytes before it complete one of Seqs. The
+    /// streaming parser passes the up-to-MaxSeqLen-1 bytes it retains
+    /// from before the window as \p Pre / \p PreLen, so a sequence split
+    /// across a compaction boundary is still recognized.
+    bool admissible(const char *S, size_t J, const char *Pre = nullptr,
+                    size_t PreLen = 0) const {
+      const unsigned char B = static_cast<unsigned char>(S[J]);
+      if (!SeqOnly.test(B))
+        return true;
+      for (const std::string &Q : Seqs) {
+        const size_t L = Q.size();
+        if (static_cast<unsigned char>(Q[L - 1]) != B)
+          continue;
+        const size_t Need = L - 1;
+        if (Need <= J) {
+          if (!memcmp(S + J - Need, Q.data(), Need))
+            return true;
+        } else {
+          const size_t Borrow = Need - J;
+          if (Borrow <= PreLen &&
+              !memcmp(Pre + PreLen - Borrow, Q.data(), Borrow) &&
+              !memcmp(S, Q.data() + Borrow, J))
+            return true;
+        }
+      }
+      return false;
+    }
   };
   std::vector<SyncSpec> SyncSpecs; ///< parallel to Nts
 

@@ -14,7 +14,7 @@ using namespace flap;
 Result<Value> flap::parseDgnf(const Grammar &G, const ActionTable &Actions,
                               const std::vector<Lexeme> &Toks,
                               std::string_view Input, void *User) {
-  ParseContext Ctx{Input, User};
+  ParseContext Ctx{Input, User, 0, nullptr};
   ValueStack Values;
   // The Fig. 8 recursion P/Q is run with an explicit symbol stack: Q's
   // nonterminal sequence becomes stack content, P is the per-symbol step.

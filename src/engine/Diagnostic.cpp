@@ -25,6 +25,19 @@ std::string formatTrailingAt(uint64_t Off) {
                 static_cast<unsigned long long>(Off));
 }
 
+std::string formatVerifyFinding(const char *Severity,
+                                const std::string &Component,
+                                const std::string &Field, int32_t State,
+                                int32_t Nt, const std::string &Detail) {
+  std::string Anchor;
+  if (State >= 0)
+    Anchor += format(" state %d", State);
+  if (Nt >= 0)
+    Anchor += format(" nt %d", Nt);
+  return format("verify %s [%s] %s%s: %s", Severity, Component.c_str(),
+                Field.c_str(), Anchor.c_str(), Detail.c_str());
+}
+
 std::string ParseDiagnostic::message() const {
   if (K == Kind::Trailing)
     return formatTrailingAt(Off);

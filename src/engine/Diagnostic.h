@@ -38,6 +38,16 @@ std::string formatParseErrorAt(uint64_t Off, const std::string &Expected,
 /// Renders the trailing-input message (stack empty, input left over).
 std::string formatTrailingAt(uint64_t Off);
 
+/// Renders one table-verifier finding (engine/Verify.h) through the
+/// same formatter seam the parse diagnostics use, so every structured
+/// record the engine emits has exactly one string rendering.
+/// \p Severity is "error" / "warning" / "lint"; \p State and \p Nt are
+/// -1 when the finding is not anchored to a state / nonterminal.
+std::string formatVerifyFinding(const char *Severity,
+                                const std::string &Component,
+                                const std::string &Field, int32_t State,
+                                int32_t Nt, const std::string &Detail);
+
 /// One structured parse error. Produced by the recovery entry points
 /// (CompiledParser::parseRecover and friends, StreamParser in recovery
 /// mode); message() reproduces exactly the string the non-recovery

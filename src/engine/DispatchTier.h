@@ -55,6 +55,54 @@ enum class AcceptClass : uint8_t {
   None      ///< not accepting
 };
 
+/// Outgoing shape of state \p S over its per-byte row Rows[S*256 + C]
+/// (negative = dead): 0 = no transitions, 1 = self-loop only,
+/// 2 = general. The shape half of the tier classification, exposed so
+/// the table verifier (engine/Verify.cpp) re-derives each state's tier
+/// through the exact code that assigned it.
+inline int outShape(const std::vector<int32_t> &Rows, size_t S) {
+  bool Any = false, Other = false;
+  for (int C = 0; C < 256; ++C) {
+    int32_t D = Rows[S * 256 + C];
+    if (D < 0)
+      continue;
+    Any = true;
+    Other |= D != static_cast<int32_t>(S);
+  }
+  return Other ? 2 : (Any ? 1 : 0);
+}
+
+/// Tier index (0..5, the id-order tiers of the file comment) from an
+/// accept class and an outgoing shape. This pairing with outShape() IS
+/// the encoding; renumber() below and the verifier share it.
+inline int tierOf(AcceptClass A, int Shape) {
+  if (A == AcceptClass::None)
+    return 5;
+  if (A == AcceptClass::SelfSkip)
+    return Shape <= 1 ? 0 : 1; // pure self-skip run : other self-skip
+  if (Shape == 0)
+    return 2; // terminal accept
+  if (Shape == 1)
+    return 3; // pure accepting run
+  return 4;
+}
+
+/// Tier of renumbered state id \p S under bounds \p B — the inverse
+/// map the verifier compares tierOf() against.
+inline int tierOfId(const Bounds &B, int32_t S) {
+  if (S < B.PureSkip)
+    return 0;
+  if (S < B.SelfSkip)
+    return 1;
+  if (S < B.TermAcc)
+    return 2;
+  if (S < B.PureAcc)
+    return 3;
+  if (S < B.Accept)
+    return 4;
+  return 5;
+}
+
 /// Computes the dispatch-tier permutation for a machine of \p NumStates
 /// states whose pre-renumbering per-byte rows are Rows[S*256 + C]
 /// (negative = dead). \p ClassOf maps a pre-renumbering state id to its
@@ -64,30 +112,8 @@ enum class AcceptClass : uint8_t {
 template <typename ClassFn>
 inline Bounds renumber(const std::vector<int32_t> &Rows, size_t NumStates,
                        ClassFn ClassOf, std::vector<int32_t> &Perm) {
-  // Outgoing shape: 0 = no transitions, 1 = self-loop only, 2 = general.
-  auto OutShape = [&](size_t S) {
-    bool Any = false, Other = false;
-    for (int C = 0; C < 256; ++C) {
-      int32_t D = Rows[S * 256 + C];
-      if (D < 0)
-        continue;
-      Any = true;
-      Other |= D != static_cast<int32_t>(S);
-    }
-    return Other ? 2 : (Any ? 1 : 0);
-  };
   auto TierOf = [&](size_t S) {
-    AcceptClass A = ClassOf(S);
-    if (A == AcceptClass::None)
-      return 5;
-    int Shape = OutShape(S);
-    if (A == AcceptClass::SelfSkip)
-      return Shape <= 1 ? 0 : 1; // pure self-skip run : other self-skip
-    if (Shape == 0)
-      return 2; // terminal accept
-    if (Shape == 1)
-      return 3; // pure accepting run
-    return 4;
+    return tierOf(ClassOf(S), outShape(Rows, S));
   };
   Perm.assign(NumStates, 0);
   Bounds B;

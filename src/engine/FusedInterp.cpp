@@ -34,7 +34,7 @@ Result<Value> flap::parseFusedInterp(RegexArena &Arena,
                                      const FusedGrammar &F,
                                      const ActionTable &Actions,
                                      std::string_view Input, void *User) {
-  ParseContext Ctx{Input, User};
+  ParseContext Ctx{Input, User, 0, nullptr};
   ValueStack Values;
   std::vector<Sym> Stack;
   Stack.push_back(Sym::nt(F.Start));

@@ -65,6 +65,7 @@ void StreamParser::reset() {
   Truncated = false;
   ErrCount = 0;
   RePos = 0;
+  ShadowLen = 0;
   LT = LineTracker();
   CarryHW = 0;
   // Deliberately kept: the warmed Pool arena, the machine/table
@@ -246,6 +247,7 @@ void StreamParser::compact() {
                static_cast<size_t>(KeepAbs - LT.ScannedTo));
   size_t Cut = static_cast<size_t>(KeepAbs - WinBase);
   if (Cut != 0) {
+    absorbShadow(Buf.data(), Cut);
     Buf.erase(0, Cut);
     WinBase += Cut;
     if (Ph == Phase::Resync) {
@@ -378,7 +380,8 @@ bool StreamParser::stepResync(bool Final) {
       Ph = Phase::Done;
       return true;
     }
-    if (M->entryLive(StartNt, static_cast<unsigned char>(S[J + 1]))) {
+    if (SS.admissible(S, J, SyncShadow, ShadowLen) &&
+        M->entryLive(StartNt, static_cast<unsigned char>(S[J + 1]))) {
       // Viable: re-enter the machine at the recovery nonterminal just
       // past the sync byte.
       Pending.Act = ParseDiagnostic::Action::Resync;

@@ -340,6 +340,25 @@ private:
   bool Truncated = false; ///< MaxErrors stopped the stream early
   size_t ErrCount = 0;    ///< total recorded (drain-immune)
   size_t RePos = 0;       ///< window-relative resync scan cursor
+  /// The last bytes compacted away before Buf[0] (at most MaxSeqLen-1),
+  /// so the resynchronization scan can recognize a multi-byte sync
+  /// sequence (csv's "\r\n") split by a compaction boundary — see
+  /// SyncSpec::admissible. Maintained by compact(), cleared by reset().
+  char SyncShadow[CompiledParser::SyncSpec::MaxSeqLen - 1] = {0};
+  size_t ShadowLen = 0;
+  /// Slides \p N bytes ending the compacted-away prefix into SyncShadow.
+  void absorbShadow(const char *S, size_t N) {
+    constexpr size_t Cap = CompiledParser::SyncSpec::MaxSeqLen - 1;
+    if (N >= Cap) {
+      std::memcpy(SyncShadow, S + (N - Cap), Cap);
+      ShadowLen = Cap;
+    } else if (N != 0) {
+      const size_t Keep = std::min(ShadowLen, Cap - N);
+      std::memmove(SyncShadow, SyncShadow + (ShadowLen - Keep), Keep);
+      std::memcpy(SyncShadow + Keep, S, N);
+      ShadowLen = Keep + N;
+    }
+  }
   LineTracker LT;
   size_t CarryHW = 0;
   /// Per-stream value arena (see ParseScratch::Pool); reset() keeps it.

@@ -47,7 +47,7 @@ UnfusedParser::UnfusedParser(RegexArena &Arena, const CanonicalLexer &Lexer,
 
 Result<Value> UnfusedParser::parse(std::string_view Input,
                                    void *User) const {
-  ParseContext Ctx{Input, User};
+  ParseContext Ctx{Input, User, 0, nullptr};
   ValueStack Values;
   std::vector<Sym> Stack;
   Stack.push_back(Sym::nt(Start));

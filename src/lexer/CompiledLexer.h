@@ -27,6 +27,13 @@
 
 namespace flap {
 
+class CompiledLexer;
+struct VerifyOptions;
+struct VerifyReport;
+/// Table audit over the private DFA tables (engine/Verify.h).
+VerifyReport verifyCompiledLexer(const CompiledLexer &L,
+                                 const VerifyOptions &Opts);
+
 /// Outcome of a pull on the token stream.
 enum class LexStatus {
   Token, ///< a lexeme was produced
@@ -57,6 +64,9 @@ public:
 
 private:
   friend class StreamLexer;
+  friend VerifyReport flap::verifyCompiledLexer(const CompiledLexer &L,
+                                                const VerifyOptions &Opts);
+  friend class VerifyTestPeer; ///< mutation suite (tests/VerifyTest.cpp)
   static constexpr int32_t Dead = -1;
 
   Alphabet Alpha;

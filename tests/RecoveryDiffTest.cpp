@@ -392,6 +392,65 @@ TEST(RecoveryDiffTest, StreamResetClearsRecoveryState) {
   }
 }
 
+TEST(RecoveryDiffTest, CsvResyncRequiresTheFullCrlfSequence) {
+  // csv's record terminator is the two-byte literal "\r\n", so its sync
+  // *byte* '\n' is sequence-only (SyncSpec::SeqOnly): a bare '\n' — or a
+  // '\n' preceded by anything but '\r' — can sit inside the very field
+  // text being recovered from and must not anchor a resume. The
+  // resynchronization scan still lands on '\n' via NotSync; admissible()
+  // then demands the preceding '\r', whole-buffer and streamed (where
+  // the '\r' may already have been compacted away into the shadow).
+  RecoveryRig R(makeCsvGrammar());
+  const CompiledParser &M = R.P.M;
+  const CompiledParser::SyncSpec &SS = M.SyncSpecs[M.Start];
+  ASSERT_TRUE(SS.HasSync);
+  EXPECT_TRUE(SS.Sync.test('\n'));
+  EXPECT_TRUE(SS.SeqOnly.test('\n'));
+  ASSERT_EQ(SS.Seqs.size(), 1u);
+  EXPECT_EQ(SS.Seqs[0], "\r\n");
+
+  // One corrupt record whose replacement text contains a bare '\n' (at
+  // 13, preceded by 'x') and a bare '\r' (at 15): recovery must skip
+  // both and resume only after the genuine "\r\n" at 17-18.
+  const std::string In = "good,1\r\nbad\"x\ny\rz\r\nok,2\r\n";
+  ASSERT_EQ(In[13], '\n');
+  ASSERT_NE(In[12], '\r');
+  ASSERT_EQ(In.substr(17, 2), "\r\n");
+  ParseScratch Scr;
+  RecoveredParse Whole = M.parseRecover(In, Scr);
+  ASSERT_GE(Whole.Errors.size(), 1u);
+  EXPECT_EQ(Whole.Errors[0].Act, ParseDiagnostic::Action::Resync);
+  EXPECT_EQ(Whole.Errors[0].ResumeOff, 19u)
+      << "resumed at a bare newline instead of past the CRLF";
+  checkOneInput(R, In, "csv crlf");
+
+  // Streamed at every split — including the cuts between '\r' and '\n'
+  // and the every-byte chunking, which force the sequence across
+  // compaction boundaries.
+  for (size_t Cut = 0; Cut <= In.size(); ++Cut) {
+    RecoveredParse Str = R.streamRecover(In, {Cut});
+    expectSameRecovery(Whole, Str, "crlf cut " + std::to_string(Cut));
+  }
+  std::vector<size_t> Every;
+  for (size_t Cut = 1; Cut < In.size(); ++Cut)
+    Every.push_back(Cut);
+  expectSameRecovery(Whole, R.streamRecover(In, Every),
+                     "crlf every-byte chunks");
+
+  // No admissible sync point at all after the failure (every later
+  // '\n' is bare): the scan must run to SkipToEnd, never resuming at
+  // an inadmissible newline.
+  const std::string Bare = "a,1\r\nbad\"x\ny\nz";
+  RecoveredParse None = M.parseRecover(Bare, Scr);
+  ASSERT_GE(None.Errors.size(), 1u);
+  EXPECT_EQ(None.Errors.back().Act, ParseDiagnostic::Action::SkipToEnd);
+  EXPECT_EQ(None.Errors.back().ResumeOff, Bare.size());
+  for (size_t Cut = 0; Cut <= Bare.size(); ++Cut) {
+    RecoveredParse Str = R.streamRecover(Bare, {Cut});
+    expectSameRecovery(None, Str, "bare-lf cut " + std::to_string(Cut));
+  }
+}
+
 TEST(RecoveryDiffTest, CheckedInCorpusRecoversUnderEveryPreset) {
   // The corrupted-input corpus (tests/corpus/): every file must recover
   // with at least one diagnostic, at least one delivered value, and

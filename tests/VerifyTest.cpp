@@ -1,0 +1,664 @@
+//===- tests/VerifyTest.cpp - Mutation suite for the table verifier ----------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The verifier's contract is negative: engine/Verify.h must flag a
+/// corrupted table *before* the hot loops ever see it. This suite
+/// injects single-field corruptions — one mutated copy per field class,
+/// over every benchmark grammar — and requires the verifier to report
+/// an Error or Warning for at least 95% of the applied mutations. The
+/// misses that remain must be harmless in the strongest sense we can
+/// test: any mutated table the verifier passes is fed to the engine,
+/// which must complete a parse without crashing.
+///
+/// Every mutation flips exactly one field (one table entry, one bound,
+/// one bit, one claim), modelling a staging bug or a bit-rot of a
+/// serialized artifact — not adversarial multi-field forgeries, which
+/// can always re-fake the redundant encodings wholesale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Verify.h"
+
+#include "engine/Compile.h"
+#include "engine/Pipeline.h"
+#include "grammars/Grammars.h"
+#include "lexer/CompiledLexer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace flap {
+
+/// Friend of CompiledLexer: hands the mutation suite mutable references
+/// into the private DFA tables (declared in lexer/CompiledLexer.h).
+class VerifyTestPeer {
+public:
+  static Alphabet &alpha(CompiledLexer &L) { return L.Alpha; }
+  static std::vector<int32_t> &trans(CompiledLexer &L) { return L.Trans; }
+  static std::vector<int16_t> &trans16(CompiledLexer &L) { return L.Trans16; }
+  static std::vector<uint8_t> &trans8(CompiledLexer &L) { return L.Trans8; }
+  static int32_t &numTerm(CompiledLexer &L) { return L.NumTerm; }
+  static int32_t &numPureRun(CompiledLexer &L) { return L.NumPureRun; }
+  static int32_t &numAccept(CompiledLexer &L) { return L.NumAccept; }
+  static std::vector<int32_t> &accept(CompiledLexer &L) { return L.Accept; }
+  static std::vector<SkipSet> &skip(CompiledLexer &L) { return L.Skip; }
+  static std::vector<TokenId> &toks(CompiledLexer &L) { return L.Toks; }
+  static int32_t &start(CompiledLexer &L) { return L.Start; }
+};
+
+} // namespace flap
+
+using namespace flap;
+
+namespace {
+
+/// An Error or Warning counts as detection; lints are advisory and can
+/// legitimately fire on healthy tables.
+bool detected(const VerifyReport &R) {
+  for (const VerifyFinding &F : R.Findings)
+    if (F.Sev != VerifyFinding::Severity::Lint)
+      return true;
+  return false;
+}
+
+/// A known-good input per grammar, used to drive the engine over any
+/// mutated table the verifier failed to flag (the zero-crash contract).
+std::string sampleInput(const std::string &Name) {
+  if (Name == "json")
+    return "{\"a\": [1, 2], \"b\": true}";
+  if (Name == "sexp")
+    return "(a (b c) d)";
+  if (Name == "csv")
+    return "a,b\r\n1,2\r\n";
+  if (Name == "pgn")
+    return "[Event \"casual\"]\n[White \"ann\"]\n[Black \"bob\"]\n\n"
+           "1. e4 e5 2. Nf3 Nc6 1-0\n\n";
+  if (Name == "ppm")
+    return "P3\n1 1\n255\n0 1 2\n";
+  return "1 + 2 * 3"; // arith
+}
+
+struct ParserMutation {
+  const char *Name;
+  /// Applies the corruption in place; false = not applicable to this
+  /// grammar's tables (nothing was changed).
+  std::function<bool(CompiledParser &)> Apply;
+};
+
+struct LexerMutation {
+  const char *Name;
+  std::function<bool(CompiledLexer &)> Apply;
+};
+
+/// Flips the lowest set bit of a nonempty SkipSet.
+bool dropOneBit(SkipSet &S) {
+  for (int W = 0; W < 4; ++W)
+    if (S.Bits[W]) {
+      S.Bits[W] &= S.Bits[W] - 1;
+      return true;
+    }
+  return false;
+}
+
+std::vector<ParserMutation> parserMutations() {
+  std::vector<ParserMutation> Ms;
+  auto Add = [&](const char *Name,
+                 std::function<bool(CompiledParser &)> Fn) {
+    Ms.push_back({Name, std::move(Fn)});
+  };
+
+  // Tier bounds: each ±1 either breaks the monotone chain or moves one
+  // state into a tier whose shape it cannot satisfy.
+  Add("NumPureSkip+1", [](CompiledParser &M) { ++M.NumPureSkip; return true; });
+  Add("NumPureSkip-1", [](CompiledParser &M) {
+    if (M.NumPureSkip == 0)
+      return false;
+    --M.NumPureSkip;
+    return true;
+  });
+  Add("NumSelfSkip+1", [](CompiledParser &M) { ++M.NumSelfSkip; return true; });
+  Add("NumSelfSkip-1", [](CompiledParser &M) {
+    if (M.NumSelfSkip == 0)
+      return false;
+    --M.NumSelfSkip;
+    return true;
+  });
+  Add("NumTermAcc+1", [](CompiledParser &M) { ++M.NumTermAcc; return true; });
+  Add("NumTermAcc-1", [](CompiledParser &M) {
+    if (M.NumTermAcc == 0)
+      return false;
+    --M.NumTermAcc;
+    return true;
+  });
+  Add("NumPureAcc+1", [](CompiledParser &M) { ++M.NumPureAcc; return true; });
+  Add("NumAccept+1", [](CompiledParser &M) { ++M.NumAccept; return true; });
+  Add("NumAccept-1", [](CompiledParser &M) {
+    if (M.NumAccept == 0)
+      return false;
+    --M.NumAccept;
+    return true;
+  });
+
+  // Transition tables: the three encodings are redundant, so any
+  // single-entry change breaks pairwise agreement.
+  Add("Trans16 flip", [](CompiledParser &M) {
+    if (M.Trans16.empty())
+      return false;
+    M.Trans16[0] = M.Trans16[0] == CompiledParser::Dead ? 0
+                                                        : CompiledParser::Dead;
+    return true;
+  });
+  Add("Trans16 out-of-range", [](CompiledParser &M) {
+    if (M.Trans16.empty())
+      return false;
+    M.Trans16[0] = static_cast<int16_t>(M.numStates());
+    return true;
+  });
+  Add("Trans flip", [](CompiledParser &M) {
+    if (M.Trans.empty())
+      return false;
+    M.Trans[0] = M.Trans[0] == CompiledParser::Dead ? 0 : CompiledParser::Dead;
+    return true;
+  });
+  Add("Trans8 flip", [](CompiledParser &M) {
+    if (M.Trans8.empty())
+      return false;
+    M.Trans8[0] = M.Trans8[0] == CompiledParser::Dead8 ? 0
+                                                       : CompiledParser::Dead8;
+    return true;
+  });
+  Add("ClsMap flip", [](CompiledParser &M) {
+    if (M.numClasses() < 2)
+      return false;
+    M.ClsMap[0] =
+        static_cast<uint8_t>((M.ClsMap[0] + 1) % M.numClasses());
+    return true;
+  });
+
+  // Accept prefix and metadata words.
+  Add("AcceptCont cleared", [](CompiledParser &M) {
+    if (M.NumAccept == 0)
+      return false;
+    M.AcceptCont[0] = -1;
+    return true;
+  });
+  Add("AccMeta off+1", [](CompiledParser &M) {
+    for (int32_t S = 0; S < M.NumAccept; ++S)
+      if (CompiledParser::metaLen(M.AccMeta[S]) > 0) {
+        M.AccMeta[S] += 1; // Off lives in the low 32 bits
+        return true;
+      }
+    return false;
+  });
+  Add("AccMeta len+1", [](CompiledParser &M) {
+    if (M.NumAccept == 0)
+      return false;
+    M.AccMeta[0] += uint64_t(1) << 32;
+    return true;
+  });
+  Add("AccMeta token elided", [](CompiledParser &M) {
+    for (int32_t S = 0; S < M.NumAccept; ++S)
+      if (CompiledParser::metaTok(M.AccMeta[S]) != CompiledParser::MetaNoTok) {
+        M.AccMeta[S] |= uint64_t(CompiledParser::MetaNoTok) << 48;
+        return true;
+      }
+    return false;
+  });
+  Add("AccMeta token flipped", [](CompiledParser &M) {
+    for (int32_t S = 0; S < M.NumAccept; ++S) {
+      uint32_t T = CompiledParser::metaTok(M.AccMeta[S]);
+      if (T != CompiledParser::MetaNoTok && T + 1 != CompiledParser::MetaNoTok) {
+        M.AccMeta[S] += uint64_t(1) << 48;
+        return true;
+      }
+    }
+    return false;
+  });
+  Add("AccMeta token conjured", [](CompiledParser &M) {
+    // Un-elide: restore the head token the rewrite removed. The token
+    // check passes (it matches PushTok); only the value-flow audit can
+    // see the extra push.
+    for (int32_t S = 0; S < M.NumAccept; ++S) {
+      TokenId PT = M.Conts[M.AcceptCont[S]].PushTok;
+      if (CompiledParser::metaTok(M.AccMeta[S]) == CompiledParser::MetaNoTok &&
+          PT != NoToken) {
+        M.AccMeta[S] = (M.AccMeta[S] & 0x0000ffffffffffffULL) |
+                       (uint64_t(static_cast<uint32_t>(PT)) << 48);
+        return true;
+      }
+    }
+    return false;
+  });
+  Add("AccNtMeta token set", [](CompiledParser &M) {
+    if (M.NumAccept == 0)
+      return false;
+    M.AccNtMeta[0] &= 0x0000ffffffffffffULL; // MetaNoTok (0xffff) -> 0
+    return true;
+  });
+
+  // Packed pools and the op pool.
+  Add("PackedPool ActBit flip", [](CompiledParser &M) {
+    if (M.PackedPool.empty())
+      return false;
+    M.PackedPool[0] ^= CompiledParser::ActBit;
+    return true;
+  });
+  Add("PackedPool nt swapped", [](CompiledParser &M) {
+    if (M.Nts.size() < 2)
+      return false;
+    for (uint32_t &E : M.PackedPool)
+      if (!(E & CompiledParser::ActBit)) {
+        NtId N = CompiledParser::packedNt(E);
+        E = M.packNt(static_cast<NtId>((N + 1) % M.Nts.size()));
+        return true;
+      }
+    return false;
+  });
+  Add("NtPool nt swapped", [](CompiledParser &M) {
+    if (M.NtPool.empty() || M.Nts.size() < 2)
+      return false;
+    NtId N = CompiledParser::packedNt(M.NtPool[0]);
+    M.NtPool[0] = M.packNt(static_cast<NtId>((N + 1) % M.Nts.size()));
+    return true;
+  });
+  Add("OpPool kind invalid", [](CompiledParser &M) {
+    if (M.OpPool.empty())
+      return false;
+    M.OpPool[0].K = 200;
+    return true;
+  });
+  Add("OpPool kind nop", [](CompiledParser &M) {
+    if (M.OpPool.empty())
+      return false;
+    M.OpPool[0].K = MicroOp::MNop;
+    return true;
+  });
+  Add("OpPool arity+1", [](CompiledParser &M) {
+    if (M.OpPool.empty())
+      return false;
+    ++M.OpPool[0].Arity;
+    return true;
+  });
+  Add("OpPool selector==arity", [](CompiledParser &M) {
+    for (MicroOp &Op : M.OpPool)
+      switch (Op.K) {
+      case MicroOp::MSelect:
+      case MicroOp::MAddImm:
+      case MicroOp::MTokInt:
+      case MicroOp::MAddArgs:
+      case MicroOp::MMaxAcc:
+        Op.Sel = static_cast<int16_t>(Op.Arity);
+        return true;
+      default:
+        break;
+      }
+    return false;
+  });
+  Add("OpPool slow imm+1", [](CompiledParser &M) {
+    for (MicroOp &Op : M.OpPool)
+      if (Op.K == MicroOp::MSlow) {
+        ++Op.Imm;
+        return true;
+      }
+    return false;
+  });
+  Add("OpActs redirected", [](CompiledParser &M) {
+    if (M.Actions->size() < 2)
+      return false;
+    for (size_t I = 0; I < M.OpPool.size(); ++I)
+      if (M.OpPool[I].K == MicroOp::MSlow) {
+        M.OpActs[I] = static_cast<ActionId>((M.OpActs[I] + 1) %
+                                            M.Actions->size());
+        return true;
+      }
+    return false;
+  });
+
+  // ε-chains and their compiled programs.
+  Add("EpsChain extended", [](CompiledParser &M) {
+    for (std::vector<ActionId> &Ch : M.EpsChains)
+      if (!Ch.empty()) {
+        Ch.push_back(Ch[0]);
+        return true;
+      }
+    return false;
+  });
+  Add("EpsProgram off+1", [](CompiledParser &M) {
+    for (CompiledParser::EpsProgram &P : M.EpsPrograms)
+      if (P.K == CompiledParser::EpsProgram::Ops && P.Len > 0) {
+        ++P.Off;
+        return true;
+      }
+    return false;
+  });
+  Add("EpsProgram maxgrow+1", [](CompiledParser &M) {
+    if (M.EpsPrograms.empty())
+      return false;
+    ++M.EpsPrograms[0].MaxGrow;
+    return true;
+  });
+  Add("EpsProgram kind flipped", [](CompiledParser &M) {
+    if (M.EpsPrograms.empty())
+      return false;
+    CompiledParser::EpsProgram &P = M.EpsPrograms[0];
+    P.K = P.K == CompiledParser::EpsProgram::Unit
+                 ? CompiledParser::EpsProgram::Ops
+                 : CompiledParser::EpsProgram::Unit;
+    return true;
+  });
+  Add("EpsOps flipped", [](CompiledParser &M) {
+    if (M.EpsOps.empty())
+      return false;
+    ++M.EpsOps[0];
+    return true;
+  });
+
+  // Nonterminal directory and claims.
+  Add("NtInfo start out-of-range", [](CompiledParser &M) {
+    if (M.Nts.empty())
+      return false;
+    M.Nts[0].StartState = M.numStates();
+    return true;
+  });
+  Add("NtInfo start clash", [](CompiledParser &M) {
+    for (size_t A = 0; A < M.Nts.size(); ++A)
+      for (size_t B = A + 1; B < M.Nts.size(); ++B)
+        if (M.Nts[A].StartState != M.Nts[B].StartState) {
+          M.Nts[A].StartState = M.Nts[B].StartState;
+          return true;
+        }
+    return false;
+  });
+  Add("NtInfo epschain out-of-range", [](CompiledParser &M) {
+    if (M.Nts.empty())
+      return false;
+    M.Nts[0].EpsChain = static_cast<int32_t>(M.EpsChains.size());
+    return true;
+  });
+  Add("ValueFree claimed on start", [](CompiledParser &M) {
+    M.Nts[M.Start].ValueFree = true;
+    return true;
+  });
+  Add("ValueFree dropped", [](CompiledParser &M) {
+    for (CompiledParser::NtInfo &N : M.Nts)
+      if (N.ValueFree) {
+        N.ValueFree = false;
+        return true;
+      }
+    return false;
+  });
+  Add("SkipState clash", [](CompiledParser &M) {
+    M.SkipState = M.Nts[M.Start].StartState;
+    return true;
+  });
+
+  // Skip sets (every state's set is checked for self-loop exactness).
+  Add("Skip bit dropped", [](CompiledParser &M) {
+    for (SkipSet &S : M.Skip)
+      if (dropOneBit(S))
+        return true;
+    return false;
+  });
+  Add("Skip range corrupted", [](CompiledParser &M) {
+    for (SkipSet &S : M.Skip)
+      if (S.NumRanges > 0) {
+        ++S.Lo[0];
+        return true;
+      }
+    return false;
+  });
+
+  // Continuations.
+  Add("Cont tailoff out-of-range", [](CompiledParser &M) {
+    for (CompiledParser::Cont &K : M.Conts)
+      if (K.TailLen > 0) {
+        K.TailOff = static_cast<uint32_t>(M.TailPool.size());
+        return true;
+      }
+    return false;
+  });
+  Add("Cont taillen+1", [](CompiledParser &M) {
+    if (M.Conts.empty())
+      return false;
+    ++M.Conts[0].TailLen;
+    return true;
+  });
+  Add("Cont pushtok flipped", [](CompiledParser &M) {
+    // Only meaningful where an accepting state's metadata still
+    // materializes the token: flipping PushTok breaks that agreement.
+    for (int32_t S = 0; S < M.NumAccept; ++S) {
+      int32_t A = M.AcceptCont[S];
+      if (CompiledParser::metaTok(M.AccMeta[S]) != CompiledParser::MetaNoTok &&
+          M.Conts[A].PushTok != NoToken) {
+        ++M.Conts[A].PushTok;
+        return true;
+      }
+    }
+    return false;
+  });
+
+  // Panic-mode sync tables.
+  Add("Sync bit added", [](CompiledParser &M) {
+    for (CompiledParser::SyncSpec &SS : M.SyncSpecs)
+      if (SS.HasSync) {
+        for (int B = 0; B < 256; ++B)
+          if (!SS.Sync.test(static_cast<unsigned char>(B))) {
+            SS.Sync.set(static_cast<unsigned char>(B));
+            return true;
+          }
+      }
+    return false;
+  });
+  Add("NotSync bit dropped", [](CompiledParser &M) {
+    for (CompiledParser::SyncSpec &SS : M.SyncSpecs)
+      if (SS.HasSync && dropOneBit(SS.NotSync))
+        return true;
+    return false;
+  });
+  Add("HasSync flipped", [](CompiledParser &M) {
+    if (M.SyncSpecs.empty())
+      return false;
+    M.SyncSpecs[0].HasSync = !M.SyncSpecs[0].HasSync;
+    return true;
+  });
+  Add("Sync range corrupted", [](CompiledParser &M) {
+    for (CompiledParser::SyncSpec &SS : M.SyncSpecs)
+      if (SS.HasSync && SS.Sync.NumRanges > 0) {
+        ++SS.Sync.Lo[0];
+        return true;
+      }
+    return false;
+  });
+  Add("Sync seq bogus", [](CompiledParser &M) {
+    for (CompiledParser::SyncSpec &SS : M.SyncSpecs)
+      if (SS.HasSync) {
+        SS.Seqs.push_back("ZZZZZ"); // longer than MaxSeqLen
+        return true;
+      }
+    return false;
+  });
+  Add("SeqOnly stray byte", [](CompiledParser &M) {
+    for (CompiledParser::SyncSpec &SS : M.SyncSpecs)
+      if (SS.HasSync) {
+        for (int B = 0; B < 256; ++B)
+          if (!SS.Sync.test(static_cast<unsigned char>(B))) {
+            SS.SeqOnly.set(static_cast<unsigned char>(B));
+            return true;
+          }
+      }
+    return false;
+  });
+
+  return Ms;
+}
+
+std::vector<LexerMutation> lexerMutations() {
+  using P = VerifyTestPeer;
+  std::vector<LexerMutation> Ms;
+  auto Add = [&](const char *Name, std::function<bool(CompiledLexer &)> Fn) {
+    Ms.push_back({Name, std::move(Fn)});
+  };
+  Add("lexer NumTerm+1",
+      [](CompiledLexer &L) { ++P::numTerm(L); return true; });
+  Add("lexer NumPureRun-1", [](CompiledLexer &L) {
+    if (P::numPureRun(L) == 0)
+      return false;
+    --P::numPureRun(L);
+    return true;
+  });
+  Add("lexer NumAccept+1",
+      [](CompiledLexer &L) { ++P::numAccept(L); return true; });
+  Add("lexer Accept cleared", [](CompiledLexer &L) {
+    if (P::numAccept(L) == 0)
+      return false;
+    P::accept(L)[0] = -1;
+    return true;
+  });
+  Add("lexer Accept out-of-range", [](CompiledLexer &L) {
+    if (P::numAccept(L) == 0)
+      return false;
+    P::accept(L)[0] = static_cast<int32_t>(P::toks(L).size());
+    return true;
+  });
+  Add("lexer Trans16 flip", [](CompiledLexer &L) {
+    if (P::trans16(L).empty())
+      return false;
+    P::trans16(L)[0] = P::trans16(L)[0] < 0 ? 0 : int16_t(-1);
+    return true;
+  });
+  Add("lexer Trans8 flip", [](CompiledLexer &L) {
+    if (P::trans8(L).empty())
+      return false;
+    P::trans8(L)[0] = P::trans8(L)[0] == 0xff ? 0 : 0xff;
+    return true;
+  });
+  Add("lexer Alphabet flip", [](CompiledLexer &L) {
+    if (P::alpha(L).NumClasses < 2)
+      return false;
+    P::alpha(L).Map[0] = static_cast<uint8_t>((P::alpha(L).Map[0] + 1) %
+                                              P::alpha(L).NumClasses);
+    return true;
+  });
+  Add("lexer Skip bit dropped", [](CompiledLexer &L) {
+    for (SkipSet &S : P::skip(L))
+      if (dropOneBit(S))
+        return true;
+    return false;
+  });
+  Add("lexer Start out-of-range", [](CompiledLexer &L) {
+    P::start(L) = L.numStates();
+    return true;
+  });
+  return Ms;
+}
+
+struct Tally {
+  size_t Applied = 0;
+  size_t Detected = 0;
+  std::vector<std::string> Missed;
+};
+
+void runParserMutations(const FlapParser &Base, const std::string &Sample,
+                        Tally &T) {
+  for (const ParserMutation &Mu : parserMutations()) {
+    CompiledParser M = Base.M;
+    if (!Mu.Apply(M))
+      continue;
+    ++T.Applied;
+    VerifyOptions Opts;
+    Opts.Lints = false;
+    if (detected(verifyCompiledParser(M, Opts))) {
+      ++T.Detected;
+    } else {
+      T.Missed.push_back(std::string(Base.Def->Name) + "/" + Mu.Name);
+      // Zero-crash contract: a corruption the verifier passes must be
+      // harmless to the engine. (A wrong *answer* is acceptable here —
+      // a crash or sanitizer report is not.)
+      (void)M.recognize(Sample);
+    }
+  }
+}
+
+void runLexerMutations(const FlapParser &Base, const std::string &Sample,
+                       Tally &T) {
+  CompiledLexer Clean(*Base.Def->Re, Base.Canon);
+  for (const LexerMutation &Mu : lexerMutations()) {
+    CompiledLexer L = Clean;
+    if (!Mu.Apply(L))
+      continue;
+    ++T.Applied;
+    VerifyOptions Opts;
+    Opts.Lints = false;
+    if (detected(verifyCompiledLexer(L, Opts))) {
+      ++T.Detected;
+    } else {
+      T.Missed.push_back(std::string(Base.Def->Name) + "/" + Mu.Name);
+      (void)L.lexAll(Sample);
+    }
+  }
+}
+
+TEST(VerifyTest, CleanTablesVerifyCleanly) {
+  for (auto &Def : allBenchmarkGrammars()) {
+    auto P = compileFlap(Def);
+    ASSERT_TRUE(P.ok()) << Def->Name << ": " << P.error();
+    VerifyOptions Opts;
+    Opts.Lints = false;
+    VerifyReport PR = verifyFlapParser(P.value(), Opts);
+    EXPECT_TRUE(PR.ok() && !detected(PR))
+        << Def->Name << " parser: " << PR.summary();
+    CompiledLexer L(*Def->Re, P.value().Canon);
+    VerifyReport LR = verifyCompiledLexer(L, Opts);
+    EXPECT_TRUE(LR.ok() && !detected(LR))
+        << Def->Name << " lexer: " << LR.summary();
+  }
+}
+
+TEST(VerifyTest, SingleFieldCorruptionsAreFlaggedBeforeEngineEntry) {
+  Tally T;
+  for (auto &Def : allBenchmarkGrammars()) {
+    auto P = compileFlap(Def);
+    ASSERT_TRUE(P.ok()) << Def->Name << ": " << P.error();
+    std::string Sample = sampleInput(Def->Name);
+    runParserMutations(P.value(), Sample, T);
+    runLexerMutations(P.value(), Sample, T);
+  }
+  ASSERT_GT(T.Applied, 0u);
+  for (const std::string &Miss : T.Missed)
+    std::printf("verifier miss (engine survived): %s\n", Miss.c_str());
+  double Ratio = double(T.Detected) / double(T.Applied);
+  std::printf("mutation detection: %zu/%zu (%.1f%%)\n", T.Detected, T.Applied,
+              100.0 * Ratio);
+  EXPECT_GE(Ratio, 0.95) << T.Missed.size() << " undetected corruptions";
+}
+
+/// Structured findings must carry their anchors: the detection above is
+/// only actionable if a finding names the component, field, and state
+/// or nonterminal it fired on.
+TEST(VerifyTest, FindingsCarryStructuredAnchors) {
+  auto P = compileFlap(makeJsonGrammar());
+  ASSERT_TRUE(P.ok());
+  CompiledParser M = P.value().M;
+  ASSERT_GT(M.NumAccept, 0);
+  M.AcceptCont[0] = -1;
+  VerifyOptions Opts;
+  Opts.Lints = false;
+  VerifyReport R = verifyCompiledParser(M, Opts);
+  ASSERT_FALSE(R.ok());
+  bool Anchored = false;
+  for (const VerifyFinding &F : R.Findings)
+    if (F.Sev == VerifyFinding::Severity::Error && F.Component == "parser" &&
+        !F.Field.empty() && (F.State >= 0 || F.Nt >= 0))
+      Anchored = true;
+  EXPECT_TRUE(Anchored) << R.summary();
+}
+
+} // namespace

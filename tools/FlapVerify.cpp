@@ -1,0 +1,85 @@
+//===- tools/FlapVerify.cpp - Standalone table auditor -------------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+//
+// flap_verify [--no-lints] [grammar...]
+//
+// Compiles every registered benchmark grammar (or just the named ones)
+// through the full pipeline, audits the staged parser tables and the
+// standalone lexer DFA with engine/Verify.h, and runs the grammar-lint
+// tier. Exit status is the number of grammars with Error-severity
+// findings — lints and warnings are reported but never fail the run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Verify.h"
+
+#include "engine/Pipeline.h"
+#include "grammars/Grammars.h"
+#include "lexer/CompiledLexer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace flap;
+
+static void printReport(const char *Grammar, const char *What,
+                        const VerifyReport &R) {
+  std::printf("%-6s %-7s %s\n", Grammar, What, R.summary().c_str());
+  for (const VerifyFinding &F : R.Findings)
+    std::printf("  %s\n", F.message().c_str());
+}
+
+int main(int argc, char **argv) {
+  bool Lints = true;
+  std::vector<std::string> Only;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--no-lints"))
+      Lints = false;
+    else if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
+      std::printf("usage: flap_verify [--no-lints] [grammar...]\n");
+      return 0;
+    } else
+      Only.push_back(argv[I]);
+  }
+
+  int BadGrammars = 0;
+  bool Matched = false;
+  for (auto &Def : allBenchmarkGrammars()) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), Def->Name) == Only.end())
+      continue;
+    Matched = true;
+
+    auto P = compileFlap(Def);
+    if (!P.ok()) {
+      std::printf("%-6s compile error: %s\n", Def->Name.c_str(),
+                  P.error().c_str());
+      ++BadGrammars;
+      continue;
+    }
+
+    VerifyOptions Opts;
+    Opts.Lints = Lints;
+    VerifyReport PR = verifyFlapParser(P.value(), Opts);
+    printReport(Def->Name.c_str(), "parser", PR);
+
+    CompiledLexer L(*Def->Re, P.value().Canon);
+    VerifyReport LR = verifyCompiledLexer(L, Opts);
+    printReport(Def->Name.c_str(), "lexer", LR);
+
+    if (!PR.ok() || !LR.ok())
+      ++BadGrammars;
+  }
+  if (!Only.empty() && !Matched) {
+    std::fprintf(stderr, "flap_verify: no grammar matched\n");
+    return 1;
+  }
+  return BadGrammars;
+}
