@@ -48,6 +48,13 @@ double medianOf(std::vector<double> &S) {
   return S[S.size() / 2];
 }
 
+/// The \p Q quantile (0..1) of \p S, nearest-rank on the sorted order.
+double pctOf(std::vector<double> &S, double Q) {
+  const size_t At = static_cast<size_t>(Q * static_cast<double>(S.size() - 1));
+  std::nth_element(S.begin(), S.begin() + At, S.end());
+  return S[At];
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -92,7 +99,8 @@ int main(int argc, char **argv) {
                  "{\n  \"meta\": {\"docs\": %zu, \"doc_shape\": "
                  "\"synthesized request payloads\", \"scale\": %.3f, "
                  "\"unit\": \"ns_per_input\", \"batches\": [1, 64, "
-                 "4096]},\n",
+                 "4096], \"latency_unit\": \"ns_per_input\", "
+                 "\"latency_quantiles\": [0.50, 0.95, 0.99]},\n",
                  NumDocs, benchScale());
   }
 
@@ -180,16 +188,48 @@ int main(int argc, char **argv) {
     double BatchNs[3] = {medianOf(BatchS[0]), medianOf(BatchS[1]),
                          medianOf(BatchS[2])};
 
+    // Tail latency, sampled per call after the interleaved sweeps (so
+    // the per-call Stopwatch overhead cannot perturb the mean columns):
+    // one-shot requests individually, and batch-64 calls divided by
+    // their batch size — both in ns per input, the same unit as the
+    // means, so p99/p50 reads directly as the tail amplification a
+    // serving SLO would see.
+    std::vector<double> OneLat, B64Lat;
+    OneLat.reserve(NumDocs);
+    for (const std::string_view &V : Views) {
+      Stopwatch W;
+      Sink += P.M.parseFrom(Start, V).ok();
+      OneLat.push_back(W.seconds() * 1e9);
+    }
+    for (size_t At = 0; At < Views.size(); At += 64) {
+      const size_t N = std::min<size_t>(64, Views.size() - At);
+      Stopwatch W;
+      auto Out = P.M.parseBatch(Start, Views.data() + At, N, Scratch[1]);
+      B64Lat.push_back(W.seconds() * 1e9 / static_cast<double>(N));
+      Sink += static_cast<long>(Out.size());
+    }
+    const double OneP50 = pctOf(OneLat, 0.50), OneP95 = pctOf(OneLat, 0.95),
+                 OneP99 = pctOf(OneLat, 0.99);
+    const double B64P50 = pctOf(B64Lat, 0.50), B64P95 = pctOf(B64Lat, 0.95),
+                 B64P99 = pctOf(B64Lat, 0.99);
+
     const double Ratio = BatchNs[1] / OneShot;
     std::printf("%-8s%12.0f%12.0f%12.0f%12.0f%14.3f\n", Name, OneShot,
                 BatchNs[0], BatchNs[1], BatchNs[2], Ratio);
+    std::printf("%-8s  oneshot p50/p95/p99 %.0f/%.0f/%.0f ns  "
+                "batch64 p50/p95/p99 %.0f/%.0f/%.0f ns\n",
+                "", OneP50, OneP95, OneP99, B64P50, B64P95, B64P99);
     if (F) {
       std::fprintf(F,
                    "%s  \"%s\": {\"oneshot\": %.0f, \"batch1\": %.0f, "
                    "\"batch64\": %.0f, \"batch4096\": %.0f, "
-                   "\"batch64_vs_oneshot\": %.3f}",
+                   "\"batch64_vs_oneshot\": %.3f,\n"
+                   "    \"latency\": {\"oneshot\": {\"p50\": %.0f, \"p95\": "
+                   "%.0f, \"p99\": %.0f}, \"batch64\": {\"p50\": %.0f, "
+                   "\"p95\": %.0f, \"p99\": %.0f}}}",
                    FirstRow ? "" : ",\n", Name, OneShot, BatchNs[0],
-                   BatchNs[1], BatchNs[2], Ratio);
+                   BatchNs[1], BatchNs[2], Ratio, OneP50, OneP95, OneP99,
+                   B64P50, B64P95, B64P99);
       FirstRow = false;
     }
     if (Sink == -1)

@@ -40,8 +40,10 @@
 
 #include "cfe/Value.h"
 
+#include <atomic>
 #include <cassert>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -391,11 +393,19 @@ public:
 
   /// The legacy type-erased callable for \p Id — semantics identical to
   /// the tagged dispatch, but routed through a std::function and the
-  /// heap (non-pooled) value constructors. Built lazily, once; not
-  /// thread-safe against concurrent first use.
+  /// heap (non-pooled) value constructors. Built lazily, once. Safe
+  /// against concurrent first use: two parser threads hitting a
+  /// ValueFree entry's legacy fallback at once (the serving harness does
+  /// exactly this) serialize the build under RefsMu; the fast path is an
+  /// acquire load that observes the completed table.
   const ActionRefFn &ref(ActionId Id) const {
-    if (RefFns.size() != Actions.size())
-      buildRefs();
+    if (RefsBuilt.load(std::memory_order_acquire) != Actions.size()) {
+      std::lock_guard<std::mutex> G(RefsMu);
+      if (RefsBuilt.load(std::memory_order_relaxed) != Actions.size()) {
+        buildRefs();
+        RefsBuilt.store(Actions.size(), std::memory_order_release);
+      }
+    }
     return RefFns[Id];
   }
 
@@ -457,6 +467,8 @@ private:
   std::vector<MicroOp> Micro;
   bool AnyReadsInput = false;
   mutable std::vector<ActionRefFn> RefFns;
+  mutable std::atomic<size_t> RefsBuilt{0};
+  mutable std::mutex RefsMu;
 };
 
 /// A growable value stack shared by all engines. Running an action pops

@@ -40,6 +40,11 @@
 #include <utility>
 #include <vector>
 
+#ifndef NDEBUG
+#include <atomic>
+#include <thread>
+#endif
+
 namespace flap {
 
 class Value;
@@ -49,16 +54,45 @@ using ValueList = std::vector<Value>;
 /// A freelist arena for pair/list nodes (control block + payload are
 /// co-located by allocate_shared). One pool per parse scratch; nodes
 /// recycle through their size-class freelist as values die, so a scratch
-/// reused across parses amortizes to zero allocation. Not thread-safe:
-/// values built from a pool must be destroyed on the thread that owns it
-/// (the usual one-scratch-per-thread discipline).
+/// reused across parses amortizes to zero allocation.
+///
+/// Not thread-safe. The ownership rule is *single owner at a time*: at
+/// any moment exactly one thread may allocate from or deallocate into a
+/// pool — and since every pooled value destroys into its pool's
+/// freelist, that covers destroying values built from it. Ownership may
+/// move between threads, but only across a synchronization point (a
+/// joined task, a mutex-guarded handoff — see engine/Serve.h's pool
+/// bank and engine/Shard.h's per-worker arenas), and the new owner
+/// announces itself with adoptOwner(). Assert-enabled builds (every
+/// preset here) enforce the rule: allocate/deallocate from a thread that
+/// neither adopted the pool nor created it aborts with the owner check
+/// below rather than racing the freelist.
 class ValuePool {
 public:
   ValuePool() = default;
   ValuePool(const ValuePool &) = delete;
   ValuePool &operator=(const ValuePool &) = delete;
 
+  /// Declares the calling thread the pool's owner. Call at a transfer
+  /// point, after the previous owner's accesses have been synchronized
+  /// with (task join, mutex handoff). No-op in NDEBUG builds.
+  void adoptOwner() noexcept {
+#ifndef NDEBUG
+    Owner.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+
+  /// Releases ownership without naming a successor: the next thread to
+  /// touch the pool claims it (the serving reply handoff, where the
+  /// consumer thread is unknown at hand-off time). No-op in NDEBUG.
+  void disownOwner() noexcept {
+#ifndef NDEBUG
+    Owner.store(std::thread::id(), std::memory_order_relaxed);
+#endif
+  }
+
   void *allocate(size_t Bytes) {
+    checkOwner();
     SizeClass *C = classOf(Bytes);
     if (!C)
       return ::operator new(Bytes);
@@ -80,6 +114,7 @@ public:
   }
 
   void deallocate(void *P, size_t Bytes) noexcept {
+    checkOwner();
     SizeClass *C = classOf(Bytes);
     if (!C) {
       ::operator delete(P);
@@ -118,6 +153,24 @@ private:
     return &Classes[NumClasses++];
   }
 
+  /// The owner-affinity assert: the caller must be the owning thread.
+  /// An unowned pool (disownOwner) is claimed by the first toucher — a
+  /// debug-only CAS, so two threads racing to claim still abort.
+  void checkOwner() noexcept {
+#ifndef NDEBUG
+    const std::thread::id Self = std::this_thread::get_id();
+    std::thread::id Cur = Owner.load(std::memory_order_relaxed);
+    if (Cur == Self)
+      return;
+    if (Cur == std::thread::id() &&
+        Owner.compare_exchange_strong(Cur, Self, std::memory_order_relaxed))
+      return;
+    assert(false && "ValuePool touched off its owning thread: values "
+                    "built from a pool must be destroyed on the thread "
+                    "that owns it (adoptOwner at transfer points)");
+#endif
+  }
+
   static constexpr size_t PageBytes = 16 * 1024;
   static constexpr size_t MaxClasses = 6;
   SizeClass Classes[MaxClasses];
@@ -125,6 +178,9 @@ private:
   std::vector<std::unique_ptr<char[]>> Pages;
   char *Cur = nullptr;
   size_t Left = 0;
+#ifndef NDEBUG
+  std::atomic<std::thread::id> Owner{std::this_thread::get_id()};
+#endif
 };
 
 /// Shared handle to a pool; nodes' control blocks hold a copy, so escaped

@@ -1106,9 +1106,17 @@ size_t matchTrailingSkipT(const CompiledParser &M, std::string_view Input,
 ///
 /// \returns true on a complete parse; false after Sk.failParse /
 /// Sk.failTrailing recorded the diagnostic (a no-op for NullSink).
+///
+/// \p EndPos selects *record* mode (the record-sequence drivers below):
+/// when non-null the machine stops as soon as the entry nonterminal's
+/// run completes — no trailing-skip absorption, no whole-input check —
+/// and stores the end offset there; failTrailing can then never fire.
+/// The branch sits outside the scan loop, so the whole-buffer
+/// instantiations are unchanged.
 template <typename Tab, typename Sink>
 bool driveImpl(const CompiledParser &M, NtId StartNt, std::string_view Input,
-               std::vector<uint32_t> &Stack, Sink &Sk, size_t Pos0 = 0) {
+               std::vector<uint32_t> &Stack, Sink &Sk, size_t Pos0 = 0,
+               size_t *EndPos = nullptr) {
   Stack.clear();
   Stack.push_back(M.packNt(StartNt));
   size_t Pos = Pos0;
@@ -1170,6 +1178,10 @@ bool driveImpl(const CompiledParser &M, NtId StartNt, std::string_view Input,
     }
   }
 
+  if (EndPos) {
+    *EndPos = Pos;
+    return true;
+  }
   Pos = matchTrailingSkipT<Tab>(M, Input, Pos);
   if (Pos != Len) {
     Sk.failTrailing(Pos);
@@ -1275,6 +1287,201 @@ void recoverLoop(const CompiledParser &M, NtId R, std::string_view Input,
     if (End)
       return;
   }
+}
+
+//===--------------------------------------------------------------------===//
+// Record-sequence drivers (the shard substrate, engine/Shard.h)
+//===--------------------------------------------------------------------===//
+
+/// One strict record run: complete runs of \p R, each entered at a
+/// skip-normalized offset, while the entry offset stays below \p Limit.
+/// \p OnRecord collects a completed record's result, \p OnError(RR)
+/// fills the failure fields from the sink (and drops partial state),
+/// \p OnEmpty(RR) cleans up after the zero-progress guard fired. The
+/// sink is constructed once by the caller (the parseBatch hoisting
+/// pattern), so the per-record set-up is one driveImpl call.
+template <typename Tab, typename SinkT, typename RecFn, typename ErrFn,
+          typename EmptyFn>
+RecordRun recordsT(const CompiledParser &M, NtId R, std::string_view Input,
+                   size_t Pos, size_t Limit, std::vector<uint32_t> &Stack,
+                   SinkT &Sk, RecFn &&OnRecord, ErrFn &&OnError,
+                   EmptyFn &&OnEmpty) {
+  RecordRun RR;
+  const size_t Len = Input.size();
+  size_t P = matchTrailingSkipT<Tab>(M, Input, Pos);
+  RR.First = P;
+  for (;;) {
+    if (P == Len) {
+      RR.S = RecordRun::Stop::End;
+      RR.Next = Len;
+      return RR;
+    }
+    if (P >= Limit) {
+      RR.S = RecordRun::Stop::AtLimit;
+      RR.Next = P;
+      return RR;
+    }
+    size_t End = P;
+    if (!driveImpl<Tab>(M, R, Input, Stack, Sk, P, &End)) {
+      RR.S = RecordRun::Stop::Error;
+      OnError(RR);
+      return RR;
+    }
+    if (End == P) {
+      // A nullable record nonterminal consumed nothing: without this
+      // guard the run would loop forever at P. A grammar-shape error,
+      // not an input error — reported as one.
+      RR.S = RecordRun::Stop::Error;
+      RR.ErrOff = P;
+      RR.ErrNt = R;
+      RR.ErrMsg = "record entry nonterminal matched empty input (nullable "
+                  "records cannot delimit a sequence)";
+      OnEmpty(RR);
+      return RR;
+    }
+    OnRecord();
+    ++RR.NumRecords;
+    P = matchTrailingSkipT<Tab>(M, Input, End);
+  }
+}
+
+/// The recovery record run: like recordsT but a failed record records a
+/// ParseDiagnostic and resumes at the next viable sync point (the same
+/// findResume the whole-buffer recoverLoop uses, scanning the FULL
+/// input so a resume may land past Limit). Line/Col stay unfilled; the
+/// caller's LineTracker pass fills them for the diagnostics that
+/// survive stitching. The MaxErrors circuit breaker counts THIS run's
+/// diagnostics (the stitcher re-applies the global count).
+template <typename Tab>
+RecordRun recordsRecoverT(const CompiledParser &M, NtId R,
+                          std::string_view Input, size_t Pos, size_t Limit,
+                          std::vector<uint32_t> &Stack, ValueSink &Sk,
+                          std::vector<Value> &Out,
+                          std::vector<ParseDiagnostic> &Errs,
+                          std::vector<RecordLogEntry> &Log,
+                          const RecoverOptions &Opts) {
+  const CompiledParser::SyncSpec &SS = M.SyncSpecs[R];
+  const size_t MaxErrors = Opts.MaxErrors ? Opts.MaxErrors : 1;
+  const size_t Len = Input.size();
+  size_t NumErrs = 0;
+  RecordRun RR;
+  size_t P = matchTrailingSkipT<Tab>(M, Input, Pos);
+  RR.First = P;
+  for (;;) {
+    if (P == Len) {
+      RR.S = RecordRun::Stop::End;
+      RR.Next = Len;
+      return RR;
+    }
+    if (P >= Limit) {
+      RR.S = RecordRun::Stop::AtLimit;
+      RR.Next = P;
+      return RR;
+    }
+    size_t End = P;
+    if (driveImpl<Tab>(M, R, Input, Stack, Sk, P, &End)) {
+      if (End == P) {
+        RR.S = RecordRun::Stop::Error;
+        RR.ErrOff = P;
+        RR.ErrNt = R;
+        RR.ErrMsg = "record entry nonterminal matched empty input "
+                    "(nullable records cannot delimit a sequence)";
+        Sk.discardPartial();
+        return RR;
+      }
+      Out.push_back(Sk.collectSegment());
+      Log.push_back(RecordLogEntry::Value);
+      ++RR.NumRecords;
+      P = matchTrailingSkipT<Tab>(M, Input, End);
+      continue;
+    }
+    // Record-mode drives never failTrailing; this is a parse failure.
+    Sk.discardPartial();
+    const uint64_t Off = Sk.FailOff;
+    ParseDiagnostic D;
+    D.K = ParseDiagnostic::Kind::Parse;
+    D.Off = Off;
+    D.Nt = Sk.FailNt;
+    D.Expected = M.NtExpected[Sk.FailNt];
+    D.Where = M.NtNames[Sk.FailNt];
+    ++NumErrs;
+    if (NumErrs >= MaxErrors || !SS.HasSync) {
+      // Same circuit breaker as recoverLoop: the error limit, or a
+      // grammar with no sync bytes.
+      RR.Truncated = NumErrs >= MaxErrors;
+      D.Act = ParseDiagnostic::Action::Fatal;
+      D.ResumeOff = Off;
+      Errs.push_back(std::move(D));
+      Log.push_back(RecordLogEntry::Diagnostic);
+      RR.S = RecordRun::Stop::Error;
+      RR.ErrOff = Off;
+      RR.ErrNt = D.Nt;
+      RR.Next = Len;
+      return RR;
+    }
+    size_t Q = findResume(M, R, SS, Input, static_cast<size_t>(Off), D.Act);
+    D.ResumeOff = Q;
+    const bool AtEof = D.Act == ParseDiagnostic::Action::SkipToEnd;
+    Errs.push_back(std::move(D));
+    Log.push_back(RecordLogEntry::Diagnostic);
+    if (AtEof) {
+      RR.S = RecordRun::Stop::End;
+      RR.Next = Len;
+      return RR;
+    }
+    P = matchTrailingSkipT<Tab>(M, Input, Q);
+  }
+}
+
+/// Strict-mode width-dispatch helpers, one per sink policy.
+template <typename Tab>
+RecordRun recordsValuesT(const CompiledParser &M, NtId R,
+                         std::string_view Input, size_t Pos, size_t Limit,
+                         ParseScratch &Scratch, std::vector<Value> &Out,
+                         void *User) {
+  ValueSink Sk(M, Scratch, Input, User);
+  return recordsT<Tab>(
+      M, R, Input, Pos, Limit, Scratch.Stack, Sk,
+      [&] { Out.push_back(Sk.collectSegment()); },
+      [&](RecordRun &RR) {
+        RR.ErrMsg = std::move(Sk.ErrMsg);
+        RR.ErrNt = Sk.FailNt;
+        RR.ErrOff = Sk.FailOff;
+        Sk.discardPartial();
+      },
+      [&](RecordRun &) { Sk.discardPartial(); });
+}
+
+template <typename Tab>
+RecordRun recordsEventsT(const CompiledParser &M, NtId R,
+                         std::string_view Input, size_t Pos, size_t Limit,
+                         std::vector<uint32_t> &Stack,
+                         std::vector<ParseEvent> &Events) {
+  EventSink Sk(M, Input, Events);
+  return recordsT<Tab>(
+      M, R, Input, Pos, Limit, Stack, Sk, [] {},
+      [&](RecordRun &RR) {
+        RR.ErrMsg = std::move(Sk.ErrMsg);
+        RR.ErrNt = Sk.FailNt;
+        RR.ErrOff = Sk.FailOff;
+      },
+      [](RecordRun &) {});
+}
+
+template <typename Tab>
+RecordRun recordsRecognizeT(const CompiledParser &M, NtId R,
+                            std::string_view Input, size_t Pos, size_t Limit,
+                            std::vector<uint32_t> &Stack) {
+  // RecoverNullSink: NullSink speed (NtPool walk, markers compiled
+  // out) plus the bare failure site for RecordRun's error fields.
+  RecoverNullSink Sk;
+  return recordsT<Tab>(
+      M, R, Input, Pos, Limit, Stack, Sk, [] {},
+      [&](RecordRun &RR) {
+        RR.ErrNt = Sk.FailNt;
+        RR.ErrOff = Sk.FailOff;
+      },
+      [](RecordRun &) {});
 }
 
 //===--------------------------------------------------------------------===//
@@ -1544,6 +1751,93 @@ std::vector<RecoveredParse> CompiledParser::parseBatchRecover(
     Out.push_back(parseRecoverFrom(StartNt, Inputs[I], Scratch,
                                    Users ? Users[I] : nullptr, Opts));
   return Out;
+}
+
+size_t CompiledParser::skipFrom(std::string_view Input, size_t Pos) const {
+  return Trans8.empty() ? matchTrailingSkipT<Tab16>(*this, Input, Pos)
+                        : matchTrailingSkipT<Tab8>(*this, Input, Pos);
+}
+
+RecordRun CompiledParser::parseRecords(NtId R, std::string_view Input,
+                                       size_t Pos, size_t Limit,
+                                       ParseScratch &Scratch,
+                                       std::vector<Value> &Out,
+                                       void *User) const {
+  assert(R < Nts.size() && "record nonterminal out of range");
+  if (Nts[R].ValueFree) {
+    // The legacy fallback has no record mode; fail structurally rather
+    // than deliver values the elision compiled away.
+    RecordRun RR;
+    RR.S = RecordRun::Stop::Error;
+    RR.ErrNt = R;
+    RR.ErrMsg = "record entry nonterminal's value was compiled away by "
+                "dead-token elision; record-sequence parsing needs a "
+                "value-carrying entry";
+    return RR;
+  }
+  Scratch.reset();
+  return Trans8.empty()
+             ? recordsValuesT<Tab16>(*this, R, Input, Pos, Limit, Scratch,
+                                     Out, User)
+             : recordsValuesT<Tab8>(*this, R, Input, Pos, Limit, Scratch,
+                                    Out, User);
+}
+
+RecordRun CompiledParser::parseEventsRecords(
+    NtId R, std::string_view Input, size_t Pos, size_t Limit,
+    ParseScratch &Scratch, std::vector<ParseEvent> &Events) const {
+  assert(R < Nts.size() && "record nonterminal out of range");
+  if (Nts[R].ValueFree) {
+    RecordRun RR;
+    RR.S = RecordRun::Stop::Error;
+    RR.ErrNt = R;
+    RR.ErrMsg = "record entry nonterminal's value was compiled away by "
+                "dead-token elision; its event stream cannot be replayed";
+    return RR;
+  }
+  return Trans8.empty()
+             ? recordsEventsT<Tab16>(*this, R, Input, Pos, Limit,
+                                     Scratch.Stack, Events)
+             : recordsEventsT<Tab8>(*this, R, Input, Pos, Limit,
+                                    Scratch.Stack, Events);
+}
+
+RecordRun CompiledParser::recognizeRecords(NtId R, std::string_view Input,
+                                           size_t Pos, size_t Limit,
+                                           ParseScratch &Scratch) const {
+  assert(R < Nts.size() && "record nonterminal out of range");
+  return Trans8.empty()
+             ? recordsRecognizeT<Tab16>(*this, R, Input, Pos, Limit,
+                                        Scratch.Stack)
+             : recordsRecognizeT<Tab8>(*this, R, Input, Pos, Limit,
+                                       Scratch.Stack);
+}
+
+RecordRun CompiledParser::parseRecordsRecover(
+    NtId R, std::string_view Input, size_t Pos, size_t Limit,
+    ParseScratch &Scratch, std::vector<Value> &Out,
+    std::vector<ParseDiagnostic> &Errs, std::vector<RecordLogEntry> &Log,
+    const RecoverOptions &Opts, void *User) const {
+  assert(R < Nts.size() && "record nonterminal out of range");
+  if (Nts[R].ValueFree) {
+    RecordRun RR;
+    RR.S = RecordRun::Stop::Error;
+    RR.ErrNt = R;
+    RR.Truncated = true;
+    RR.ErrMsg = "record entry nonterminal's value was compiled away by "
+                "dead-token elision; record-sequence parsing needs a "
+                "value-carrying entry";
+    return RR;
+  }
+  Scratch.reset();
+  ValueSink Sk(*this, Scratch, Input, User);
+  return Trans8.empty()
+             ? recordsRecoverT<Tab16>(*this, R, Input, Pos, Limit,
+                                      Scratch.Stack, Sk, Out, Errs, Log,
+                                      Opts)
+             : recordsRecoverT<Tab8>(*this, R, Input, Pos, Limit,
+                                     Scratch.Stack, Sk, Out, Errs, Log,
+                                     Opts);
 }
 
 Result<Value> CompiledParser::parseLegacyFrom(NtId StartNt,

@@ -88,6 +88,46 @@ struct RecoveredParse {
   bool clean() const { return Errors.empty() && !Truncated; }
 };
 
+/// Result of one record-sequence run (parseRecords and friends): a
+/// maximal sequence of complete runs of the entry nonterminal, each
+/// starting before \p Limit, scanned against the *full* input with
+/// absolute offsets. The record drivers are the substrate of the
+/// data-parallel shard layer (engine/Shard.h): a shard is one record
+/// run over [Pos, Limit), and the deterministic machine makes the
+/// cross-shard verification rule a single offset compare — a shard's
+/// guessed entry state is correct iff its skip-normalized First equals
+/// the previous shard's Next.
+struct RecordRun {
+  enum class Stop : uint8_t {
+    End,     ///< consumed the input: Next == Input.size()
+    AtLimit, ///< the next record would start at Next >= Limit
+    Error    ///< a record failed; see ErrOff/ErrNt/ErrMsg
+  };
+  Stop S = Stop::End;
+  /// Skip-normalized offset where the first record's scan entered (==
+  /// Next of a clean predecessor shard). Meaningful even for zero
+  /// records (First == Next == the skip-absorbed position).
+  size_t First = 0;
+  /// Where a sequential continuation picks up: Input.size() for End,
+  /// the next record's skip-normalized start for AtLimit, unspecified
+  /// after Error.
+  size_t Next = 0;
+  size_t NumRecords = 0; ///< records completed in this run
+  /// Stop::Error in strict mode: the failure, rendered through the ONE
+  /// shared formatter — identical to what parseFrom would report at the
+  /// same byte. In recovery mode Error means the run went Fatal (no
+  /// sync bytes, or RecoverOptions::MaxErrors reached → Truncated).
+  std::string ErrMsg;
+  NtId ErrNt = NoNt;
+  uint64_t ErrOff = 0;
+  bool Truncated = false;
+};
+
+/// Recovery-mode record runs interleave values and diagnostics; the
+/// per-record log entry kinds let a consumer (the shard stitcher)
+/// replay the exact sequential order without re-parsing.
+enum class RecordLogEntry : uint8_t { Value, Diagnostic };
+
 /// Reusable per-parse working memory. Parsing never shrinks capacity, so
 /// a scratch reused across parses makes the residual loop allocation-free
 /// after warm-up (semantic actions may still allocate). One scratch per
@@ -304,6 +344,63 @@ public:
     return parseBatchRecover(StartNt, Inputs.data(), Inputs.size(), Scratch,
                              Users ? Users->data() : nullptr, Opts);
   }
+
+  //===--------------------------------------------------------------===//
+  // Record-sequence entry points (the shard substrate, engine/Shard.h)
+  //
+  // Parse successive complete runs of an entry nonterminal ("records":
+  // NDJSON documents, csv rows, pgn games) while each record *starts*
+  // before Limit, scanning against the full input — a record may run
+  // past Limit; the overrun is reported through RecordRun::Next so the
+  // next shard can verify its guessed boundary against it. Limit ==
+  // Input.size() is the sequential reference the shard layer's stitched
+  // output is byte-identical to. Offsets (diagnostics, token spans) are
+  // absolute throughout.
+  //===--------------------------------------------------------------===//
+
+  /// Absorbs maximal skip input: the first offset >= Pos that cannot
+  /// extend a skip lexeme (Input.size() when the rest is skip). Record
+  /// entry offsets are compared in this normal form — entering the
+  /// machine at Pos and at skipFrom(Pos) is observationally identical
+  /// (skip emits nothing and failure offsets are post-skip).
+  size_t skipFrom(std::string_view Input, size_t Pos) const;
+
+  /// Value mode: appends one Value per completed record to \p Out.
+  RecordRun parseRecords(NtId R, std::string_view Input, size_t Pos,
+                         size_t Limit, ParseScratch &Scratch,
+                         std::vector<Value> &Out,
+                         void *User = nullptr) const;
+
+  /// SAX mode: appends each record's events to \p Events (absolute
+  /// offsets; the per-record boundaries are recoverable from Enter(R)).
+  RecordRun parseEventsRecords(NtId R, std::string_view Input, size_t Pos,
+                               size_t Limit, ParseScratch &Scratch,
+                               std::vector<ParseEvent> &Events) const;
+
+  /// Recognition mode: no values, NullSink speed; Stop::Error carries
+  /// only the offset (no rendered message).
+  RecordRun recognizeRecords(NtId R, std::string_view Input, size_t Pos,
+                             size_t Limit, ParseScratch &Scratch) const;
+
+  /// Recovery mode: per-record sync-token recovery. Completed records
+  /// append to \p Out, failures append structured diagnostics to
+  /// \p Errs, and \p Log records the exact interleaving (one entry per
+  /// value or diagnostic, in input order) so a consumer can replay the
+  /// sequential stream. Diagnostics carry absolute offsets but Line/Col
+  /// are NOT filled in (always 1) — the caller runs one LineTracker
+  /// pass over the accepted diagnostics (engine/Shard.cpp does; a lone
+  /// sequential caller can too), so every input byte is scanned at most
+  /// once however many shards and errors there are. The local MaxErrors
+  /// circuit breaker matches recoverLoop: the run stops with
+  /// Stop::Error and Truncated once Errs grows by MaxErrors (or
+  /// immediately on failure for a grammar with no sync bytes).
+  RecordRun parseRecordsRecover(NtId R, std::string_view Input, size_t Pos,
+                                size_t Limit, ParseScratch &Scratch,
+                                std::vector<Value> &Out,
+                                std::vector<ParseDiagnostic> &Errs,
+                                std::vector<RecordLogEntry> &Log,
+                                const RecoverOptions &Opts = {},
+                                void *User = nullptr) const;
 
   /// Pre-acceleration reference loop: byte-at-a-time table walk with a
   /// dependent AcceptCont load per byte, per-parse stack allocation, and

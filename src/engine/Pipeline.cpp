@@ -131,3 +131,17 @@ flap::compileFlapMulti(std::shared_ptr<GrammarDef> Def,
   Out.Sizes.OutputFunctions = static_cast<size_t>(Out.M.numStates());
   return Out;
 }
+
+Result<FlapParser> flap::compileFlapRecords(std::shared_ptr<GrammarDef> Def,
+                                            NormalizeOptions NOpts) {
+  if (!Def->HasRecord)
+    return Err("grammar '" + Def->Name +
+               "' declares no record decomposition (GrammarDef::Record)");
+  return compileFlapMulti(
+      Def, {{"main", Def->Root}, {"record", Def->Record}}, NOpts);
+}
+
+NtId flap::recordEntry(const FlapParser &P) {
+  auto It = P.Entries.find("record");
+  return It == P.Entries.end() ? NoNt : It->second;
+}

@@ -48,6 +48,16 @@ struct GrammarDef {
   std::shared_ptr<Lang> L;
   std::shared_ptr<LexerSpec> Lexer;
   Px Root;
+  /// The grammar's *record* unit — one element of a record-delimited
+  /// corpus (a single json document, one csv row, one pgn game), i.e.
+  /// what Root folds a sequence of. Grammars whose Root already parses
+  /// one record (sexp, ppm) set Record = Root. Consumed by
+  /// compileFlapRecords() for the record-sequence drivers
+  /// (CompiledParser::parseRecords) and the shard layer (engine/
+  /// Shard.h). Left unset (HasRecord == false) when the grammar has no
+  /// record decomposition.
+  Px Record;
+  bool HasRecord = false;
   /// Grammars whose actions accumulate into a per-parse user context
   /// (e.g. ppm's pixel statistics) provide a fresh-context factory;
   /// harnesses pass the pointer as ParseContext::User.
@@ -174,6 +184,17 @@ Result<FlapParser>
 compileFlapMulti(std::shared_ptr<GrammarDef> Def,
                  const std::vector<std::pair<std::string, Px>> &Roots,
                  NormalizeOptions NOpts = {});
+
+/// compileFlapMulti over {"main": Def->Root, "record": Def->Record} —
+/// one machine whose Start is the whole-corpus grammar and whose
+/// Entries["record"] is the record unit the shard layer parallelizes
+/// over. Fails when the grammar declares no record decomposition.
+Result<FlapParser> compileFlapRecords(std::shared_ptr<GrammarDef> Def,
+                                      NormalizeOptions NOpts = {});
+
+/// Entries["record"] of a compileFlapRecords() parser (convenience for
+/// the shard/serve harnesses); NoNt when absent.
+NtId recordEntry(const FlapParser &P);
 
 } // namespace flap
 

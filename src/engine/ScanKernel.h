@@ -61,6 +61,16 @@
 /// maintain the window-base-to-absolute-offset mapping and rebase the
 /// state when they compact the carry buffer.
 ///
+/// Determinism of this kernel is also what the data-parallel shard tier
+/// (engine/Shard.h) leans on: because every scan decision is a pure
+/// function of the tables and the bytes, a speculative shard parse that
+/// entered at the right offset produced *the* answer, so shard
+/// verification is a single offset compare — the speculated entry
+/// offset against the previous shard's exit offset — with no state or
+/// output re-validation. The sync-byte classifiers the shard planner
+/// reuses to pick candidate entry offsets live in Compile.h (SyncSpec:
+/// skipRun over NotSync + admissible), not here.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FLAP_ENGINE_SCANKERNEL_H

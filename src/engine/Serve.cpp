@@ -1,0 +1,158 @@
+//===- engine/Serve.cpp - Thread-pooled serving front-end ----------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Serve.h"
+
+using namespace flap;
+
+//===--------------------------------------------------------------------===//
+// PoolBank
+//===--------------------------------------------------------------------===//
+
+ValuePoolRef PoolBank::acquire() {
+  {
+    std::lock_guard<std::mutex> G(Mu);
+    if (!Free.empty()) {
+      ValuePoolRef P = std::move(Free.back());
+      Free.pop_back();
+      return P;
+    }
+  }
+  return std::make_shared<ValuePool>();
+}
+
+void PoolBank::give(ValuePoolRef P) {
+  // use_count == 1 ⟺ only this handle pins the pool: every value that
+  // ever borrowed it is dead, so its freelists are coherent and the
+  // next acquire may reuse them. The mutex is the happens-before edge
+  // between the consumer thread that freed the last node and the
+  // worker that allocates next.
+  if (P.use_count() != 1)
+    return; // escaped values keep it alive; it dies with the last one
+  std::lock_guard<std::mutex> G(Mu);
+  Free.push_back(std::move(P));
+}
+
+//===--------------------------------------------------------------------===//
+// ServeReply
+//===--------------------------------------------------------------------===//
+
+ServeReply::~ServeReply() {
+  if (!Pool || !Bank)
+    return; // moved-from, or a rejected reply that never got a pool
+  // Free the values BEFORE offering the pool back, so a reply whose
+  // results never escaped recycles its pool (all nodes returned to the
+  // freelists this destructor's thread owns right now).
+  Pool->adoptOwner();
+  Results.clear();
+  Recovered.clear();
+  Bank->give(std::move(Pool));
+}
+
+ServeReply &ServeReply::operator=(ServeReply &&O) noexcept {
+  if (this != &O) {
+    // Run the full destructor protocol on the overwritten reply.
+    this->~ServeReply();
+    new (this) ServeReply(std::move(O));
+  }
+  return *this;
+}
+
+//===--------------------------------------------------------------------===//
+// ParseService
+//===--------------------------------------------------------------------===//
+
+ParseService::ParseService(const CompiledParser &M, NtId Start, ServeOptions O)
+    : M(M), Start(Start), Opts(O), Bank(std::make_shared<PoolBank>()) {
+  size_t T = Opts.Threads ? Opts.Threads : std::thread::hardware_concurrency();
+  if (!T)
+    T = 1;
+  Workers.reserve(T);
+  for (size_t I = 0; I < T; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ParseService::~ParseService() { shutdown(); }
+
+void ParseService::shutdown() {
+  {
+    std::lock_guard<std::mutex> G(Mu);
+    if (Stopping && Workers.empty())
+      return;
+    Stopping = true;
+  }
+  NotEmpty.notify_all();
+  NotFull.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+}
+
+std::future<ServeReply> ParseService::submit(
+    std::vector<std::string_view> Inputs, void *User) {
+  std::promise<ServeReply> P;
+  std::future<ServeReply> F = P.get_future();
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    NotFull.wait(L, [&] {
+      return Stopping || Queue.size() < Opts.QueueCapacity;
+    });
+    if (Stopping) {
+      ServeReply R;
+      R.Accepted = false;
+      P.set_value(std::move(R));
+      return F;
+    }
+    Queue.push_back(Request{std::move(Inputs), User, std::move(P)});
+  }
+  NotEmpty.notify_one();
+  return F;
+}
+
+void ParseService::workerLoop() {
+  // The worker's stacks: thread-pinned, warm across requests. The pool
+  // member is swapped per request from the bank (file-header contract);
+  // the scratch's own construction-time pool is never used.
+  ParseScratch Scratch;
+  for (;;) {
+    Request Req;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      NotEmpty.wait(L, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping && drained
+      Req = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    NotFull.notify_one();
+
+    ServeReply Rep;
+    Rep.Bank = Bank;
+    Rep.Pool = Bank->acquire();
+    Rep.Pool->adoptOwner();
+    Scratch.Pool = Rep.Pool;
+    const size_t N = Req.Inputs.size();
+    if (Opts.Recover) {
+      // parseBatchRecover takes per-input contexts; expand the shared
+      // one when present.
+      std::vector<void *> Users;
+      if (Req.User)
+        Users.assign(N, Req.User);
+      Rep.Recovered =
+          M.parseBatchRecover(Start, Req.Inputs.data(), N, Scratch,
+                              Req.User ? Users.data() : nullptr, Opts.RecOpts);
+    } else {
+      Rep.Results = M.parseBatch(Start, Req.Inputs.data(), N, Scratch,
+                                 Req.User);
+    }
+    // Detach the pool from this thread before the handoff: the future's
+    // synchronization point carries it to the consumer, who re-adopts.
+    Scratch.Pool.reset();
+    Rep.Pool->disownOwner();
+    Req.Promise.set_value(std::move(Rep));
+  }
+}

@@ -70,7 +70,12 @@ void StreamParser::reset() {
   CarryHW = 0;
   // Deliberately kept: the warmed Pool arena, the machine/table
   // references, and every buffer's capacity — one StreamParser serves
-  // many connections without re-paying its set-up.
+  // many connections without re-paying its set-up. A between-connections
+  // reset() is also the sanctioned point to move a StreamParser across
+  // threads (the single-owner rule on ValuePool, see cfe/Value.h), so
+  // re-adopt the arena here: debug owner asserts then track the new
+  // serving thread instead of tripping on the old one's id.
+  Pool->adoptOwner();
 }
 
 // Final-value collection is the shared ValueStack::collect() policy —

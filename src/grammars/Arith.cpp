@@ -256,5 +256,8 @@ std::shared_ptr<GrammarDef> flap::makeArithGrammar() {
   Def->Root = L.foldrAct(Term, Value::integer(0),
                          L.Actions.addAddArgs(2, 0, 1, "sumTerms"),
                          "sumInit");
+  // Record unit for the shard layer: one ';'-terminated term.
+  Def->Record = Term;
+  Def->HasRecord = true;
   return Def;
 }

@@ -70,6 +70,12 @@ std::shared_ptr<GrammarDef> flap::makeCsvGrammar() {
         return Value::integer(Args[1].asInt() + 1);
       },
       "countRecords", /*ReadsInput=*/false);
+  // Record unit for the shard layer: one row (through its CRLF). Note
+  // the row-width consistency check lives in the FOLD action, not in
+  // RecBody — record-mode parsing reports per-row field counts and the
+  // consumer owns any cross-row checks.
+  Def->Record = RecBody;
+  Def->HasRecord = true;
   Def->NewCtx = [] { return std::make_shared<CsvCtx>(); };
   return Def;
 }

@@ -81,5 +81,8 @@ std::shared_ptr<GrammarDef> flap::makeJsonGrammar() {
   // A file is a stream of documents; the value is the total object count.
   Def->Root = L.foldrAct(Value_, Value::integer(0),
                          L.Actions.addAddArgs(2, 0, 1, "sumDocs"));
+  // Record unit for the shard layer: one json document.
+  Def->Record = Value_;
+  Def->HasRecord = true;
   return Def;
 }

@@ -76,6 +76,9 @@ std::shared_ptr<GrammarDef> flap::makePgnGrammar() {
 
   Def->Root = L.foldrAct(Game, Value::integer(0),
                          L.Actions.addAddArgs(2, 0, 1, "countGames"));
+  // Record unit for the shard layer: one game.
+  Def->Record = Game;
+  Def->HasRecord = true;
   Def->NewCtx = [] { return std::make_shared<PgnCtx>(); };
   return Def;
 }

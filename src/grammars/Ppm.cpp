@@ -54,6 +54,10 @@ std::shared_ptr<GrammarDef> flap::makePpmGrammar() {
         return Value::boolean(Ok);
       },
       "checkPpm");
+  // Root parses one image; a corpus of concatenated P3 images shards
+  // on it.
+  Def->Record = Def->Root;
+  Def->HasRecord = true;
   Def->NewCtx = [] { return std::make_shared<PpmCtx>(); };
   return Def;
 }

@@ -44,5 +44,8 @@ std::shared_ptr<GrammarDef> flap::makeSexpGrammar() {
   });
 
   Def->Root = Sexp;
+  // Root parses one expression; a corpus of expressions shards on it.
+  Def->Record = Sexp;
+  Def->HasRecord = true;
   return Def;
 }

@@ -1,0 +1,342 @@
+//===- tests/ShardDiffTest.cpp - Sharded vs sequential record runs -------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential suite for the data-parallel shard layer (engine/
+/// Shard.h). The stitched output of every parse mode must be
+/// byte-identical to the sequential record run — the single-shard
+/// (Splits = {}) parse of the same corpus — under:
+///
+///   - every admissible candidate split byte of a small corpus,
+///     one at a time (the whole speculation space);
+///   - forced WRONG boundaries: a split at every byte position of a
+///     small corpus, admissible or not, including positions inside
+///     records and inside string literals — verification must discard
+///     the speculative run and repair by re-parsing;
+///   - planned multi-shard runs (2..5 shards, worker threads);
+///   - corrupted corpora in recovery mode, where diagnostics (offsets,
+///     line/column, actions) and the Truncated flag must also match,
+///     including with a tiny global MaxErrors budget that trips across
+///     shard boundaries.
+///
+/// All six benchmark grammars run through compileFlapRecords; the
+/// context-accumulating ones (csv/pgn/ppm) shard with a null context —
+/// a mutable shared context is not thread-safe by contract
+/// (ShardOptions::User).
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Pipeline.h"
+#include "engine/Shard.h"
+#include "grammars/Grammars.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace flap;
+
+namespace {
+
+std::shared_ptr<GrammarDef> grammarByName(const std::string &Name) {
+  if (Name == "json")
+    return makeJsonGrammar();
+  if (Name == "sexp")
+    return makeSexpGrammar();
+  if (Name == "csv")
+    return makeCsvGrammar();
+  if (Name == "pgn")
+    return makePgnGrammar();
+  if (Name == "ppm")
+    return makePpmGrammar();
+  return makeArithGrammar();
+}
+
+/// A small multi-record corpus per grammar, with enough internal
+/// structure that naive splits land inside strings, comments and
+/// nested forms.
+std::string recordCorpus(const std::string &Name, size_t Records) {
+  std::string S;
+  for (size_t I = 0; I < Records; ++I) {
+    const std::string N = std::to_string(I);
+    if (Name == "json")
+      S += "{\"k" + N + "\": [" + N + ", {\"s\": \"a}b]c\"}], \"t\": true}\n";
+    else if (Name == "sexp")
+      S += "(rec" + N + " (a b) ((c) d))\n";
+    else if (Name == "csv")
+      S += "f" + N + ",\"x,y\r\nz\"," + N + "\r\n";
+    else if (Name == "pgn")
+      S += "[Tag \"v" + N + "\"]\n1. e4 e5 2. Nf3 Nc6 1-0\n";
+    else if (Name == "ppm")
+      S += "P3 2 1 255  1 2 3  9 8 7\n";
+    else // arith
+      S += "(1+2)*" + N + " + 3;\n";
+  }
+  return S;
+}
+
+struct ShardRig {
+  std::shared_ptr<GrammarDef> Def;
+  FlapParser P;
+  NtId R = NoNt;
+  bool Compiled = false;
+
+  explicit ShardRig(std::shared_ptr<GrammarDef> D) : Def(std::move(D)) {
+    auto Res = compileFlapRecords(Def);
+    if (!Res.ok()) {
+      ADD_FAILURE() << Def->Name << ": compile failed: " << Res.error();
+      return;
+    }
+    P = Res.take();
+    R = recordEntry(P);
+    if (R == NoNt) {
+      ADD_FAILURE() << Def->Name << ": no record entry";
+      return;
+    }
+    Compiled = true;
+  }
+};
+
+void expectValuesEq(const std::string &Tag, const ShardedValues &Seq,
+                    const ShardedValues &Got) {
+  ASSERT_EQ(Seq.Ok, Got.Ok) << Tag;
+  EXPECT_EQ(Seq.NumRecords, Got.NumRecords) << Tag;
+  EXPECT_EQ(Seq.ErrMsg, Got.ErrMsg) << Tag;
+  EXPECT_EQ(Seq.ErrNt, Got.ErrNt) << Tag;
+  EXPECT_EQ(Seq.ErrOff, Got.ErrOff) << Tag;
+  ASSERT_EQ(Seq.Values.size(), Got.Values.size()) << Tag;
+  for (size_t I = 0; I < Seq.Values.size(); ++I)
+    ASSERT_EQ(Seq.Values[I].str(), Got.Values[I].str())
+        << Tag << " value " << I;
+}
+
+void expectEventsEq(const std::string &Tag, const ShardedEvents &Seq,
+                    const ShardedEvents &Got) {
+  ASSERT_EQ(Seq.Ok, Got.Ok) << Tag;
+  EXPECT_EQ(Seq.NumRecords, Got.NumRecords) << Tag;
+  EXPECT_EQ(Seq.ErrMsg, Got.ErrMsg) << Tag;
+  ASSERT_EQ(Seq.Events.size(), Got.Events.size()) << Tag;
+  for (size_t I = 0; I < Seq.Events.size(); ++I)
+    ASSERT_EQ(Seq.Events[I], Got.Events[I]) << Tag << " event " << I;
+}
+
+void expectRecoverEq(const std::string &Tag, const ShardedRecover &Seq,
+                     const ShardedRecover &Got) {
+  EXPECT_EQ(Seq.NumRecords, Got.NumRecords) << Tag;
+  EXPECT_EQ(Seq.R.Truncated, Got.R.Truncated) << Tag;
+  ASSERT_EQ(Seq.R.Values.size(), Got.R.Values.size()) << Tag;
+  for (size_t I = 0; I < Seq.R.Values.size(); ++I)
+    ASSERT_EQ(Seq.R.Values[I].str(), Got.R.Values[I].str())
+        << Tag << " value " << I;
+  ASSERT_EQ(Seq.R.Errors.size(), Got.R.Errors.size()) << Tag;
+  for (size_t I = 0; I < Seq.R.Errors.size(); ++I)
+    ASSERT_EQ(Seq.R.Errors[I], Got.R.Errors[I])
+        << Tag << " diagnostic " << I << ": seq='"
+        << Seq.R.Errors[I].message() << "' got='"
+        << Got.R.Errors[I].message() << "'";
+}
+
+/// Corrupts \p S deterministically at a few spread-out positions.
+std::string corrupt(std::string S, int Salt) {
+  const char Junk[] = {'#', '@', '~', '^'};
+  for (int I = 0; I < 3 && !S.empty(); ++I) {
+    const size_t At = (S.size() * (I + 1)) / 4 + static_cast<size_t>(Salt);
+    S[At % S.size()] = Junk[(I + Salt) % 4];
+  }
+  return S;
+}
+
+class ShardDiffTest : public ::testing::TestWithParam<const char *> {};
+
+/// Every admissible candidate boundary, one split at a time, all four
+/// modes identical to the sequential record run.
+TEST_P(ShardDiffTest, EveryCandidateSplit) {
+  ShardRig Rig(grammarByName(GetParam()));
+  if (!Rig.Compiled)
+    return;
+  const std::string Corpus = recordCorpus(GetParam(), 6);
+  ShardOptions O;
+  O.Threads = 1; // the stitcher is what's under test here
+  ShardParser SP(Rig.P.M, Rig.R, O);
+
+  const ShardedValues SeqV = SP.parseValuesAt(Corpus, {});
+  const ShardedEvents SeqE = SP.parseEventsAt(Corpus, {});
+  const ShardedRecognize SeqZ = SP.recognizeAt(Corpus, {});
+  ASSERT_TRUE(SeqV.Ok) << SeqV.ErrMsg;
+
+  const std::vector<size_t> Cands = SP.candidateSplits(Corpus);
+  if (Rig.P.M.SyncSpecs[Rig.R].HasSync)
+    ASSERT_FALSE(Cands.empty()) << GetParam();
+  for (size_t C : Cands) {
+    const std::string Tag =
+        std::string(GetParam()) + " split@" + std::to_string(C);
+    expectValuesEq(Tag, SeqV, SP.parseValuesAt(Corpus, {C}));
+    expectEventsEq(Tag, SeqE, SP.parseEventsAt(Corpus, {C}));
+    const ShardedRecognize Z = SP.recognizeAt(Corpus, {C});
+    EXPECT_EQ(SeqZ.Ok, Z.Ok) << Tag;
+    EXPECT_EQ(SeqZ.NumRecords, Z.NumRecords) << Tag;
+  }
+}
+
+/// A forced boundary at EVERY byte position — nearly all are wrong
+/// (inside a record, inside a string, mid-lexeme). Verification must
+/// repair each one bit-exactly.
+TEST_P(ShardDiffTest, ForcedWrongSplitEveryByte) {
+  ShardRig Rig(grammarByName(GetParam()));
+  if (!Rig.Compiled)
+    return;
+  const std::string Corpus = recordCorpus(GetParam(), 3);
+  ShardOptions O;
+  O.Threads = 1;
+  ShardParser SP(Rig.P.M, Rig.R, O);
+
+  const ShardedValues SeqV = SP.parseValuesAt(Corpus, {});
+  ASSERT_TRUE(SeqV.Ok) << SeqV.ErrMsg;
+  for (size_t B = 1; B < Corpus.size(); ++B) {
+    const std::string Tag =
+        std::string(GetParam()) + " forced@" + std::to_string(B);
+    const ShardedValues V = SP.parseValuesAt(Corpus, {B});
+    expectValuesEq(Tag, SeqV, V);
+  }
+  // And a deliberately pathological pair straddling one record.
+  const ShardedValues V =
+      SP.parseValuesAt(Corpus, {Corpus.size() / 3, Corpus.size() / 3 + 1});
+  expectValuesEq(std::string(GetParam()) + " straddle", SeqV, V);
+}
+
+/// Planned multi-shard runs on worker threads match the sequential
+/// parse; stats stay sane.
+TEST_P(ShardDiffTest, PlannedShardsOnThreads) {
+  ShardRig Rig(grammarByName(GetParam()));
+  if (!Rig.Compiled)
+    return;
+  const std::string Corpus = recordCorpus(GetParam(), 200);
+  ShardOptions O;
+  O.Threads = 4;
+  O.MinShardBytes = 1; // force full fan-out on the small corpus
+  ShardParser SP(Rig.P.M, Rig.R, O);
+
+  const ShardedValues SeqV = SP.parseValuesAt(Corpus, {});
+  ASSERT_TRUE(SeqV.Ok) << SeqV.ErrMsg;
+  for (size_t K = 2; K <= 5; ++K) {
+    const std::vector<size_t> Splits = SP.planSplits(Corpus, K);
+    const ShardedValues V = SP.parseValuesAt(Corpus, Splits);
+    expectValuesEq(std::string(GetParam()) + " planned k=" +
+                       std::to_string(K),
+                   SeqV, V);
+  }
+  const ShardedValues Auto = SP.parseValues(Corpus);
+  expectValuesEq(std::string(GetParam()) + " auto", SeqV, Auto);
+  EXPECT_GE(Auto.Stats.Shards, static_cast<size_t>(1));
+}
+
+/// Recovery mode: corrupted corpora, sharded at every candidate and at
+/// forced wrong positions, must reproduce the sequential values AND
+/// diagnostics (offsets, line/column, resync actions, Truncated).
+TEST_P(ShardDiffTest, RecoveryDifferential) {
+  ShardRig Rig(grammarByName(GetParam()));
+  if (!Rig.Compiled)
+    return;
+  for (int Salt = 0; Salt < 3; ++Salt) {
+    const std::string Corpus = corrupt(recordCorpus(GetParam(), 6), Salt);
+    ShardOptions O;
+    O.Threads = 1;
+    ShardParser SP(Rig.P.M, Rig.R, O);
+    const ShardedRecover Seq = SP.parseRecoverAt(Corpus, {});
+    for (size_t C : SP.candidateSplits(Corpus))
+      expectRecoverEq(std::string(GetParam()) + " salt=" +
+                          std::to_string(Salt) + " recover@" +
+                          std::to_string(C),
+                      Seq, SP.parseRecoverAt(Corpus, {C}));
+    for (size_t B = 1; B < Corpus.size(); B += 7)
+      expectRecoverEq(std::string(GetParam()) + " salt=" +
+                          std::to_string(Salt) + " recover-forced@" +
+                          std::to_string(B),
+                      Seq, SP.parseRecoverAt(Corpus, {B}));
+  }
+}
+
+/// The GLOBAL MaxErrors budget trips at the same diagnostic whether
+/// errors accumulate in one shard or across several.
+TEST_P(ShardDiffTest, RecoveryGlobalErrorBudget) {
+  ShardRig Rig(grammarByName(GetParam()));
+  if (!Rig.Compiled)
+    return;
+  std::string Corpus = recordCorpus(GetParam(), 8);
+  for (int Salt = 0; Salt < 4; ++Salt)
+    Corpus = corrupt(std::move(Corpus), Salt);
+  for (size_t MaxErrors : {size_t(1), size_t(2), size_t(3)}) {
+    ShardOptions O;
+    O.Threads = 2;
+    O.Recover.MaxErrors = MaxErrors;
+    ShardParser SP(Rig.P.M, Rig.R, O);
+    const ShardedRecover Seq = SP.parseRecoverAt(Corpus, {});
+    for (size_t K = 2; K <= 4; ++K)
+      expectRecoverEq(std::string(GetParam()) + " budget=" +
+                          std::to_string(MaxErrors) + " k=" +
+                          std::to_string(K),
+                      Seq, SP.parseRecoverAt(Corpus, SP.planSplits(Corpus, K)));
+  }
+}
+
+/// Strict mode on a corrupted corpus: the stitched failure is the
+/// sequentially-first one, with the identical rendered message.
+TEST_P(ShardDiffTest, StrictErrorIdentical) {
+  ShardRig Rig(grammarByName(GetParam()));
+  if (!Rig.Compiled)
+    return;
+  const std::string Corpus = corrupt(recordCorpus(GetParam(), 6), 1);
+  ShardOptions O;
+  O.Threads = 2;
+  ShardParser SP(Rig.P.M, Rig.R, O);
+  const ShardedValues Seq = SP.parseValuesAt(Corpus, {});
+  for (size_t K = 2; K <= 4; ++K) {
+    const ShardedValues V = SP.parseValuesAt(Corpus, SP.planSplits(Corpus, K));
+    expectValuesEq(std::string(GetParam()) + " strict-err k=" +
+                       std::to_string(K),
+                   Seq, V);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGrammars, ShardDiffTest,
+                         ::testing::Values("json", "sexp", "csv", "pgn",
+                                           "ppm", "arith"));
+
+/// Degenerate shapes the planner must survive.
+TEST(ShardEdgeTest, EmptyAndSkipOnlyInput) {
+  ShardRig Rig(makeJsonGrammar());
+  ASSERT_TRUE(Rig.Compiled);
+  ShardOptions O;
+  O.Threads = 2;
+  ShardParser SP(Rig.P.M, Rig.R, O);
+  const ShardedValues Empty = SP.parseValues("");
+  EXPECT_TRUE(Empty.Ok);
+  EXPECT_EQ(Empty.NumRecords, 0u);
+  const ShardedValues Skip = SP.parseValues("   \n\t  ");
+  EXPECT_TRUE(Skip.Ok);
+  EXPECT_EQ(Skip.NumRecords, 0u);
+  // Forced splits inside the skip run verify trivially (First == Len).
+  const ShardedValues S2 = SP.parseValuesAt("   \n\t  ", {3});
+  EXPECT_TRUE(S2.Ok);
+  EXPECT_EQ(S2.NumRecords, 0u);
+}
+
+TEST(ShardEdgeTest, SplitsBeyondInputAreDropped) {
+  ShardRig Rig(makeJsonGrammar());
+  ASSERT_TRUE(Rig.Compiled);
+  ShardOptions O;
+  O.Threads = 1;
+  ShardParser SP(Rig.P.M, Rig.R, O);
+  const std::string Corpus = recordCorpus("json", 3);
+  const ShardedValues Seq = SP.parseValuesAt(Corpus, {});
+  // Out-of-range, duplicate and non-increasing boundaries sanitize away.
+  const ShardedValues V = SP.parseValuesAt(
+      Corpus, {Corpus.size() + 5, 10, 10, 7, Corpus.size()});
+  expectValuesEq("sanitized", Seq, V);
+}
+
+} // namespace
