@@ -83,7 +83,7 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
     K.SelfSkip = SelfSkip;
     K.TailOff = static_cast<uint32_t>(M.TailPool.size());
     K.TailLen = static_cast<uint32_t>(Tail.size());
-    M.TailPool.insert(M.TailPool.end(), Tail.begin(), Tail.end());
+    M.TailPool.append(Tail.begin(), Tail.end());
     M.Conts.push_back(K);
     return ContId;
   };
@@ -175,38 +175,10 @@ Result<CompiledParser> flap::compileFused(RegexArena &Arena,
     M.SkipState = InternState({{F.SkipRe, TrailCont}});
 
   // Pre-fuse ε-marker chains into micro-op programs: the hot loops run
-  // one table-driven block per `back` continuation. Net stack effect is
-  // precomputed so the block reserves once and never reallocates
-  // mid-chain; the dominant shapes (empty chain, a single constant) skip
-  // dispatch entirely.
-  M.EpsPrograms.resize(M.EpsChains.size());
-  for (size_t C = 0; C < M.EpsChains.size(); ++C) {
-    const std::vector<ActionId> &Chain = M.EpsChains[C];
-    CompiledParser::EpsProgram &P = M.EpsPrograms[C];
-    if (Chain.empty()) {
-      P.K = CompiledParser::EpsProgram::Unit;
-      continue;
-    }
-    if (Chain.size() == 1) {
-      const Action &A = Actions.get(Chain[0]);
-      if (A.Kind == ActionKind::Const && A.Arity == 0) {
-        P.K = CompiledParser::EpsProgram::OneConst;
-        P.ConstVal = A.ConstVal;
-        continue;
-      }
-    }
-    P.K = CompiledParser::EpsProgram::Ops;
-    P.Off = static_cast<uint32_t>(M.EpsOps.size());
-    P.Len = static_cast<uint32_t>(Chain.size());
-    int32_t Net = 0, MaxNet = 0;
-    for (ActionId A : Chain) {
-      M.EpsOps.push_back(A);
-      Net += 1 - Actions.get(A).Arity;
-      if (Net > MaxNet)
-        MaxNet = Net;
-    }
-    P.MaxGrow = static_cast<uint32_t>(MaxNet);
-  }
+  // one table-driven block per `back` continuation. Shared with the
+  // artifact loader, which re-derives the programs from the serialized
+  // chains (EpsProgram holds a live Value and cannot serialize).
+  buildEpsPrograms(M, Actions);
 
   // Close the transition table: compute the derivative of every live
   // item once per derivative class of *this* state. All of this is
@@ -1952,4 +1924,41 @@ bool CompiledParser::recognizeLegacy(std::string_view Input) const {
     return false;
   }
   return matchTrailingSkipLegacy(*this, Input, Pos) == Len;
+}
+
+//===--------------------------------------------------------------------===//
+// ε-program pre-fusion (shared by compileFused and the artifact loader)
+//===--------------------------------------------------------------------===//
+
+void flap::buildEpsPrograms(CompiledParser &M, const ActionTable &Actions) {
+  M.EpsOps.clear();
+  M.EpsPrograms.clear();
+  M.EpsPrograms.resize(M.EpsChains.size());
+  for (size_t C = 0; C < M.EpsChains.size(); ++C) {
+    const std::vector<ActionId> &Chain = M.EpsChains[C];
+    CompiledParser::EpsProgram &P = M.EpsPrograms[C];
+    if (Chain.empty()) {
+      P.K = CompiledParser::EpsProgram::Unit;
+      continue;
+    }
+    if (Chain.size() == 1) {
+      const Action &A = Actions.get(Chain[0]);
+      if (A.Kind == ActionKind::Const && A.Arity == 0) {
+        P.K = CompiledParser::EpsProgram::OneConst;
+        P.ConstVal = A.ConstVal;
+        continue;
+      }
+    }
+    P.K = CompiledParser::EpsProgram::Ops;
+    P.Off = static_cast<uint32_t>(M.EpsOps.size());
+    P.Len = static_cast<uint32_t>(Chain.size());
+    int32_t Net = 0, MaxNet = 0;
+    for (ActionId A : Chain) {
+      M.EpsOps.push_back(A);
+      Net += 1 - Actions.get(A).Arity;
+      if (Net > MaxNet)
+        MaxNet = Net;
+    }
+    P.MaxGrow = static_cast<uint32_t>(MaxNet);
+  }
 }

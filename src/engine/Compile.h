@@ -56,6 +56,7 @@
 #include "core/Fuse.h"
 #include "engine/Diagnostic.h"
 #include "engine/RunSkip.h"
+#include "engine/TableStore.h"
 #include "support/Result.h"
 
 #include <cstring>
@@ -427,23 +428,28 @@ public:
 
   //===--------------------------------------------------------------===//
   // Tables (public: read by the code generator and by tests)
+  //
+  // Every hot table is a Table<T> (engine/TableStore.h): owned vector
+  // storage when compileFused builds it, a borrowed view into an mmap'd
+  // section when engine/Artifact.h loads it — the read API is identical
+  // and branch-free either way.
   //===--------------------------------------------------------------===//
 
   uint8_t ClsMap[256] = {0};
   int NumCls = 1;
   /// [State*NumCls + Cls] → next state, or Dead (-1). The canonical
   /// class-compressed table, used by the code generator and tests.
-  std::vector<int32_t> Trans;
+  Table<int32_t> Trans;
   /// [State*256 + Byte] → next state (int16, Dead16 = -1): the hot-loop
   /// table. One dependent load per input byte — the table analogue of
   /// the generated code's direct branching. Under the dispatch-tier
   /// encoding every state's 256-entry row is also its first-byte
   /// dispatch table (see the Num* tier bounds below): no separate array
   /// is materialized, so dispatch costs zero extra cache footprint.
-  std::vector<int16_t> Trans16;
+  Table<int16_t> Trans16;
   /// Compact variant used when the machine has at most MaxSmallStates
   /// states (every benchmark grammar): fits L1, sentinel Dead8 = 0xff.
-  std::vector<uint8_t> Trans8;
+  Table<uint8_t> Trans8;
   static constexpr uint8_t Dead8 = 0xff;
   /// 8-bit table cutoff: state ids must leave 0xff free for Dead8, so at
   /// most 255 states (max id 254) may select Trans8. A 256-state machine
@@ -489,13 +495,13 @@ public:
   /// longest match so far, or -1. Consulted by the code generator, the
   /// legacy kernels and tests; the accelerated loop uses the
   /// state-indexed Acc* arrays below instead.
-  std::vector<int32_t> AcceptCont;
+  Table<int32_t> AcceptCont;
   /// [State] → set of bytes on which the state loops to itself; empty
   /// for states with no self-loop. Drives run skipping.
-  std::vector<SkipSet> Skip;
-  std::vector<Cont> Conts;
+  Table<SkipSet> Skip;
+  Table<Cont> Conts;
   /// All continuation tails, flattened back-to-back (oldest first).
-  std::vector<Sym> TailPool;
+  Table<Sym> TailPool;
 
   //===--------------------------------------------------------------===//
   // State-indexed accept metadata ([0, NumAccept) entries): the scan
@@ -514,9 +520,9 @@ public:
   //===--------------------------------------------------------------===//
 
   /// Parse-loop entries (tails in PackedPool, token possibly elided).
-  std::vector<uint64_t> AccMeta;
+  Table<uint64_t> AccMeta;
   /// Recognize-loop entries (tails in NtPool, token always MetaNoTok).
-  std::vector<uint64_t> AccNtMeta;
+  Table<uint64_t> AccNtMeta;
   static constexpr uint32_t MetaNoTok = 0xffffu;
   static uint32_t metaTok(uint64_t M) {
     return static_cast<uint32_t>(M >> 48);
@@ -554,17 +560,17 @@ public:
   /// the consuming occurrence's op here has the token argument compiled
   /// out. A Select reduced to the identity becomes MNop and is dropped
   /// from the pool entirely.
-  std::vector<MicroOp> OpPool;
+  Table<MicroOp> OpPool;
   /// Originating ActionId per OpPool entry (cold: reference-path and
   /// diagnostic use only).
-  std::vector<ActionId> OpActs;
+  Table<ActionId> OpActs;
   uint32_t packNt(NtId N) const {
     return (static_cast<uint32_t>(N) << 16) |
            static_cast<uint32_t>(Nts[N].StartState);
   }
   static NtId packedNt(uint32_t E) { return (E >> 16) & 0x7fffu; }
-  std::vector<uint32_t> PackedPool; ///< full tails, packed
-  std::vector<uint32_t> NtPool;     ///< tails restricted to nonterminals
+  Table<uint32_t> PackedPool; ///< full tails, packed
+  Table<uint32_t> NtPool;     ///< tails restricted to nonterminals
 
   struct NtInfo {
     int32_t StartState = -1;
@@ -579,7 +585,7 @@ public:
     /// its value would have been observable.
     bool ValueFree = false;
   };
-  std::vector<NtInfo> Nts;
+  Table<NtInfo> Nts;
   std::vector<std::string> NtNames; ///< diagnostics only (cold)
   /// Per nonterminal: human-readable expected-token list, e.g.
   /// "rpar, atom" — derived from the fused productions' provenance and
@@ -699,6 +705,14 @@ Result<CompiledParser> compileFused(RegexArena &Arena,
                                     const ActionTable &Actions,
                                     const TokenSet *Tokens,
                                     size_t MaxStates = 1u << 14);
+
+/// (Re)derives M.EpsPrograms and M.EpsOps from M.EpsChains and the
+/// action table — the ε-chain pre-fusion step of compileFused, exposed
+/// separately because an artifact load must rerun it: EpsProgram holds
+/// a live Value (OneConst) and EpsOps references the in-process action
+/// table, so neither serializes; both rebuild in microseconds from the
+/// serialized chains (engine/Artifact.cpp).
+void buildEpsPrograms(CompiledParser &M, const ActionTable &Actions);
 
 } // namespace flap
 

@@ -63,14 +63,74 @@ ServeReply &ServeReply::operator=(ServeReply &&O) noexcept {
 }
 
 //===--------------------------------------------------------------------===//
+// GrammarRegistry
+//===--------------------------------------------------------------------===//
+
+uint64_t GrammarRegistry::install(const std::string &Name,
+                                  const CompiledParser &M, NtId Start,
+                                  std::shared_ptr<const void> Keep) {
+  auto Gen = std::make_shared<GrammarGeneration>();
+  // Copying the machine keeps borrowed tables as views (Table<T> copy
+  // semantics, engine/TableStore.h) — installing an artifact-backed
+  // machine copies pointers, not tables.
+  Gen->M = M;
+  Gen->Start = Start;
+  Gen->Keep = std::move(Keep);
+  std::lock_guard<std::mutex> G(Mu);
+  Gen->Serial = NextSerial++;
+  const uint64_t Serial = Gen->Serial;
+  // The swap is the whole reload: the old generation's shared_ptr
+  // refcount drains as snapshot holders finish, then its Keep releases
+  // the storage (for an artifact, the munmap).
+  Grammars[Name] = std::move(Gen);
+  return Serial;
+}
+
+std::shared_ptr<const GrammarGeneration>
+GrammarRegistry::current(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Grammars.find(Name);
+  return It == Grammars.end() ? nullptr : It->second;
+}
+
+void GrammarRegistry::remove(const std::string &Name) {
+  std::lock_guard<std::mutex> G(Mu);
+  Grammars.erase(Name);
+}
+
+std::vector<std::string> GrammarRegistry::names() const {
+  std::lock_guard<std::mutex> G(Mu);
+  std::vector<std::string> Out;
+  Out.reserve(Grammars.size());
+  for (const auto &[Name, Gen] : Grammars)
+    Out.push_back(Name);
+  return Out;
+}
+
+//===--------------------------------------------------------------------===//
 // ParseService
 //===--------------------------------------------------------------------===//
 
+namespace {
+size_t resolveThreads(size_t Requested) {
+  size_t T = Requested ? Requested : std::thread::hardware_concurrency();
+  return T ? T : 1;
+}
+} // namespace
+
 ParseService::ParseService(const CompiledParser &M, NtId Start, ServeOptions O)
-    : M(M), Start(Start), Opts(O), Bank(std::make_shared<PoolBank>()) {
-  size_t T = Opts.Threads ? Opts.Threads : std::thread::hardware_concurrency();
-  if (!T)
-    T = 1;
+    : M(&M), Start(Start), Opts(O), Bank(std::make_shared<PoolBank>()) {
+  size_t T = resolveThreads(Opts.Threads);
+  Workers.reserve(T);
+  for (size_t I = 0; I < T; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ParseService::ParseService(GrammarRegistry &R, std::string GrammarName,
+                           ServeOptions O)
+    : Reg(&R), Grammar(std::move(GrammarName)), Opts(O),
+      Bank(std::make_shared<PoolBank>()) {
+  size_t T = resolveThreads(Opts.Threads);
   Workers.reserve(T);
   for (size_t I = 0; I < T; ++I)
     Workers.emplace_back([this] { workerLoop(); });
@@ -130,8 +190,29 @@ void ParseService::workerLoop() {
     }
     NotFull.notify_one();
 
+    // Hot-reload discipline: the generation is snapshotted HERE, once
+    // per dequeued batch. A reload between two batches on this worker
+    // swaps tables; a reload during a batch does not — the snapshot
+    // (and then the reply's Keep) pins the old generation until the
+    // last borrower drains.
+    const CompiledParser *PM = M;
+    NtId PStart = Start;
+    std::shared_ptr<const GrammarGeneration> Gen;
+    if (Reg) {
+      Gen = Reg->current(Grammar);
+      if (!Gen) {
+        ServeReply Rej;
+        Rej.Accepted = false;
+        Req.Promise.set_value(std::move(Rej));
+        continue;
+      }
+      PM = &Gen->M;
+      PStart = Gen->Start;
+    }
+
     ServeReply Rep;
     Rep.Bank = Bank;
+    Rep.Keep = Gen;
     Rep.Pool = Bank->acquire();
     Rep.Pool->adoptOwner();
     Scratch.Pool = Rep.Pool;
@@ -143,11 +224,12 @@ void ParseService::workerLoop() {
       if (Req.User)
         Users.assign(N, Req.User);
       Rep.Recovered =
-          M.parseBatchRecover(Start, Req.Inputs.data(), N, Scratch,
-                              Req.User ? Users.data() : nullptr, Opts.RecOpts);
+          PM->parseBatchRecover(PStart, Req.Inputs.data(), N, Scratch,
+                                Req.User ? Users.data() : nullptr,
+                                Opts.RecOpts);
     } else {
-      Rep.Results = M.parseBatch(Start, Req.Inputs.data(), N, Scratch,
-                                 Req.User);
+      Rep.Results = PM->parseBatch(PStart, Req.Inputs.data(), N, Scratch,
+                                   Req.User);
     }
     // Detach the pool from this thread before the handoff: the future's
     // synchronization point carries it to the consumer, who re-adopts.

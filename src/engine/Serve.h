@@ -53,8 +53,10 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -112,14 +114,77 @@ private:
   friend class ParseService;
   ValuePoolRef Pool;
   std::shared_ptr<PoolBank> Bank;
+  /// Registry-backed services: the generation that parsed this reply.
+  /// Held until the reply dies, so a hot reload never unmaps tables a
+  /// live reply's provenance might still reference.
+  std::shared_ptr<const void> Keep;
+};
+
+//===----------------------------------------------------------------------===//
+// Grammar registry + hot reload
+//===----------------------------------------------------------------------===//
+
+/// One installed grammar generation: a machine (typically a borrowed
+/// view over an artifact mapping — engine/Artifact.h), its serving
+/// entry point, and whatever owns the storage behind the tables. The
+/// registry hands these out as shared snapshots; the storage (mmap,
+/// FlapParser, ...) lives exactly as long as the last snapshot.
+struct GrammarGeneration {
+  CompiledParser M; ///< view copy when loaded from an artifact
+  NtId Start = NoNt;
+  /// Pins the table storage: LoadedArtifact::keepAlive(), a
+  /// shared_ptr<FlapParser>, ... Never null for artifact-backed
+  /// generations.
+  std::shared_ptr<const void> Keep;
+  uint64_t Serial = 0; ///< monotonic install counter (tests, logs)
+};
+
+/// Named, atomically swappable grammar generations — the hot-reload
+/// seam. install() publishes a new generation under a name; workers
+/// snapshot the current generation per dequeued batch, so in-flight
+/// batches finish on the tables they started with, new submits see the
+/// new tables, and the old storage unmaps when its last borrower
+/// (generation snapshot or undestructed reply) drains.
+class GrammarRegistry {
+public:
+  /// Publishes \p M under \p Name, replacing any previous generation.
+  /// \p Keep must own the storage behind M's tables (for an artifact:
+  /// LoadedArtifact::keepAlive()). Returns the generation serial.
+  uint64_t install(const std::string &Name, const CompiledParser &M,
+                   NtId Start, std::shared_ptr<const void> Keep);
+
+  /// The current generation for \p Name, or null when absent. The
+  /// snapshot stays valid (tables readable) for as long as the caller
+  /// holds it, regardless of later installs.
+  std::shared_ptr<const GrammarGeneration>
+  current(const std::string &Name) const;
+
+  /// Drops \p Name; in-flight snapshots stay valid.
+  void remove(const std::string &Name);
+
+  std::vector<std::string> names() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::shared_ptr<const GrammarGeneration>> Grammars;
+  uint64_t NextSerial = 1;
 };
 
 /// The thread-pooled serving harness. Construction spawns the workers;
-/// destruction drains and joins. The CompiledParser must outlive the
-/// service AND every reply.
+/// destruction drains and joins. In the fixed-machine form the
+/// CompiledParser must outlive the service AND every reply; in the
+/// registry form each reply pins the generation that parsed it, so
+/// reloads are safe at any time.
 class ParseService {
 public:
   ParseService(const CompiledParser &M, NtId Start, ServeOptions O = {});
+
+  /// Registry-backed form: every dequeued batch parses with
+  /// R.current(Grammar) at dequeue time — the hot-reload contract in
+  /// GrammarRegistry's doc comment. \p R must outlive the service.
+  /// Requests dequeued while \p Grammar has no installed generation are
+  /// rejected (Accepted == false).
+  ParseService(GrammarRegistry &R, std::string Grammar, ServeOptions O = {});
   ~ParseService();
   ParseService(const ParseService &) = delete;
   ParseService &operator=(const ParseService &) = delete;
@@ -147,8 +212,12 @@ private:
 
   void workerLoop();
 
-  const CompiledParser &M;
-  NtId Start;
+  /// Fixed-machine form (null in the registry form).
+  const CompiledParser *M = nullptr;
+  NtId Start = NoNt;
+  /// Registry form (null in the fixed-machine form).
+  GrammarRegistry *Reg = nullptr;
+  std::string Grammar;
   ServeOptions Opts;
   std::shared_ptr<PoolBank> Bank;
 

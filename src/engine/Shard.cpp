@@ -68,6 +68,9 @@ size_t nextCandidate(const CompiledParser &M, NtId R,
 struct ShardParser::Task {
   size_t Begin = 0; ///< guessed (or, shard 0, true) entry offset
   size_t Limit = 0; ///< next shard's guess; records may overrun it
+  /// Per-shard action context (ShardOptions::MakeCtx); null when the
+  /// shared Opts.User is in effect.
+  std::shared_ptr<void> Ctx;
   RecordRun RR;
   std::vector<Value> Values;
   std::vector<ParseEvent> Events;
@@ -212,6 +215,8 @@ ShardParser::makeTasks(std::string_view Input,
   for (size_t I = 0; I < S.size(); ++I) {
     Tasks[I].Begin = S[I];
     Tasks[I].Limit = I + 1 < S.size() ? S[I + 1] : Len;
+    if (Opts.MakeCtx)
+      Tasks[I].Ctx = Opts.MakeCtx();
   }
   return Tasks;
 }
@@ -225,10 +230,11 @@ ShardParser::makeTasks(std::string_view Input,
 void ShardParser::runOneTask(int Mode, std::string_view Input, Task &T,
                              ParseScratch &Sc) const {
   T.clearOut();
+  void *User = T.Ctx ? T.Ctx.get() : Opts.User;
   switch (Mode) {
   case MValues:
     T.RR = M.parseRecords(Record, Input, T.Begin, T.Limit, Sc, T.Values,
-                          Opts.User);
+                          User);
     break;
   case MEvents:
     T.RR = M.parseEventsRecords(Record, Input, T.Begin, T.Limit, Sc, T.Events);
@@ -238,7 +244,7 @@ void ShardParser::runOneTask(int Mode, std::string_view Input, Task &T,
     break;
   case MRecover:
     T.RR = M.parseRecordsRecover(Record, Input, T.Begin, T.Limit, Sc, T.Values,
-                                 T.Errs, T.Log, Opts.Recover, Opts.User);
+                                 T.Errs, T.Log, Opts.Recover, User);
     break;
   }
 }
@@ -270,7 +276,17 @@ void ShardParser::reRun(int Mode, std::string_view Input, Task &T,
   ++Stats.Mispredicted;
   Stats.ReparsedBytes += T.Limit > TrueBegin ? T.Limit - TrueBegin : 0;
   T.Begin = TrueBegin;
+  // The speculative run's context saw records from a wrong boundary;
+  // discard it with the rest of the shard's output.
+  if (Opts.MakeCtx)
+    T.Ctx = Opts.MakeCtx();
   runOneTask(Mode, Input, T, Scratches[NumWorkers]);
+}
+
+void ShardParser::mergeTaskCtx(Task &T) {
+  if (Opts.MergeCtx && T.Ctx)
+    Opts.MergeCtx(Opts.User, T.Ctx.get());
+  T.Ctx.reset();
 }
 
 //===--------------------------------------------------------------------===//
@@ -289,6 +305,7 @@ ShardedValues ShardParser::parseValuesAt(std::string_view Input,
     Task &T = Tasks[I];
     if (I && T.RR.First != Expected)
       reRun(MValues, Input, T, Expected, Out.Stats);
+    mergeTaskCtx(T);
     for (Value &V : T.Values)
       Out.Values.push_back(std::move(V));
     Out.NumRecords += T.RR.NumRecords;
@@ -385,6 +402,7 @@ ShardedRecover ShardParser::parseRecoverAt(std::string_view Input,
     Task &T = Tasks[I];
     if (I && T.RR.First != Expected)
       reRun(MRecover, Input, T, Expected, Out.Stats);
+    mergeTaskCtx(T);
     size_t VI = 0, EI = 0;
     for (RecordLogEntry E : T.Log) {
       if (E == RecordLogEntry::Value) {

@@ -77,7 +77,26 @@ struct ShardOptions {
   /// be safe for concurrent reads; the six benchmark grammars' contexts
   /// are either unused or accumulate per-record facts the caller owns
   /// re-aggregating (see GrammarDef::Record).
+  ///
+  /// When MakeCtx is also set, User is instead the *accumulator*: it is
+  /// never passed to a worker, only to MergeCtx on the stitching
+  /// thread.
   void *User = nullptr;
+  /// Per-shard context factory for stateful grammars whose contexts are
+  /// NOT safe for concurrent mutation (csv column stats, pgn result
+  /// tallies, ppm sample sums). When set, every shard — and every
+  /// mispredict re-parse, whose speculative context is discarded — gets
+  /// a fresh context; after verification the stitcher folds each
+  /// consumed shard's context into User via MergeCtx, in input order,
+  /// up to and including the shard where a strict parse stopped.
+  /// (Recovery truncation is the one coarse edge: the stopping shard's
+  /// context covers everything that shard parsed during speculation,
+  /// which may extend past the truncation point.) Only value and
+  /// recovery modes run actions, so only they consume contexts.
+  std::function<std::shared_ptr<void>()> MakeCtx;
+  /// Folds one verified shard's context into \p Accum (= User); called
+  /// on the stitching thread, input order, no concurrency.
+  std::function<void(void *Accum, void *ShardCtx)> MergeCtx;
   /// Recovery knobs for parseRecover (the global MaxErrors budget; the
   /// stitcher re-applies it across shards exactly as recoverLoop does).
   RecoverOptions Recover{};
@@ -198,6 +217,9 @@ private:
   void runShards(int Mode, std::string_view Input, std::vector<Task> &Tasks);
   void reRun(int Mode, std::string_view Input, Task &T, size_t TrueBegin,
              ShardStats &Stats);
+  /// Folds a consumed shard's per-shard context into Opts.User
+  /// (ShardOptions::MergeCtx) and drops it.
+  void mergeTaskCtx(Task &T);
 
   const CompiledParser &M;
   NtId Record;

@@ -1,0 +1,207 @@
+//===- engine/TableStore.h - Owned-or-borrowed table storage ----*- C++ -*-===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage seam behind zero-copy artifact loading (engine/
+/// Artifact.h). A compiled machine's hot tables are flat arrays of
+/// trivially copyable elements; Table<T> gives each of them two modes
+/// behind one read API:
+///
+///   - *owned*: a std::vector the compiler (compileFused, the lexer DFA
+///     builder) grows in place — the only mode with a mutating API;
+///   - *borrowed*: a {pointer, length} view into memory somebody else
+///     keeps alive — an mmap'd artifact section. Loading an artifact is
+///     borrow() per table: no copy, no allocation, no touch of the
+///     mapped pages beyond the ones validation reads.
+///
+/// The read API (size/data/operator[]/begin/end on a const table) is
+/// identical in both modes and resolves through one {Ptr, Len} pair, so
+/// the hot loops see no branch and no abstraction penalty: Ptr always
+/// points at the live elements, whether they sit in Own's heap buffer
+/// or a mapped file.
+///
+/// Lifetime contract for borrowed tables: the borrowed bytes must
+/// outlive the table. Artifact loading enforces this by handing out the
+/// parser only inside a LoadedArtifact that shares ownership of the
+/// mapping; the serving tier's hot-reload generations pin the mapping
+/// the same way (engine/Serve.h). Copying a borrowed table copies the
+/// *view* (both copies alias the mapping); copying an owned table deep-
+/// copies the elements, as before the seam existed.
+///
+/// Mutation of a borrowed table is a contract violation, not a CoW
+/// trigger: the mutating calls assert. The compiler pipeline only ever
+/// mutates tables it just default-constructed (owned), and nothing
+/// mutates a machine after compileFused returns it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLAP_ENGINE_TABLESTORE_H
+#define FLAP_ENGINE_TABLESTORE_H
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace flap {
+
+template <typename T> class Table {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "Table elements must be trivially copyable (they are "
+                "serialized as raw bytes and borrowed from mappings)");
+
+public:
+  Table() = default;
+
+  Table(const Table &O) { assignFrom(O); }
+  Table &operator=(const Table &O) {
+    if (this != &O)
+      assignFrom(O);
+    return *this;
+  }
+  Table(Table &&O) noexcept
+      : Own(std::move(O.Own)), Ptr(O.Ptr), Len(O.Len), Borrowed(O.Borrowed) {
+    if (!Borrowed)
+      sync(); // vector move keeps the buffer, but stay exact
+    O.reset();
+  }
+  Table &operator=(Table &&O) noexcept {
+    if (this != &O) {
+      Own = std::move(O.Own);
+      Ptr = O.Ptr;
+      Len = O.Len;
+      Borrowed = O.Borrowed;
+      if (!Borrowed)
+        sync();
+      O.reset();
+    }
+    return *this;
+  }
+
+  //===------------------------------------------------------------===//
+  // Read API (both modes)
+  //===------------------------------------------------------------===//
+
+  size_t size() const { return Len; }
+  bool empty() const { return Len == 0; }
+  const T *data() const { return Ptr; }
+  const T &operator[](size_t I) const { return Ptr[I]; }
+  const T *begin() const { return Ptr; }
+  const T *end() const { return Ptr + Len; }
+  const T &back() const { return Ptr[Len - 1]; }
+  bool borrowed() const { return Borrowed; }
+
+  //===------------------------------------------------------------===//
+  // Borrow: switch to view mode over externally owned bytes
+  //===------------------------------------------------------------===//
+
+  void borrow(const T *P, size_t N) {
+    Own.clear();
+    Own.shrink_to_fit();
+    Ptr = P;
+    Len = N;
+    Borrowed = true;
+  }
+
+  //===------------------------------------------------------------===//
+  // Mutating API (owned mode only; asserts on a borrowed table)
+  //===------------------------------------------------------------===//
+
+  T &operator[](size_t I) {
+    assert(!Borrowed && "mutating a borrowed table");
+    return Own[I];
+  }
+  T *data() {
+    assert(!Borrowed && "mutating a borrowed table");
+    return Own.data();
+  }
+  T *begin() {
+    assert(!Borrowed && "mutating a borrowed table");
+    return Own.data();
+  }
+  T *end() {
+    assert(!Borrowed && "mutating a borrowed table");
+    return Own.data() + Own.size();
+  }
+  void push_back(const T &V) {
+    assert(!Borrowed && "mutating a borrowed table");
+    Own.push_back(V);
+    sync();
+  }
+  void resize(size_t N) {
+    assert(!Borrowed && "mutating a borrowed table");
+    Own.resize(N);
+    sync();
+  }
+  void resize(size_t N, const T &V) {
+    assert(!Borrowed && "mutating a borrowed table");
+    Own.resize(N, V);
+    sync();
+  }
+  void assign(size_t N, const T &V) {
+    assert(!Borrowed && "mutating a borrowed table");
+    Own.assign(N, V);
+    sync();
+  }
+  template <typename It> void assign(It B, It E) {
+    assert(!Borrowed && "mutating a borrowed table");
+    Own.assign(B, E);
+    sync();
+  }
+  void reserve(size_t N) {
+    assert(!Borrowed && "mutating a borrowed table");
+    Own.reserve(N);
+    sync();
+  }
+  /// Appends [B, E) at the end (the Table spelling of
+  /// vector::insert(end, B, E)).
+  template <typename It> void append(It B, It E) {
+    assert(!Borrowed && "mutating a borrowed table");
+    Own.insert(Own.end(), B, E);
+    sync();
+  }
+  void clear() {
+    Own.clear();
+    Borrowed = false;
+    sync();
+  }
+
+private:
+  void sync() {
+    Ptr = Own.data();
+    Len = Own.size();
+  }
+  void reset() {
+    Own.clear();
+    Ptr = nullptr;
+    Len = 0;
+    Borrowed = false;
+    sync();
+  }
+  void assignFrom(const Table &O) {
+    if (O.Borrowed) {
+      Own.clear();
+      Own.shrink_to_fit();
+      Ptr = O.Ptr;
+      Len = O.Len;
+      Borrowed = true;
+    } else {
+      Own.assign(O.Ptr, O.Ptr + O.Len);
+      Borrowed = false;
+      sync();
+    }
+  }
+
+  std::vector<T> Own;
+  const T *Ptr = nullptr;
+  size_t Len = 0;
+  bool Borrowed = false;
+};
+
+} // namespace flap
+
+#endif // FLAP_ENGINE_TABLESTORE_H

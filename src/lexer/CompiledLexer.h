@@ -18,6 +18,7 @@
 #define FLAP_LEXER_COMPILEDLEXER_H
 
 #include "engine/RunSkip.h"
+#include "engine/TableStore.h"
 #include "lexer/LexerSpec.h"
 #include "regex/Alphabet.h"
 
@@ -67,15 +68,20 @@ private:
   friend VerifyReport flap::verifyCompiledLexer(const CompiledLexer &L,
                                                 const VerifyOptions &Opts);
   friend class VerifyTestPeer; ///< mutation suite (tests/VerifyTest.cpp)
+  /// Zero-copy artifact serialization/loading (engine/Artifact.cpp):
+  /// writes the tables out raw and borrows them back from a mapping.
+  friend struct ArtifactAccess;
+  /// Only ArtifactAccess constructs an empty lexer to fill from a blob.
+  CompiledLexer() = default;
   static constexpr int32_t Dead = -1;
 
   Alphabet Alpha;
   /// Row-major [state][class] next-state table; Dead when stuck.
-  std::vector<int32_t> Trans;
+  Table<int32_t> Trans;
   /// Byte-indexed hot-loop table: [state*256 + byte] (int16).
-  std::vector<int16_t> Trans16;
+  Table<int16_t> Trans16;
   /// Compact hot table when the DFA has ≤255 states (fits L1).
-  std::vector<uint8_t> Trans8;
+  Table<uint8_t> Trans8;
   static constexpr uint8_t Dead8 = 0xff;
   /// Accepting states are renumbered into the id prefix [0, NumAccept),
   /// so the scan tests acceptance with a compare, not an Accept load.
@@ -95,13 +101,13 @@ private:
   int32_t NumPureRun = 0;
   int32_t NumAccept = 0;
   /// Accepting rule index per state (index into Toks), or -1.
-  std::vector<int32_t> Accept;
+  Table<int32_t> Accept;
   /// Per-state self-loop byte sets: lexeme interiors (identifiers,
   /// numbers, whitespace, string bodies) are consumed by the bulk
   /// run-skip classifier instead of the byte-at-a-time walk.
-  std::vector<SkipSet> Skip;
+  Table<SkipSet> Skip;
   /// Token returned by rule I; NoToken for the skip rule.
-  std::vector<TokenId> Toks;
+  Table<TokenId> Toks;
   int32_t Start = 0;
 };
 

@@ -42,15 +42,15 @@ namespace flap {
 class VerifyTestPeer {
 public:
   static Alphabet &alpha(CompiledLexer &L) { return L.Alpha; }
-  static std::vector<int32_t> &trans(CompiledLexer &L) { return L.Trans; }
-  static std::vector<int16_t> &trans16(CompiledLexer &L) { return L.Trans16; }
-  static std::vector<uint8_t> &trans8(CompiledLexer &L) { return L.Trans8; }
+  static Table<int32_t> &trans(CompiledLexer &L) { return L.Trans; }
+  static Table<int16_t> &trans16(CompiledLexer &L) { return L.Trans16; }
+  static Table<uint8_t> &trans8(CompiledLexer &L) { return L.Trans8; }
   static int32_t &numTerm(CompiledLexer &L) { return L.NumTerm; }
   static int32_t &numPureRun(CompiledLexer &L) { return L.NumPureRun; }
   static int32_t &numAccept(CompiledLexer &L) { return L.NumAccept; }
-  static std::vector<int32_t> &accept(CompiledLexer &L) { return L.Accept; }
-  static std::vector<SkipSet> &skip(CompiledLexer &L) { return L.Skip; }
-  static std::vector<TokenId> &toks(CompiledLexer &L) { return L.Toks; }
+  static Table<int32_t> &accept(CompiledLexer &L) { return L.Accept; }
+  static Table<SkipSet> &skip(CompiledLexer &L) { return L.Skip; }
+  static Table<TokenId> &toks(CompiledLexer &L) { return L.Toks; }
   static int32_t &start(CompiledLexer &L) { return L.Start; }
 };
 

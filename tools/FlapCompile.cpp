@@ -1,0 +1,210 @@
+//===- tools/FlapCompile.cpp - Artifact compiler / inspector -------------===//
+//
+// Part of flap-cpp, a C++ reproduction of "flap: A Deterministic Parser
+// with Fused Lexing" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+//
+// flap_compile --emit DIR [--with-lexer] [grammar...]
+// flap_compile --cache DIR [--untrusted] [grammar...]
+// flap_compile --inspect FILE...
+//
+// The artifact tooling front-end (engine/Artifact.h):
+//
+//   --emit     compiles the named registered benchmark grammars (all six
+//              when none are named) through the full pipeline, writes
+//              one .flapart blob per grammar into DIR, and immediately
+//              reloads each blob untrusted — full table audit — as a
+//              self-check, printing compile vs. mmap-load timings.
+//   --cache    cache-through load against DIR: first run compiles and
+//              populates, later runs hit and report the checksum-only
+//              reload time. --untrusted re-audits every hit.
+//   --inspect  prints header facts (version, traits word, action hash,
+//              checksum, sections, grammar name) for existing blobs,
+//              after the same structural validation a load performs.
+//
+// Exit status is the number of grammars/files that failed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Artifact.h"
+
+#include "grammars/Grammars.h"
+#include "lexer/CompiledLexer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <string>
+#include <vector>
+
+using namespace flap;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+int emitOne(const std::shared_ptr<GrammarDef> &Def, const std::string &Dir,
+            bool WithLexer) {
+  auto T0 = std::chrono::steady_clock::now();
+  Result<FlapParser> P =
+      Def->HasRecord ? compileFlapRecords(Def) : compileFlap(Def);
+  const double CompileMs = msSince(T0);
+  if (!P.ok()) {
+    std::printf("%-6s compile error: %s\n", Def->Name.c_str(),
+                P.error().c_str());
+    return 1;
+  }
+
+  const std::string Path = Dir + "/" + Def->Name + ".flapart";
+  std::shared_ptr<CompiledLexer> L;
+  if (WithLexer)
+    L = std::make_shared<CompiledLexer>(*Def->Re, P->Canon);
+  if (Status St = writeArtifact(*P, Path, L.get()); !St.ok()) {
+    std::printf("%-6s write error: %s\n", Def->Name.c_str(),
+                St.error().c_str());
+    return 1;
+  }
+
+  // Self-check: reload what we just wrote as if it were foreign.
+  T0 = std::chrono::steady_clock::now();
+  Result<LoadedArtifact> A = loadArtifact(Path, Def->L->Actions,
+                                          LoadOptions{/*Trusted=*/false});
+  const double AuditLoadMs = msSince(T0);
+  if (!A.ok()) {
+    std::printf("%-6s reload error: %s\n", Def->Name.c_str(),
+                A.error().c_str());
+    return 1;
+  }
+  T0 = std::chrono::steady_clock::now();
+  Result<LoadedArtifact> A2 = loadArtifact(Path, Def->L->Actions,
+                                           LoadOptions{/*Trusted=*/true});
+  const double TrustedLoadMs = msSince(T0);
+  if (!A2.ok()) {
+    std::printf("%-6s trusted reload error: %s\n", Def->Name.c_str(),
+                A2.error().c_str());
+    return 1;
+  }
+  std::printf("%-6s %8zu bytes  compile %8.2f ms  audit-load %7.3f ms  "
+              "mmap-load %7.3f ms  (%s)\n",
+              Def->Name.c_str(), A->Info.FileBytes, CompileMs, AuditLoadMs,
+              TrustedLoadMs, Path.c_str());
+  return 0;
+}
+
+int cacheOne(const std::shared_ptr<GrammarDef> &Def, const std::string &Dir,
+             bool Trust) {
+  CacheOptions CO;
+  CO.Dir = Dir;
+  CO.TrustCache = Trust;
+  auto T0 = std::chrono::steady_clock::now();
+  Result<CachedLoad> C = loadArtifactCached(Def, CO);
+  const double TotalMs = msSince(T0);
+  if (!C.ok()) {
+    std::printf("%-6s cache error: %s\n", Def->Name.c_str(),
+                C.error().c_str());
+    return 1;
+  }
+  if (C->Hit)
+    std::printf("%-6s HIT   load %7.3f ms                    (%s)\n",
+                Def->Name.c_str(), TotalMs, C->Path.c_str());
+  else
+    std::printf("%-6s MISS  compile %8.2f ms  total %8.2f ms  (%s)\n",
+                Def->Name.c_str(), C->CompileMs, TotalMs, C->Path.c_str());
+  return 0;
+}
+
+int inspectOne(const std::string &Path) {
+  Result<ArtifactInfo> I = inspectArtifact(Path);
+  if (!I.ok()) {
+    std::printf("%s: %s\n", Path.c_str(), I.error().c_str());
+    return 1;
+  }
+  std::printf("%s:\n", Path.c_str());
+  std::printf("  grammar      %s%s\n", I->GrammarName.c_str(),
+              I->HasLexer ? " (+lexer DFA)" : "");
+  std::printf("  version      %u\n", I->FormatVersion);
+  std::printf("  sections     %zu\n", I->NumSections);
+  std::printf("  bytes        %zu\n", I->FileBytes);
+  std::printf("  traits       %016llx\n",
+              static_cast<unsigned long long>(I->TraitsWord));
+  std::printf("  action hash  %016llx\n",
+              static_cast<unsigned long long>(I->ActionHash));
+  std::printf("  checksum     %016llx\n",
+              static_cast<unsigned long long>(I->FileHash));
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: flap_compile --emit DIR [--with-lexer] [grammar...]\n"
+      "       flap_compile --cache DIR [--untrusted] [grammar...]\n"
+      "       flap_compile --inspect FILE...\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string EmitDir, CacheDir;
+  bool Inspect = false, WithLexer = false, Untrusted = false;
+  std::vector<std::string> Args;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--emit") && I + 1 < argc)
+      EmitDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--cache") && I + 1 < argc)
+      CacheDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--inspect"))
+      Inspect = true;
+    else if (!std::strcmp(argv[I], "--with-lexer"))
+      WithLexer = true;
+    else if (!std::strcmp(argv[I], "--untrusted"))
+      Untrusted = true;
+    else if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
+      usage();
+      return 0;
+    } else
+      Args.push_back(argv[I]);
+  }
+
+  int Failed = 0;
+  if (Inspect) {
+    if (Args.empty()) {
+      usage();
+      return 1;
+    }
+    for (const std::string &Path : Args)
+      Failed += inspectOne(Path);
+    return Failed;
+  }
+  if (EmitDir.empty() && CacheDir.empty()) {
+    usage();
+    return 1;
+  }
+  // loadArtifactCached creates the cache directory itself; emit mode
+  // matches that convenience (EEXIST is the common case).
+  if (!EmitDir.empty())
+    ::mkdir(EmitDir.c_str(), 0777);
+
+  bool Matched = false;
+  for (auto &Def : allBenchmarkGrammars()) {
+    if (!Args.empty() &&
+        std::find(Args.begin(), Args.end(), Def->Name) == Args.end())
+      continue;
+    Matched = true;
+    if (!EmitDir.empty())
+      Failed += emitOne(Def, EmitDir, WithLexer);
+    else
+      Failed += cacheOne(Def, CacheDir, !Untrusted);
+  }
+  if (!Args.empty() && !Matched) {
+    std::fprintf(stderr, "flap_compile: no grammar matched\n");
+    return 1;
+  }
+  return Failed;
+}

@@ -5,7 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// flap_verify [--no-lints] [grammar...]
+// flap_verify [--no-lints] [grammar|artifact.flapart ...]
 //
 // Compiles every registered benchmark grammar (or just the named ones)
 // through the full pipeline, audits the staged parser tables and the
@@ -13,10 +13,21 @@
 // tier. Exit status is the number of grammars with Error-severity
 // findings — lints and warnings are reported but never fail the run.
 //
+// Arguments naming an artifact file (engine/Artifact.h; anything
+// containing a '/' or ending in ".flapart") are audited as *blobs*: the
+// file is structurally validated and checksummed, its grammar name
+// resolved against the benchmark registry for the action table, the
+// tables mmap-loaded, and the full audit run over the borrowed tables —
+// the exact trust-boundary pass an untrusted first load performs, with
+// the findings printed instead of folded into one error. The lint tier
+// needs the fused grammar, which a blob does not carry; it runs over a
+// fresh pipeline compile of the same registered grammar.
+//
 //===----------------------------------------------------------------------===//
 
 #include "engine/Verify.h"
 
+#include "engine/Artifact.h"
 #include "engine/Pipeline.h"
 #include "grammars/Grammars.h"
 #include "lexer/CompiledLexer.h"
@@ -36,18 +47,90 @@ static void printReport(const char *Grammar, const char *What,
     std::printf("  %s\n", F.message().c_str());
 }
 
+static bool looksLikeArtifact(const std::string &Arg) {
+  if (Arg.find('/') != std::string::npos)
+    return true;
+  const std::string Ext = ".flapart";
+  return Arg.size() > Ext.size() &&
+         Arg.compare(Arg.size() - Ext.size(), Ext.size(), Ext) == 0;
+}
+
+/// Audits one artifact blob: structural validation + checksum, action
+/// table resolved by grammar name, full table audit over the borrowed
+/// tables, lint tier over a fresh compile of the same grammar. Returns
+/// nonzero on Error findings (or an unloadable/unknown blob).
+static int verifyArtifact(const std::string &Path, bool Lints) {
+  Result<ArtifactInfo> Info = inspectArtifact(Path);
+  if (!Info.ok()) {
+    std::printf("%s: %s\n", Path.c_str(), Info.error().c_str());
+    return 1;
+  }
+  std::shared_ptr<GrammarDef> Def;
+  for (auto &D : allBenchmarkGrammars())
+    if (D->Name == Info->GrammarName)
+      Def = D;
+  if (!Def) {
+    std::printf("%s: blob names grammar '%s', which is not registered — "
+                "no action table to load against\n",
+                Path.c_str(), Info->GrammarName.c_str());
+    return 1;
+  }
+
+  // Trusted load = structural checks + checksum only; the audit runs
+  // below, where its findings can be *printed* rather than collapsed
+  // into loadArtifact's single error string.
+  Result<LoadedArtifact> A =
+      loadArtifact(Path, Def->L->Actions, LoadOptions{/*Trusted=*/true});
+  if (!A.ok()) {
+    std::printf("%s: %s\n", Path.c_str(), A.error().c_str());
+    return 1;
+  }
+
+  VerifyOptions Opts;
+  Opts.Lints = false; // table-only entry points ignore it anyway
+  const std::string Tag = Info->GrammarName + "@artifact";
+  VerifyReport PR = verifyCompiledParser(A->M, Opts);
+  if (Lints) {
+    // The blob has no fused grammar; lint the pipeline's own compile of
+    // the registered grammar (the same grammar the blob was built from,
+    // or ActionHash would have rejected the load).
+    Result<FlapParser> P =
+        Def->HasRecord ? compileFlapRecords(Def) : compileFlap(Def);
+    if (P.ok())
+      lintGrammar(P->F, *Def->Re, A->M, PR);
+  }
+  printReport(Tag.c_str(), "parser", PR);
+  bool Bad = !PR.ok();
+  if (A->Lexer) {
+    VerifyReport LR = verifyCompiledLexer(*A->Lexer, Opts);
+    printReport(Tag.c_str(), "lexer", LR);
+    Bad = Bad || !LR.ok();
+  }
+  return Bad ? 1 : 0;
+}
+
 int main(int argc, char **argv) {
   bool Lints = true;
   std::vector<std::string> Only;
+  std::vector<std::string> Artifacts;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--no-lints"))
       Lints = false;
     else if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
-      std::printf("usage: flap_verify [--no-lints] [grammar...]\n");
+      std::printf(
+          "usage: flap_verify [--no-lints] [grammar|artifact.flapart ...]\n");
       return 0;
-    } else
+    } else if (looksLikeArtifact(argv[I]))
+      Artifacts.push_back(argv[I]);
+    else
       Only.push_back(argv[I]);
   }
+
+  int BadArtifacts = 0;
+  for (const std::string &Path : Artifacts)
+    BadArtifacts += verifyArtifact(Path, Lints);
+  if (!Artifacts.empty() && Only.empty())
+    return BadArtifacts;
 
   int BadGrammars = 0;
   bool Matched = false;
@@ -81,5 +164,5 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "flap_verify: no grammar matched\n");
     return 1;
   }
-  return BadGrammars;
+  return BadGrammars + BadArtifacts;
 }
